@@ -1,0 +1,141 @@
+// Design-space exploration — the paper's core claim is that the transforms
+// form a *toolbox* for systematically exploring implementations.  This
+// bench toggles each transformation and reports the whole quality surface:
+// channels, controller complexity, gate-level area and simulated latency,
+// across all bundled benchmarks.
+
+#include "area/area_model.hpp"
+#include "common.hpp"
+
+using namespace adc;
+using namespace adc::bench;
+
+namespace {
+
+struct Metrics {
+  std::size_t channels = 0;
+  std::size_t states = 0;
+  std::size_t transitions = 0;
+  std::size_t products = 0;
+  std::size_t literals = 0;
+  std::int64_t latency = 0;
+  bool ok = true;
+};
+
+Metrics measure(Cdfg graph, const GlobalPipelineOptions& gopts, bool gt, bool lt,
+                const std::map<std::string, std::int64_t>& init) {
+  Metrics m;
+  FlowResult f = run_flow(std::move(graph), gt, lt, gopts);
+  m.channels = f.plan.count_controller_channels();
+  for (const auto& inst : f.instances) {
+    m.states += inst.controller.machine.state_count();
+    m.transitions += inst.controller.machine.transition_count();
+    auto r = synthesize_logic(inst.controller);
+    m.products += r.product_count(true);
+    m.literals += r.literal_count(true);
+    if (!r.feasible()) m.ok = false;
+  }
+  EventSimOptions o;
+  o.randomize_delays = false;
+  auto r = run_event_sim(f.g, f.plan, f.instances, init, o);
+  m.ok = m.ok && r.completed;
+  m.latency = r.finish_time;
+  return m;
+}
+
+void row(Table& t, const char* label, const Metrics& m) {
+  t.add_row({label, std::to_string(m.channels), pair_cell(m.states, m.transitions),
+             pair_cell(m.products, m.literals), std::to_string(m.latency),
+             m.ok ? "yes" : "NO"});
+}
+
+}  // namespace
+
+int main() {
+  std::printf("design-space exploration: per-transform ablation on DIFFEQ\n");
+  std::printf("cells: totals across the four controllers\n\n");
+
+  auto init = diffeq_inputs(8);
+  Table t({"configuration", "channels", "states/trans", "prod/lits", "latency", "correct"});
+
+  row(t, "no transforms", measure(diffeq(), {}, false, false, init));
+  GlobalPipelineOptions all;
+  row(t, "all GT, no LT", measure(diffeq(), all, true, false, init));
+  row(t, "all GT + LT", measure(diffeq(), all, true, true, init));
+  t.add_separator();
+
+  struct Knock {
+    const char* label;
+    void (*tweak)(GlobalPipelineOptions&);
+  };
+  const Knock knocks[] = {
+      {"without GT1 (loop par.)", [](GlobalPipelineOptions& o) { o.gt1 = false; }},
+      {"without GT2 (dominated)", [](GlobalPipelineOptions& o) { o.gt2 = false; }},
+      {"without GT3 (rel. timing)", [](GlobalPipelineOptions& o) { o.gt3 = false; }},
+      {"without GT4 (merge assign)", [](GlobalPipelineOptions& o) { o.gt4 = false; }},
+      {"without GT5 (channels)", [](GlobalPipelineOptions& o) { o.gt5 = false; }},
+  };
+  for (const auto& k : knocks) {
+    GlobalPipelineOptions o;
+    k.tweak(o);
+    row(t, k.label, measure(diffeq(), o, true, true, init));
+  }
+  t.add_separator();
+
+  // GT5 policy exploration: the broadcast-formation policy trades wires
+  // against receiver bookkeeping.
+  {
+    GlobalPipelineOptions o;
+    o.gt5_options.same_source = Gt5Options::SameSource::kAll;
+    row(t, "GT5 aggressive broadcast", measure(diffeq(), o, true, true, init));
+    GlobalPipelineOptions o2;
+    o2.gt5_options.same_source = Gt5Options::SameSource::kNone;
+    row(t, "GT5 no broadcast", measure(diffeq(), o2, true, true, init));
+    GlobalPipelineOptions o3;
+    o3.gt5_options.concurrency_reduction = true;
+    o3.gt5_options.max_period_increase = 200;
+    row(t, "GT5 + concurrency reduction", measure(diffeq(), o3, true, true, init));
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  // The same surface for the other bundled benchmarks (fully automatic).
+  std::printf("all benchmarks, unoptimized vs fully optimized:\n");
+  Table b({"benchmark", "config", "channels", "states/trans", "prod/lits", "latency",
+           "correct"});
+  struct Case {
+    const char* name;
+    Cdfg (*make)();
+    std::map<std::string, std::int64_t> init;
+  };
+  const Case cases[] = {
+      {"diffeq", diffeq, diffeq_inputs(8)},
+      {"gcd", gcd, {{"A", 21}, {"B", 14}, {"C", 1}}},
+      {"fir4",
+       fir4,
+       {{"X0", 1}, {"X1", 2}, {"X2", 3}, {"X3", 4}, {"K0", 5}, {"K1", 6}, {"K2", 7},
+        {"K3", 8}}},
+      {"mac_reduce",
+       mac_reduce,
+       {{"X", 0}, {"K", 3}, {"T", 40}, {"N", 6}, {"dx", 1}, {"S", 0}, {"C", 1}}},
+      {"ewf_lite",
+       ewf_lite,
+       {{"IN", 9}, {"S1", 1}, {"S2", 2}, {"S3", 3}, {"K1", 2}, {"K2", 3}, {"K3", 4}}},
+      {"ewf (34 ops, HLS)",
+       []() { return ewf(); },
+       {{"IN", 5}, {"k1", 2}, {"k2", 3}, {"k3", 1}, {"k4", 2}, {"k5", 3},
+        {"sv1", 1}, {"sv2", 2}, {"sv3", 3}, {"sv4", 4}, {"sv5", 5}, {"sv6", 6},
+        {"sv7", 7}, {"sv8", 8}}},
+  };
+  for (const auto& c : cases) {
+    Metrics un = measure(c.make(), {}, false, false, c.init);
+    Metrics op = measure(c.make(), {}, true, true, c.init);
+    b.add_row({c.name, "unoptimized", std::to_string(un.channels),
+               pair_cell(un.states, un.transitions), pair_cell(un.products, un.literals),
+               std::to_string(un.latency), un.ok ? "yes" : "NO"});
+    b.add_row({"", "GT+LT", std::to_string(op.channels),
+               pair_cell(op.states, op.transitions), pair_cell(op.products, op.literals),
+               std::to_string(op.latency), op.ok ? "yes" : "NO"});
+  }
+  std::printf("%s", b.to_string().c_str());
+  return 0;
+}

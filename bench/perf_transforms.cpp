@@ -1,0 +1,99 @@
+// Scalability of the transformation engine itself (google-benchmark): the
+// paper positions the transforms as primitives for scripted design-space
+// exploration, so their runtime on growing CDFGs matters.
+
+#include <benchmark/benchmark.h>
+
+#include "extract/extract.hpp"
+#include "frontend/benchmarks.hpp"
+#include "logic/minimize.hpp"
+#include "ltrans/local.hpp"
+#include "sim/token_sim.hpp"
+#include "transforms/pipeline.hpp"
+
+namespace adc {
+namespace {
+
+RandomProgramParams sized(int stmts) {
+  RandomProgramParams p;
+  p.alus = 3;
+  p.mults = 2;
+  p.stmts = stmts;
+  p.regs = 8;
+  return p;
+}
+
+void BM_FrontendArcGeneration(benchmark::State& state) {
+  auto p = sized(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    Cdfg g = random_program(p, 42);
+    benchmark::DoNotOptimize(g.live_arc_count());
+  }
+}
+BENCHMARK(BM_FrontendArcGeneration)->Arg(10)->Arg(20)->Arg(40)->Arg(80);
+
+void BM_GlobalPipeline(benchmark::State& state) {
+  auto p = sized(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Cdfg g = random_program(p, 42);
+    state.ResumeTiming();
+    auto res = run_global_transforms(g);
+    benchmark::DoNotOptimize(res.plan.count_controller_channels());
+  }
+}
+BENCHMARK(BM_GlobalPipeline)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_Gt2DominatedOnly(benchmark::State& state) {
+  auto p = sized(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Cdfg g = random_program(p, 42);
+    state.ResumeTiming();
+    auto res = gt2_remove_dominated(g);
+    benchmark::DoNotOptimize(res.arcs_removed);
+  }
+}
+BENCHMARK(BM_Gt2DominatedOnly)->Arg(10)->Arg(20)->Arg(40)->Arg(80);
+
+void BM_ExtractionPlusLt(benchmark::State& state) {
+  auto p = sized(static_cast<int>(state.range(0)));
+  Cdfg g = random_program(p, 42);
+  auto res = run_global_transforms(g);
+  for (auto _ : state) {
+    auto controllers = extract_controllers(g, res.plan);
+    for (auto& c : controllers) run_local_transforms(c);
+    benchmark::DoNotOptimize(controllers.size());
+  }
+}
+BENCHMARK(BM_ExtractionPlusLt)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_LogicSynthesisDiffeq(benchmark::State& state) {
+  Cdfg g = diffeq();
+  auto res = run_global_transforms(g);
+  auto controllers = extract_controllers(g, res.plan);
+  for (auto& c : controllers) run_local_transforms(c);
+  for (auto _ : state) {
+    std::size_t lits = 0;
+    for (const auto& c : controllers) lits += synthesize_logic(c).literal_count(true);
+    benchmark::DoNotOptimize(lits);
+  }
+}
+BENCHMARK(BM_LogicSynthesisDiffeq);
+
+void BM_TokenSimulationDiffeq(benchmark::State& state) {
+  Cdfg g = diffeq();
+  run_global_transforms(g);
+  std::map<std::string, std::int64_t> init{{"X", 0}, {"a", state.range(0)}, {"dx", 1},
+                                           {"U", 3},  {"Y", 1}, {"X1", 0}, {"C", 1}};
+  for (auto _ : state) {
+    auto r = run_token_sim(g, init);
+    benchmark::DoNotOptimize(r.finish_time);
+  }
+}
+BENCHMARK(BM_TokenSimulationDiffeq)->Arg(8)->Arg(64);
+
+}  // namespace
+}  // namespace adc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,156 @@
+#include "cdfg/analysis.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <map>
+
+namespace adc {
+
+namespace {
+
+struct Edge {
+  NodeId dst;
+  int offset;
+  ArcId arc;  // invalid for implicit wrap edges
+};
+
+// Build the adjacency used by reachability queries: live arcs plus the
+// implicit per-FU wrap edges (last scheduled node -> first, offset 1).
+std::vector<std::vector<Edge>> build_adjacency(const Cdfg& g, const ReachOptions& opts) {
+  std::vector<std::vector<Edge>> adj(g.node_capacity());
+  for (ArcId aid : g.arc_ids()) {
+    if (opts.exclude && *opts.exclude == aid) continue;
+    const Arc& a = g.arc(aid);
+    adj[a.src.index()].push_back(Edge{a.dst, a.offset(), aid});
+  }
+  if (opts.include_fu_wrap) {
+    // A controller executes the nodes of one repetition region cyclically,
+    // so the last node of each (FU, block) group is followed (offset 1) by
+    // the first node of that group in the next repetition.  Grouping by the
+    // node's block keeps this sound when an FU also has nodes outside the
+    // loop: those never repeat, and an offset-1 constraint on a node that
+    // never refires is vacuous.
+    for (FuId fu : g.fu_ids()) {
+      std::map<BlockId::underlying, std::pair<NodeId, NodeId>> group;  // first/last
+      for (NodeId n : g.fu_order(fu)) {
+        auto [it, inserted] =
+            group.try_emplace(g.node(n).block.value(), std::make_pair(n, n));
+        if (!inserted) it->second.second = n;
+      }
+      for (const auto& [block, fl] : group) {
+        (void)block;
+        if (fl.first != fl.second)
+          adj[fl.second.index()].push_back(Edge{fl.first, 1, ArcId::invalid()});
+      }
+    }
+    // Each loop's root refires after its end node (the loop-back).
+    for (BlockId b : g.block_ids()) {
+      const Block& blk = g.block(b);
+      if (blk.kind != NodeKind::kLoop || !blk.end.valid()) continue;
+      if (g.node(blk.root).alive && g.node(blk.end).alive)
+        adj[blk.end.index()].push_back(Edge{blk.root, 1, ArcId::invalid()});
+    }
+  }
+  return adj;
+}
+
+// 0-1 BFS from src; returns per-node minimum path offset (capped).
+std::vector<int> zero_one_bfs(const Cdfg& g, NodeId src,
+                              const std::vector<std::vector<Edge>>& adj, int cap) {
+  constexpr int kInf = std::numeric_limits<int>::max();
+  std::vector<int> dist(g.node_capacity(), kInf);
+  std::deque<NodeId> queue;
+  dist[src.index()] = 0;
+  queue.push_back(src);
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    for (const Edge& e : adj[u.index()]) {
+      int nd = dist[u.index()] + e.offset;
+      if (nd > cap) continue;
+      if (nd < dist[e.dst.index()]) {
+        dist[e.dst.index()] = nd;
+        if (e.offset == 0)
+          queue.push_front(e.dst);
+        else
+          queue.push_back(e.dst);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+std::optional<int> min_path_offset(const Cdfg& g, NodeId src, NodeId dst,
+                                   const ReachOptions& opts) {
+  auto adj = build_adjacency(g, opts);
+  auto dist = zero_one_bfs(g, src, adj, opts.max_offset);
+  int d = dist[dst.index()];
+  if (d == std::numeric_limits<int>::max()) return std::nullopt;
+  return d;
+}
+
+bool is_dominated(const Cdfg& g, ArcId a, bool include_fu_wrap) {
+  const Arc& arc = g.arc(a);
+  ReachOptions opts;
+  opts.include_fu_wrap = include_fu_wrap;
+  opts.exclude = a;
+  opts.max_offset = arc.offset();
+  auto d = min_path_offset(g, arc.src, arc.dst, opts);
+  return d.has_value() && *d <= arc.offset();
+}
+
+bool is_implied(const Cdfg& g, NodeId src, NodeId dst, int offset, bool include_fu_wrap) {
+  ReachOptions opts;
+  opts.include_fu_wrap = include_fu_wrap;
+  opts.max_offset = offset;
+  auto d = min_path_offset(g, src, dst, opts);
+  return d.has_value() && *d <= offset;
+}
+
+std::optional<std::vector<NodeId>> forward_topo_order(const Cdfg& g) {
+  std::vector<int> indeg(g.node_capacity(), 0);
+  std::vector<NodeId> live = g.node_ids();
+  for (ArcId aid : g.arc_ids()) {
+    const Arc& a = g.arc(aid);
+    if (!a.backward) ++indeg[a.dst.index()];
+  }
+  std::deque<NodeId> ready;
+  for (NodeId n : live)
+    if (indeg[n.index()] == 0) ready.push_back(n);
+  std::vector<NodeId> order;
+  order.reserve(live.size());
+  while (!ready.empty()) {
+    NodeId u = ready.front();
+    ready.pop_front();
+    order.push_back(u);
+    for (ArcId aid : g.out_arcs(u)) {
+      const Arc& a = g.arc(aid);
+      if (a.backward) continue;
+      if (--indeg[a.dst.index()] == 0) ready.push_back(a.dst);
+    }
+  }
+  if (order.size() != live.size()) return std::nullopt;  // forward cycle
+  return order;
+}
+
+bool in_block(const Cdfg& g, NodeId n, BlockId b) {
+  BlockId cur = g.node(n).block;
+  while (cur.valid()) {
+    if (cur == b) return true;
+    cur = g.block(cur).parent;
+  }
+  return false;
+}
+
+std::vector<NodeId> fu_nodes_in_block(const Cdfg& g, FuId fu, BlockId block) {
+  std::vector<NodeId> out;
+  for (NodeId n : g.fu_order(fu)) {
+    if (!block.valid() || in_block(g, n, block)) out.push_back(n);
+  }
+  return out;
+}
+
+}  // namespace adc

@@ -1,0 +1,62 @@
+#pragma once
+// Graph analyses on CDFGs used by the transformations:
+//  * offset-aware reachability (a 0-1 shortest-path on constraint offsets),
+//  * dominance of constraint arcs (paper §3.2),
+//  * topological order of the forward (offset-0) subgraph.
+//
+// Constraint semantics: a forward arc (a,b) means "b in iteration k fires
+// after a in iteration k" (offset 0); a backward arc means "b in iteration
+// k+1 fires after a in iteration k" (offset 1).  A path's offset is the sum
+// of its arc offsets.  An arc with offset d is *dominated* (implied) if a
+// different path from its source to its destination exists with total
+// offset <= d — because each node's firings are totally ordered across
+// iterations (its controller is sequential), a smaller-offset path is a
+// stronger constraint.
+//
+// The analyses may include the *implicit wrap* constraints: each functional
+// unit controller executes its bound nodes cyclically, so there is an
+// implicit offset-1 constraint from the last node of an FU's schedule back
+// to the first (and between consecutive firings of every node).  These
+// always hold in the target architecture and are therefore legitimate to
+// use when checking dominance.
+
+#include <optional>
+#include <vector>
+
+#include "cdfg/cdfg.hpp"
+
+namespace adc {
+
+struct ReachOptions {
+  bool include_fu_wrap = true;               // use implicit last->first FU arcs
+  std::optional<ArcId> exclude;              // ignore this arc (dominance checks)
+  int max_offset = 8;                        // offsets are capped here
+};
+
+// Minimum total offset of any path src -> dst under the options, or
+// std::nullopt if dst is unreachable from src.  0-1 BFS, O(V + E) per query.
+std::optional<int> min_path_offset(const Cdfg& g, NodeId src, NodeId dst,
+                                   const ReachOptions& opts = {});
+
+// True if the live arc `a` is implied by the remaining constraints:
+// a path src->dst avoiding `a` exists with total offset <= a's offset.
+bool is_dominated(const Cdfg& g, ArcId a, bool include_fu_wrap = true);
+
+// As above, but for a hypothetical arc that is not in the graph.
+bool is_implied(const Cdfg& g, NodeId src, NodeId dst, int offset,
+                bool include_fu_wrap = true);
+
+// Topological order of live nodes over forward (offset-0) live arcs.
+// Returns std::nullopt if the forward subgraph has a cycle (an invalid
+// schedule).
+std::optional<std::vector<NodeId>> forward_topo_order(const Cdfg& g);
+
+// All live nodes bound to `fu` in schedule order, optionally restricted to a
+// block (the loop body).  Nodes whose enclosing block chain does not contain
+// `block` are skipped when `block` is valid.
+std::vector<NodeId> fu_nodes_in_block(const Cdfg& g, FuId fu, BlockId block);
+
+// True if node n is inside block b (directly or nested).
+bool in_block(const Cdfg& g, NodeId n, BlockId b);
+
+}  // namespace adc

@@ -1,0 +1,258 @@
+#include "cdfg/cdfg.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace adc {
+
+const char* to_string(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kStart: return "START";
+    case NodeKind::kEnd: return "END";
+    case NodeKind::kLoop: return "LOOP";
+    case NodeKind::kEndLoop: return "ENDLOOP";
+    case NodeKind::kIf: return "IF";
+    case NodeKind::kEndIf: return "ENDIF";
+    case NodeKind::kOperation: return "OP";
+    case NodeKind::kAssign: return "ASSIGN";
+  }
+  return "?";
+}
+
+std::string to_string(ArcRole roles) {
+  std::string out;
+  auto add = [&out](const char* s) {
+    if (!out.empty()) out += '|';
+    out += s;
+  };
+  if (has_role(roles, ArcRole::kControl)) add("ctrl");
+  if (has_role(roles, ArcRole::kScheduling)) add("sched");
+  if (has_role(roles, ArcRole::kDataDep)) add("data");
+  if (has_role(roles, ArcRole::kRegAlloc)) add("reg");
+  return out.empty() ? "none" : out;
+}
+
+std::string Node::label() const {
+  if (is_control()) return to_string(kind);
+  std::string out;
+  for (const auto& s : stmts) {
+    if (!out.empty()) out += "; ";
+    out += s.to_string();
+  }
+  return out;
+}
+
+FuId Cdfg::add_fu(std::string name, std::string cls) {
+  FuId id(fus_.size());
+  fus_.push_back(FunctionalUnit{id, std::move(name), std::move(cls)});
+  fu_orders_.emplace_back();
+  return id;
+}
+
+NodeId Cdfg::add_node(NodeKind kind, FuId fu, std::vector<RtlStatement> stmts, BlockId block) {
+  NodeId id(nodes_.size());
+  Node n;
+  n.id = id;
+  n.kind = kind;
+  n.fu = fu;
+  n.stmts = std::move(stmts);
+  n.block = block;
+  nodes_.push_back(std::move(n));
+  in_.emplace_back();
+  out_.emplace_back();
+  return id;
+}
+
+BlockId Cdfg::add_block(NodeKind kind, NodeId root, NodeId end, BlockId parent) {
+  BlockId id(blocks_.size());
+  blocks_.push_back(Block{id, kind, root, end, parent});
+  return id;
+}
+
+ArcId Cdfg::add_arc(NodeId src, NodeId dst, ArcRole roles, bool backward, std::string var) {
+  if (src == dst) throw std::invalid_argument("cdfg: self-arc on " + node(src).label());
+  if (auto existing = find_arc(src, dst, backward)) {
+    Arc& a = arc(*existing);
+    a.roles = a.roles | roles;
+    if (!var.empty() && std::find(a.vars.begin(), a.vars.end(), var) == a.vars.end())
+      a.vars.push_back(std::move(var));
+    return *existing;
+  }
+  ArcId id(arcs_.size());
+  Arc a;
+  a.id = id;
+  a.src = src;
+  a.dst = dst;
+  a.roles = roles;
+  a.backward = backward;
+  if (!var.empty()) a.vars.push_back(std::move(var));
+  arcs_.push_back(std::move(a));
+  out_[src.index()].push_back(id);
+  in_[dst.index()].push_back(id);
+  return id;
+}
+
+void Cdfg::remove_arc(ArcId id) { arcs_.at(id.index()).alive = false; }
+
+void Cdfg::remove_node(NodeId id) {
+  Node& n = nodes_.at(id.index());
+  n.alive = false;
+  for (ArcId a : in_[id.index()]) arcs_[a.index()].alive = false;
+  for (ArcId a : out_[id.index()]) arcs_[a.index()].alive = false;
+  if (n.fu.valid()) {
+    auto& order = fu_orders_[n.fu.index()];
+    order.erase(std::remove(order.begin(), order.end(), id), order.end());
+  }
+}
+
+void Cdfg::merge_nodes(NodeId survivor, NodeId victim) {
+  Node& s = nodes_.at(survivor.index());
+  Node& v = nodes_.at(victim.index());
+  if (!s.alive || !v.alive) throw std::logic_error("cdfg: merging dead node");
+  for (auto& stmt : v.stmts) s.stmts.push_back(std::move(stmt));
+
+  // Reroute victim's arcs; drop those that would become self-arcs.
+  for (ArcId aid : in_arcs(victim)) {
+    Arc& a = arc(aid);
+    if (a.src == survivor) {
+      a.alive = false;
+      continue;
+    }
+    add_arc(a.src, survivor, a.roles, a.backward);
+    a.alive = false;
+  }
+  for (ArcId aid : out_arcs(victim)) {
+    Arc& a = arc(aid);
+    if (a.dst == survivor) {
+      a.alive = false;
+      continue;
+    }
+    add_arc(survivor, a.dst, a.roles, a.backward);
+    a.alive = false;
+  }
+  v.alive = false;
+  if (v.fu.valid()) {
+    auto& order = fu_orders_[v.fu.index()];
+    order.erase(std::remove(order.begin(), order.end(), victim), order.end());
+  }
+}
+
+void Cdfg::set_fu_order(FuId fu, std::vector<NodeId> order) {
+  fu_orders_.at(fu.index()) = std::move(order);
+}
+
+std::vector<NodeId> Cdfg::node_ids() const {
+  std::vector<NodeId> out;
+  for (const Node& n : nodes_)
+    if (n.alive) out.push_back(n.id);
+  return out;
+}
+
+std::vector<ArcId> Cdfg::arc_ids() const {
+  std::vector<ArcId> out;
+  for (const Arc& a : arcs_)
+    if (a.alive) out.push_back(a.id);
+  return out;
+}
+
+std::vector<FuId> Cdfg::fu_ids() const {
+  std::vector<FuId> out;
+  for (const auto& f : fus_) out.push_back(f.id);
+  return out;
+}
+
+std::vector<BlockId> Cdfg::block_ids() const {
+  std::vector<BlockId> out;
+  for (const auto& b : blocks_) out.push_back(b.id);
+  return out;
+}
+
+std::size_t Cdfg::live_node_count() const {
+  std::size_t n = 0;
+  for (const Node& node : nodes_)
+    if (node.alive) ++n;
+  return n;
+}
+
+std::size_t Cdfg::live_arc_count() const {
+  std::size_t n = 0;
+  for (const Arc& a : arcs_)
+    if (a.alive) ++n;
+  return n;
+}
+
+std::vector<ArcId> Cdfg::in_arcs(NodeId n) const {
+  std::vector<ArcId> out;
+  for (ArcId a : in_.at(n.index()))
+    if (arcs_[a.index()].alive) out.push_back(a);
+  return out;
+}
+
+std::vector<ArcId> Cdfg::out_arcs(NodeId n) const {
+  std::vector<ArcId> out;
+  for (ArcId a : out_.at(n.index()))
+    if (arcs_[a.index()].alive) out.push_back(a);
+  return out;
+}
+
+std::vector<NodeId> Cdfg::preds(NodeId n) const {
+  std::vector<NodeId> out;
+  for (ArcId a : in_arcs(n)) out.push_back(arc(a).src);
+  return out;
+}
+
+std::vector<NodeId> Cdfg::succs(NodeId n) const {
+  std::vector<NodeId> out;
+  for (ArcId a : out_arcs(n)) out.push_back(arc(a).dst);
+  return out;
+}
+
+std::optional<ArcId> Cdfg::find_arc(NodeId src, NodeId dst, bool backward) const {
+  for (ArcId aid : out_.at(src.index())) {
+    const Arc& a = arcs_[aid.index()];
+    if (a.alive && a.dst == dst && a.backward == backward) return aid;
+  }
+  return std::nullopt;
+}
+
+const std::vector<NodeId>& Cdfg::fu_order(FuId fu) const {
+  return fu_orders_.at(fu.index());
+}
+
+std::optional<FuId> Cdfg::find_fu(const std::string& name) const {
+  for (const auto& f : fus_)
+    if (f.name == name) return f.id;
+  return std::nullopt;
+}
+
+std::optional<NodeId> Cdfg::find_node_by_label(const std::string& label) const {
+  for (const Node& n : nodes_)
+    if (n.alive && n.label() == label) return n.id;
+  return std::nullopt;
+}
+
+std::optional<NodeId> Cdfg::find_unique(NodeKind kind) const {
+  std::optional<NodeId> found;
+  for (const Node& n : nodes_) {
+    if (!n.alive || n.kind != kind) continue;
+    if (found) return std::nullopt;  // not unique
+    found = n.id;
+  }
+  return found;
+}
+
+std::vector<std::string> Cdfg::registers() const {
+  std::set<std::string> regs;
+  for (const Node& n : nodes_) {
+    if (!n.alive) continue;
+    for (const auto& s : n.stmts) {
+      regs.insert(s.dest);
+      for (const auto& r : s.reads()) regs.insert(r);
+    }
+    if (!n.cond_reg.empty()) regs.insert(n.cond_reg);
+  }
+  return {regs.begin(), regs.end()};
+}
+
+}  // namespace adc

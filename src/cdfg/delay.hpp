@@ -1,0 +1,58 @@
+#pragma once
+// Datapath / control delay model shared by the timing analyses (GT3, LT
+// safety checks) and the simulators.  Delays are in abstract time units
+// (think tenths of a nanosecond in a late-1990s process, matching the
+// paper's setting of ALUs being faster than array multipliers).
+//
+// Every delay is an interval [min, max]: asynchronous operations take
+// variable time, and the relative-timing analysis must reason about the
+// worst case in both directions.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace adc {
+
+struct DelayRange {
+  std::int64_t min = 1;
+  std::int64_t max = 1;
+};
+
+struct DelayModel {
+  // Datapath operation delay per FU class ("alu", "mul", ...).
+  std::map<std::string, DelayRange> fu_op;
+  // Pure register moves (mux + latch, no FU).
+  DelayRange move{2, 4};
+  // Control-node processing (LOOP/IF evaluation, ENDLOOP sync).
+  DelayRange control{1, 2};
+  // Per-micro-operation controller overhead (one local handshake).
+  DelayRange micro_op{1, 2};
+  // Register strobe-to-written delay.  The LT4/LT1 timing assumptions
+  // ("user-supplied timing information", paper §5.4) require the latch
+  // path to be faster than the FU done-reset path below; keep
+  // latch_write.max < done_reset.min or the relative-timing bets lose.
+  DelayRange latch_write{1, 1};
+  // go-withdrawal to done-deassertion through the FU's completion logic.
+  DelayRange done_reset{2, 4};
+  // Inter-controller ready-wire propagation.  LT1 sends dones in parallel
+  // with the result latch; receivers (including conditional samplers) see
+  // the transition only after this delay, so keep wire.min > latch_write.max
+  // or the move-up bet loses.
+  DelayRange wire{2, 3};
+
+  // Default model: adders/comparators are fast, multipliers ~4x slower.
+  static DelayModel typical() {
+    DelayModel m;
+    m.fu_op["alu"] = {4, 8};
+    m.fu_op["mul"] = {18, 30};
+    return m;
+  }
+
+  DelayRange op_delay(const std::string& fu_class) const {
+    auto it = fu_op.find(fu_class);
+    return it == fu_op.end() ? DelayRange{4, 8} : it->second;
+  }
+};
+
+}  // namespace adc

@@ -1,0 +1,56 @@
+#include "cdfg/dot.hpp"
+
+#include <sstream>
+
+namespace adc {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_dot(const Cdfg& g) {
+  std::ostringstream os;
+  os << "digraph \"" << escape(g.name()) << "\" {\n";
+  os << "  rankdir=TB;\n  node [shape=box, fontsize=10];\n";
+
+  // One cluster per functional unit (the paper's columns).
+  for (FuId fu : g.fu_ids()) {
+    os << "  subgraph cluster_" << fu.value() << " {\n";
+    os << "    label=\"" << escape(g.fu(fu).name) << "\";\n";
+    for (NodeId n : g.node_ids()) {
+      if (g.node(n).fu == fu)
+        os << "    n" << n.value() << " [label=\"" << escape(g.node(n).label()) << "\"];\n";
+    }
+    os << "  }\n";
+  }
+  // Unbound nodes (START / END).
+  for (NodeId n : g.node_ids()) {
+    if (!g.node(n).fu.valid())
+      os << "  n" << n.value() << " [label=\"" << escape(g.node(n).label())
+         << "\", shape=ellipse];\n";
+  }
+
+  for (ArcId aid : g.arc_ids()) {
+    const Arc& a = g.arc(aid);
+    const char* style = "dashed";
+    if (has_role(a.roles, ArcRole::kControl)) style = "solid";
+    else if (has_role(a.roles, ArcRole::kScheduling)) style = "dotted";
+    os << "  n" << a.src.value() << " -> n" << a.dst.value() << " [style=" << style;
+    if (a.backward) os << ", penwidth=2, color=gray40, constraint=false";
+    if (!a.tag.empty()) os << ", label=\"" << escape(a.tag) << "\"";
+    os << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace adc

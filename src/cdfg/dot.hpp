@@ -1,0 +1,15 @@
+#pragma once
+// Graphviz export of CDFGs, mirroring the paper's figure conventions:
+// solid arcs = control flow, dotted = FU scheduling, dashed = data
+// dependency / register allocation, bold dashed = backward arcs.  Nodes are
+// grouped into per-FU clusters (the paper's "columns").
+
+#include <string>
+
+#include "cdfg/cdfg.hpp"
+
+namespace adc {
+
+std::string to_dot(const Cdfg& g);
+
+}  // namespace adc

@@ -1,0 +1,66 @@
+#pragma once
+// Strongly-typed integer ids used throughout the library.
+//
+// All IR objects (CDFG nodes/arcs, functional units, channels, XBM states,
+// signals, ...) are stored in vectors and referenced by index wrapped in a
+// distinct type, so that a NodeId cannot be accidentally passed where an
+// ArcId is expected.  Invalid ids are represented by Id::invalid().
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace adc {
+
+template <class Tag>
+class Id {
+ public:
+  using underlying = std::uint32_t;
+  static constexpr underlying kInvalid = static_cast<underlying>(-1);
+
+  constexpr Id() : value_(kInvalid) {}
+  constexpr explicit Id(underlying v) : value_(v) {}
+  constexpr explicit Id(std::size_t v) : value_(static_cast<underlying>(v)) {}
+
+  static constexpr Id invalid() { return Id(); }
+
+  constexpr bool valid() const { return value_ != kInvalid; }
+  constexpr underlying value() const { return value_; }
+  constexpr std::size_t index() const { return static_cast<std::size_t>(value_); }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(Id a, Id b) { return a.value_ < b.value_; }
+
+ private:
+  underlying value_;
+};
+
+struct NodeTag {};
+struct ArcTag {};
+struct FuTag {};
+struct BlockTag {};
+struct ChannelTag {};
+struct StateTag {};
+struct TransitionTag {};
+struct SignalTag {};
+
+using NodeId = Id<NodeTag>;
+using ArcId = Id<ArcTag>;
+using FuId = Id<FuTag>;
+using BlockId = Id<BlockTag>;
+using ChannelId = Id<ChannelTag>;
+using StateId = Id<StateTag>;
+using TransitionId = Id<TransitionTag>;
+using SignalId = Id<SignalTag>;
+
+}  // namespace adc
+
+namespace std {
+template <class Tag>
+struct hash<adc::Id<Tag>> {
+  size_t operator()(adc::Id<Tag> id) const noexcept {
+    return std::hash<typename adc::Id<Tag>::underlying>()(id.value());
+  }
+};
+}  // namespace std

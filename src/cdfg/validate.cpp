@@ -1,0 +1,128 @@
+#include "cdfg/validate.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "cdfg/analysis.hpp"
+
+namespace adc {
+
+namespace {
+
+void check_block_structure(const Cdfg& g, std::vector<std::string>& errors) {
+  for (BlockId b : g.block_ids()) {
+    const Block& blk = g.block(b);
+    if (!g.node(blk.root).alive || !g.node(blk.end).alive) {
+      errors.push_back("block root/end node is dead");
+      continue;
+    }
+    NodeKind want_root = blk.kind == NodeKind::kLoop ? NodeKind::kLoop : NodeKind::kIf;
+    NodeKind want_end = blk.kind == NodeKind::kLoop ? NodeKind::kEndLoop : NodeKind::kEndIf;
+    if (g.node(blk.root).kind != want_root)
+      errors.push_back("block root " + g.node(blk.root).label() + " has wrong kind");
+    if (g.node(blk.end).kind != want_end)
+      errors.push_back("block end " + g.node(blk.end).label() + " has wrong kind");
+  }
+
+  // Data / register-allocation arcs may not cross block boundaries except at
+  // the block root (paper: block-structured CDFG restriction).  Control and
+  // scheduling arcs to/from the root and end nodes are the sanctioned way in
+  // and out.
+  auto effective_block = [&g](NodeId n) {
+    const Node& node = g.node(n);
+    // The root and end nodes of a block act as members of the *enclosing*
+    // block for boundary purposes.
+    return node.block;
+  };
+  for (ArcId aid : g.arc_ids()) {
+    const Arc& a = g.arc(aid);
+    bool data_like = has_role(a.roles, ArcRole::kDataDep) || has_role(a.roles, ArcRole::kRegAlloc);
+    if (!data_like) continue;
+    BlockId sb = effective_block(a.src);
+    BlockId db = effective_block(a.dst);
+    if (sb != db) {
+      const Node& src = g.node(a.src);
+      const Node& dst = g.node(a.dst);
+      bool via_root = src.is_control() || dst.is_control();
+      if (!via_root)
+        errors.push_back("data arc crosses block boundary: " + src.label() + " -> " +
+                         dst.label());
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> validate(const Cdfg& g, const ValidateOptions& opts) {
+  std::vector<std::string> errors;
+
+  // Node payloads.
+  for (NodeId nid : g.node_ids()) {
+    const Node& n = g.node(nid);
+    switch (n.kind) {
+      case NodeKind::kOperation:
+        if (n.stmts.empty()) errors.push_back("operation node without statements");
+        if (!n.fu.valid()) errors.push_back("operation node not bound to an FU");
+        break;
+      case NodeKind::kAssign:
+        if (n.stmts.empty()) errors.push_back("assign node without statements");
+        for (const auto& s : n.stmts)
+          if (!s.is_move())
+            errors.push_back("assign node carries non-move statement " + s.to_string());
+        break;
+      case NodeKind::kLoop:
+      case NodeKind::kIf:
+        if (n.cond_reg.empty())
+          errors.push_back(std::string(to_string(n.kind)) + " node without condition register");
+        break;
+      default:
+        if (!n.stmts.empty())
+          errors.push_back(std::string(to_string(n.kind)) + " node carries statements");
+        break;
+    }
+  }
+
+  // Unique START / END.
+  if (!g.find_unique(NodeKind::kStart)) errors.push_back("missing or duplicate START node");
+  if (!g.find_unique(NodeKind::kEnd)) errors.push_back("missing or duplicate END node");
+
+  // Arc sanity.
+  for (ArcId aid : g.arc_ids()) {
+    const Arc& a = g.arc(aid);
+    if (!g.node(a.src).alive || !g.node(a.dst).alive)
+      errors.push_back("arc touches dead node");
+    if (a.backward && !opts.allow_backward_arcs)
+      errors.push_back("backward arc present before GT1: " + g.node(a.src).label() + " -> " +
+                       g.node(a.dst).label());
+  }
+
+  // Scheduling consistency: consecutive nodes in every FU order must be
+  // (possibly transitively) ordered by forward constraints.
+  for (FuId fu : g.fu_ids()) {
+    const auto& order = g.fu_order(fu);
+    for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+      if (!is_implied(g, order[i], order[i + 1], 0, /*include_fu_wrap=*/false))
+        errors.push_back("FU " + g.fu(fu).name + " schedule not enforced between " +
+                         g.node(order[i]).label() + " and " + g.node(order[i + 1]).label());
+    }
+    for (NodeId n : order)
+      if (g.node(n).fu != fu)
+        errors.push_back("FU order of " + g.fu(fu).name + " contains foreign node");
+  }
+
+  // Forward subgraph must be acyclic (a legal schedule exists).
+  if (!forward_topo_order(g)) errors.push_back("forward constraint graph has a cycle");
+
+  check_block_structure(g, errors);
+  return errors;
+}
+
+void validate_or_throw(const Cdfg& g, const ValidateOptions& opts) {
+  auto errors = validate(g, opts);
+  if (errors.empty()) return;
+  std::string msg = "CDFG '" + g.name() + "' invalid:";
+  for (const auto& e : errors) msg += "\n  - " + e;
+  throw std::runtime_error(msg);
+}
+
+}  // namespace adc

@@ -1,0 +1,23 @@
+#pragma once
+// Structural validation of CDFGs per paper §2.1.  Returns human-readable
+// error strings; an empty vector means the graph is well-formed.
+
+#include <string>
+#include <vector>
+
+#include "cdfg/cdfg.hpp"
+
+namespace adc {
+
+struct ValidateOptions {
+  // Backward arcs only appear after GT1; the initial frontend output must
+  // not contain any.
+  bool allow_backward_arcs = true;
+};
+
+std::vector<std::string> validate(const Cdfg& g, const ValidateOptions& opts = {});
+
+// Convenience: throws std::runtime_error with all messages if invalid.
+void validate_or_throw(const Cdfg& g, const ValidateOptions& opts = {});
+
+}  // namespace adc

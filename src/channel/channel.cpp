@@ -1,0 +1,138 @@
+#include "channel/channel.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace adc {
+
+std::size_t Channel::arc_count() const {
+  std::size_t n = 0;
+  for (const auto& e : events) n += e.arcs.size();
+  return n;
+}
+
+ChannelPlan ChannelPlan::derive(const Cdfg& g) {
+  ChannelPlan plan;
+  for (ArcId aid : g.arc_ids()) {
+    const Arc& a = g.arc(aid);
+    FuId sf = g.node(a.src).fu;
+    FuId df = g.node(a.dst).fu;
+    if (sf == df) continue;  // controller-internal sequencing, no wire
+    Channel c;
+    c.id = ChannelId(plan.channels_.size());
+    c.src_fu = sf;
+    if (df.valid()) c.receivers.push_back(df);
+    c.events.push_back(ChannelEvent{a.src, {aid}});
+    plan.channels_.push_back(std::move(c));
+  }
+  plan.rename_wires(g);
+  return plan;
+}
+
+std::size_t ChannelPlan::count_controller_channels() const {
+  std::size_t n = 0;
+  for (const auto& c : channels_)
+    if (!c.involves_environment()) ++n;
+  return n;
+}
+
+std::size_t ChannelPlan::count_all_channels() const { return channels_.size(); }
+
+std::size_t ChannelPlan::count_multiway() const {
+  std::size_t n = 0;
+  for (const auto& c : channels_)
+    if (c.multiway()) ++n;
+  return n;
+}
+
+std::optional<ChannelId> ChannelPlan::channel_of(ArcId arc) const {
+  for (const auto& c : channels_)
+    for (const auto& e : c.events)
+      for (ArcId a : e.arcs)
+        if (a == arc) return c.id;
+  return std::nullopt;
+}
+
+std::vector<ChannelId> ChannelPlan::inputs_of(FuId fu) const {
+  std::vector<ChannelId> out;
+  for (const auto& c : channels_)
+    if (std::find(c.receivers.begin(), c.receivers.end(), fu) != c.receivers.end())
+      out.push_back(c.id);
+  return out;
+}
+
+std::vector<ChannelId> ChannelPlan::outputs_of(FuId fu) const {
+  std::vector<ChannelId> out;
+  for (const auto& c : channels_)
+    if (c.src_fu == fu) out.push_back(c.id);
+  return out;
+}
+
+void ChannelPlan::rename_wires(const Cdfg& g) {
+  for (auto& c : channels_) {
+    std::string name = "rdy_";
+    name += c.src_fu.valid() ? g.fu(c.src_fu).name : std::string("ENV");
+    name += "_to";
+    if (c.receivers.empty()) name += "_ENV";
+    for (FuId f : c.receivers) name += "_" + g.fu(f).name;
+    c.wire = name;
+  }
+  // Disambiguate channels sharing endpoints.
+  std::map<std::string, int> seen;
+  for (auto& c : channels_) {
+    int n = seen[c.wire]++;
+    if (n > 0) c.wire += "_" + std::to_string(n);
+  }
+}
+
+std::vector<std::string> ChannelPlan::validate(const Cdfg& g) const {
+  std::vector<std::string> errors;
+  std::set<ArcId::underlying> carried;
+  for (const auto& c : channels_) {
+    std::set<FuId::underlying> rcv;
+    for (const auto& e : c.events) {
+      if (e.arcs.empty()) errors.push_back("channel event with no arcs on " + c.wire);
+      for (ArcId aid : e.arcs) {
+        if (!g.arc(aid).alive) {
+          errors.push_back("channel " + c.wire + " carries dead arc");
+          continue;
+        }
+        const Arc& a = g.arc(aid);
+        if (a.src != e.source)
+          errors.push_back("channel " + c.wire + " event source mismatch");
+        if (g.node(a.src).fu != c.src_fu)
+          errors.push_back("channel " + c.wire + " source FU mismatch");
+        if (g.node(a.dst).fu.valid()) rcv.insert(g.node(a.dst).fu.value());
+        if (!carried.insert(aid.value()).second)
+          errors.push_back("arc carried by two channels");
+      }
+    }
+    std::set<FuId::underlying> declared;
+    for (FuId f : c.receivers) declared.insert(f.value());
+    if (rcv != declared) errors.push_back("channel " + c.wire + " receiver set mismatch");
+  }
+  for (ArcId aid : g.arc_ids()) {
+    const Arc& a = g.arc(aid);
+    if (g.node(a.src).fu == g.node(a.dst).fu) continue;
+    if (!carried.count(aid.value()))
+      errors.push_back("inter-controller arc not carried by any channel: " +
+                       g.node(a.src).label() + " -> " + g.node(a.dst).label());
+  }
+  return errors;
+}
+
+std::string describe(const Channel& c, const Cdfg& g) {
+  std::string out = c.src_fu.valid() ? g.fu(c.src_fu).name : std::string("ENV");
+  out += " -> {";
+  for (std::size_t i = 0; i < c.receivers.size(); ++i) {
+    if (i) out += ",";
+    out += g.fu(c.receivers[i]).name;
+  }
+  if (c.receivers.empty()) out += "ENV";
+  out += "}";
+  out += " events=" + std::to_string(c.events.size());
+  return out;
+}
+
+}  // namespace adc

@@ -1,0 +1,85 @@
+#pragma once
+// Communication channels between functional-unit controllers.
+//
+// Each constraint arc that crosses controllers is implemented by a global
+// "ready" wire (paper §2.2/§2.3): a single transition (req+ or req-), with
+// no acknowledgment.  GT5 reduces the number of wires by letting several
+// arcs share one channel:
+//
+//  * a *multiplexed* channel carries events from several source nodes of
+//    the same sending FU; successive events become alternating phases,
+//  * a *multi-way* channel forks one wire to several receiving FUs; every
+//    receiver sees every transition and counts the ones that concern it.
+//
+// A Channel is therefore an ordered list of *events*; each event is the
+// completion of one source CDFG node and satisfies one or more constraint
+// arcs (possibly into different FUs, possibly with different iteration
+// offsets).  The order of events is the per-iteration emission order, which
+// is well-defined because the sending controller is sequential.
+//
+// Channels whose source or destination is the environment (START/END arcs)
+// are tracked too but reported separately; the paper's tables count
+// controller-controller channels.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cdfg/cdfg.hpp"
+
+namespace adc {
+
+struct ChannelEvent {
+  NodeId source;             // the CDFG node whose completion is signalled
+  std::vector<ArcId> arcs;   // constraints satisfied by this transition
+};
+
+struct Channel {
+  ChannelId id;
+  FuId src_fu;                       // invalid: environment
+  std::vector<FuId> receivers;       // distinct, sorted by id
+  std::vector<ChannelEvent> events;  // emission order within one iteration
+  std::string wire;                  // e.g. "rdy_ALU1_to_MUL1_MUL2"
+
+  bool multiway() const { return receivers.size() > 1; }
+  bool multiplexed() const { return events.size() > 1; }
+  std::size_t arc_count() const;
+  bool involves_environment() const { return !src_fu.valid() || receivers.empty(); }
+};
+
+class ChannelPlan {
+ public:
+  // The unoptimized assignment: one channel per inter-controller arc.
+  static ChannelPlan derive(const Cdfg& g);
+
+  const std::vector<Channel>& channels() const { return channels_; }
+  std::vector<Channel>& channels() { return channels_; }
+
+  // Channel counts as reported in the paper's Figure 12 column 1.
+  std::size_t count_controller_channels() const;
+  std::size_t count_all_channels() const;
+  std::size_t count_multiway() const;
+
+  // The channel carrying a given constraint arc, if any.
+  std::optional<ChannelId> channel_of(ArcId arc) const;
+
+  // Incoming / outgoing channels of a functional unit.
+  std::vector<ChannelId> inputs_of(FuId fu) const;
+  std::vector<ChannelId> outputs_of(FuId fu) const;
+
+  // Recomputes wire names from endpoints (after GT5 rewrites).
+  void rename_wires(const Cdfg& g);
+
+  // Consistency checks: every live inter-controller arc is carried by
+  // exactly one channel; events reference live arcs; receiver sets match
+  // the arcs.  Returns error strings (empty = consistent).
+  std::vector<std::string> validate(const Cdfg& g) const;
+
+ private:
+  std::vector<Channel> channels_;
+};
+
+// Human-readable one-line summary of a channel ("ALU1 -> {MUL1,MUL2} : 2 events").
+std::string describe(const Channel& c, const Cdfg& g);
+
+}  // namespace adc

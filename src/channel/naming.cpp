@@ -1,0 +1,26 @@
+#include "channel/naming.hpp"
+
+#include <cctype>
+
+namespace adc {
+
+std::string abbreviate_fu(const Cdfg& g, FuId fu) {
+  if (!fu.valid()) return "ENV";
+  const std::string& name = g.fu(fu).name;
+  if (name.empty()) return "FU";
+  std::string out(1, name.front());
+  // Trailing digits distinguish units of the same class (ALU1 vs ALU2).
+  std::size_t i = name.size();
+  while (i > 0 && std::isdigit(static_cast<unsigned char>(name[i - 1]))) --i;
+  out += name.substr(i);
+  return out;
+}
+
+std::string short_wire_name(const Cdfg& g, const Channel& c) {
+  std::string out = abbreviate_fu(g, c.src_fu);
+  for (FuId f : c.receivers) out += abbreviate_fu(g, f);
+  if (c.receivers.empty()) out += "ENV";
+  return out;
+}
+
+}  // namespace adc

@@ -1,0 +1,20 @@
+#pragma once
+// Compact signal names for global ready wires, in the style the paper's
+// Figure 11 uses (e.g. "A1M" for an ALU1 -> MUL ready, "M1A+" for its
+// rising phase).  Used by the controller extraction when naming XBM inputs
+// and outputs.
+
+#include <string>
+
+#include "channel/channel.hpp"
+
+namespace adc {
+
+// A short unique mnemonic per channel, derived from the endpoint FU names:
+// first letter + trailing digit of each ("A1" for ALU1, "M2" for MUL2).
+std::string short_wire_name(const Cdfg& g, const Channel& c);
+
+// Abbreviates one FU name ("ALU1" -> "A1", "MUL2" -> "M2", "ENV" for none).
+std::string abbreviate_fu(const Cdfg& g, FuId fu);
+
+}  // namespace adc

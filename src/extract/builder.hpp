@@ -1,0 +1,102 @@
+#pragma once
+// Internal shared state of the controller extraction (split across
+// extract.cpp and fragment.cpp).  Not part of the public API.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "channel/channel.hpp"
+#include "extract/extract.hpp"
+#include "xbm/xbm.hpp"
+
+namespace adc::detail {
+
+class ControllerBuilder {
+ public:
+  ControllerBuilder(const Cdfg& g, const ChannelPlan& plan, FuId fu);
+
+  ExtractedController build(const ExtractOptions& opts);
+
+ private:
+  friend struct FragmentEmitter;
+
+  // --- signal management --------------------------------------------------
+  SignalId intern(const std::string& name, SignalKind kind, SignalRole role,
+                  const SignalBinding& binding);
+  SignalId global_wire(std::size_t channel_idx);
+  // Wait edge for a channel: toggle for controller-controller wires,
+  // rising for the 4-phase environment handshake.
+  XbmEdge wait_edge(std::size_t channel_idx);
+  SignalId cond_signal(const std::string& reg);
+  // Emits the return-to-zero drain of the environment handshake (wait the
+  // request's falling phase, withdraw the dones), if this controller has
+  // both sides of it.
+  void emit_env_drain(NodeId origin);
+
+  // --- transition emission ------------------------------------------------
+  // Emits cur -> fresh state.  With an empty input burst the outputs are
+  // folded into the output bursts of the previous transition(s) instead
+  // (stitching; the paper's fragments are glued this way).
+  void emit(std::vector<XbmEdge> in, std::vector<XbmEdge> out, NodeId origin,
+            std::string note, std::vector<CondTerm> conds = {});
+
+  // Splits the last transition(s) into a conditional pair; used when a
+  // LOOP/IF test has no wire of its own to ride on.
+  struct BranchEnds {
+    std::vector<TransitionId> taken;
+    std::vector<TransitionId> skipped;
+  };
+  BranchEnds branch(const std::string& cond_reg, NodeId origin,
+                    std::vector<XbmEdge> test_waits);
+
+  // --- wait/done bookkeeping ----------------------------------------------
+  struct WireEvent {
+    std::size_t channel;
+    int event;
+    bool operator<(const WireEvent& o) const {
+      return channel != o.channel ? channel < o.channel : event < o.event;
+    }
+  };
+  std::vector<WireEvent> forward_waits(NodeId n) const;
+  std::vector<WireEvent> backward_waits(NodeId n) const;
+  // Done toggles for the given arcs-out-of-n, restricted by a block filter:
+  // kAll, kIntoBlock (LOOP body broadcast), kOutOfBlock (LOOP exit).
+  enum class DoneFilter { kAll, kIntoBlock, kOutOfBlock };
+  std::vector<XbmEdge> done_edges(NodeId n, DoneFilter filter = DoneFilter::kAll);
+
+  // --- fragments (fragment.cpp) -------------------------------------------
+  void emit_waits(const std::vector<WireEvent>& waits, std::vector<XbmEdge> first_out,
+                  NodeId origin, const std::string& note);
+  void op_fragment(NodeId n);
+  void assign_fragment(NodeId n);
+  void node_fragment(NodeId n);  // dispatches on node kind for plain nodes
+
+  const Cdfg& g_;
+  const ChannelPlan& plan_;
+  FuId fu_;
+  bool multi_op_ = false;
+  // 4-phase return-to-zero environment handshake requires both sides; a
+  // controller with only one (e.g. its START arc was dominated away) keeps
+  // plain transition signalling on it.
+  bool env_rtz_ = false;
+
+  Xbm m_;
+  std::map<SignalId::underlying, SignalBinding> bindings_;
+  std::map<ArcId::underlying, WireEvent> arc_event_;
+  std::map<std::size_t, SignalId> channel_signal_;
+
+  StateId cur_;
+  std::vector<TransitionId> last_;      // fold targets for empty-input emissions
+  std::vector<WireEvent> tail_waits_;   // backward-arc waits, emitted at ring end
+  std::vector<XbmEdge> pending_entry_outputs_;  // folded onto body-entry transitions
+
+  // Pending IF skip transitions waiting for their join state.
+  struct OpenIf {
+    std::vector<TransitionId> skipped;
+  };
+  std::vector<OpenIf> open_ifs_;
+};
+
+}  // namespace adc::detail

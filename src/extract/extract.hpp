@@ -1,0 +1,77 @@
+#pragma once
+// Controller extraction (paper §4): a direct, deterministic translation of
+// the CDFG into one extended-burst-mode AFSM per functional unit.
+//
+// Each CDFG node becomes a burst-mode fragment implementing the basic
+// protocol of Figure 11: (a) wait for the ready signals of its incoming
+// constraint arcs, (b) drive the datapath micro-operations — set input
+// muxes, select and start the operation, set the destination register mux,
+// latch the result, reset the local handshakes — and (c) toggle the ready
+// wires of its outgoing arcs.  Fragments are stitched into a ring: the
+// controller repeats its schedule every loop iteration.
+//
+// The translation is the *unoptimized* sequential style: one transition per
+// local handshake and one wait transition per incoming wire event.  This is
+// the baseline the paper's Figure 12 row 1 measures; the local
+// transformations (LT1-LT5) then collapse it.
+//
+// Structural notes:
+//  * waits for *backward* (iteration-crossing) constraints are placed at
+//    the tail of the ring — they are pre-enabled for the first iteration,
+//    and at the tail the previous iteration's event has always been
+//    emitted, so the spec needs no first-iteration special case;
+//  * the LOOP condition is sampled as an XBM conditional on the transition
+//    carrying the loop's last event (the ENDLOOP waits, or the final body
+//    transition when GT1 removed them); the taken branch emits the LOOP
+//    broadcast, the exit branch emits the environment done;
+//  * IF blocks must be local to their root's controller (body nodes bound
+//    to the same FU) — the block-structure rules already guarantee no
+//    global wires attach inside the body;
+//  * request wires that can arrive earlier than their wait point are
+//    back-annotated as directed don't-cares (§4.2 step 4).
+
+#include <map>
+#include <vector>
+
+#include "cdfg/cdfg.hpp"
+#include "channel/channel.hpp"
+#include "xbm/xbm.hpp"
+
+namespace adc {
+
+struct ExtractOptions {
+  bool back_annotate = true;
+};
+
+// What a controller wire means, for the gate-level simulator and reports.
+struct SignalBinding {
+  SignalRole role = SignalRole::kGlobalReady;
+  std::string reg;          // destination register (rsel/lat) or cond register
+  Operand operand;          // routed operand for mux selects
+  RtlOp op = RtlOp::kMove;  // selected operation (op-select) / executed op (go)
+  std::optional<ChannelId> channel;  // global wires
+  int mux_side = 0;                  // 0 = left, 1 = right
+};
+
+using SignalBindings = std::map<SignalId::underlying, SignalBinding>;
+
+struct ExtractedController {
+  FuId fu;
+  Xbm machine;
+  SignalBindings bindings;
+};
+
+// Extracts every functional unit's controller.
+std::vector<ExtractedController> extract_controllers(const Cdfg& g, const ChannelPlan& plan,
+                                                     const ExtractOptions& opts = {});
+
+ExtractedController extract_controller(const Cdfg& g, const ChannelPlan& plan, FuId fu,
+                                       const ExtractOptions& opts = {});
+
+// §4.2 step 4: marks global request edges as directed don't-cares on every
+// transition between their previous consumption and their compulsory wait,
+// making the spec tolerant of early arrivals.  Exposed for testing.
+void back_annotate_early_requests(Xbm& m,
+                                  const std::map<SignalId::underlying, SignalBinding>& bindings);
+
+}  // namespace adc

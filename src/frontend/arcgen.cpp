@@ -1,0 +1,192 @@
+#include "frontend/builder.hpp"
+
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "cdfg/analysis.hpp"
+
+namespace adc {
+
+namespace {
+
+// A def-use participant within one block scope.  Nested blocks are atomic:
+// they participate through their boundary nodes, with reads/writes
+// summarizing the entire nested region (the paper's rule that data arcs
+// only enter or exit a block at its root).  Constraints *into* the region
+// attach at the entry node (the root); constraints *out of* the region must
+// wait for its completion: the ENDIF node for IF blocks, and the LOOP root
+// for loops (whose exit firing is the completion signal — ENDLOOP only
+// fires per iteration, never at exit).
+struct Member {
+  NodeId entry;
+  NodeId exit;
+  std::vector<std::string> reads;
+  std::vector<std::string> writes;
+};
+
+// Key for scope maps; BlockId::invalid() (top level) hashes fine via value.
+using ScopeMap = std::map<BlockId::underlying, std::vector<Member>>;
+
+std::vector<std::string> block_reads(const Cdfg& g, BlockId b);
+std::vector<std::string> block_writes(const Cdfg& g, BlockId b);
+
+// Finds the block whose root is `n`, if any.
+std::optional<BlockId> block_rooted_at(const Cdfg& g, NodeId n) {
+  for (BlockId b : g.block_ids())
+    if (g.block(b).root == n) return b;
+  return std::nullopt;
+}
+
+std::vector<std::string> block_reads(const Cdfg& g, BlockId b) {
+  std::set<std::string> acc;
+  acc.insert(g.node(g.block(b).root).cond_reg);
+  for (NodeId n : g.node_ids()) {
+    if (!in_block(g, n, b)) continue;
+    for (const auto& s : g.node(n).stmts)
+      for (const auto& r : s.reads()) acc.insert(r);
+    if (!g.node(n).cond_reg.empty()) acc.insert(g.node(n).cond_reg);
+  }
+  acc.erase("");
+  return {acc.begin(), acc.end()};
+}
+
+std::vector<std::string> block_writes(const Cdfg& g, BlockId b) {
+  std::set<std::string> acc;
+  for (NodeId n : g.node_ids()) {
+    if (!in_block(g, n, b)) continue;
+    for (const auto& s : g.node(n).stmts) acc.insert(s.dest);
+  }
+  return {acc.begin(), acc.end()};
+}
+
+ScopeMap build_scopes(const Cdfg& g, const std::vector<NodeId>& program_order) {
+  ScopeMap scopes;
+  for (NodeId nid : program_order) {
+    const Node& n = g.node(nid);
+    if (!n.alive) continue;
+    if (n.kind == NodeKind::kEndLoop || n.kind == NodeKind::kEndIf) continue;
+
+    Member m;
+    m.entry = nid;
+    m.exit = nid;
+    if (n.kind == NodeKind::kLoop || n.kind == NodeKind::kIf) {
+      auto b = block_rooted_at(g, nid);
+      if (!b) throw std::logic_error("arcgen: loop/if node without block");
+      if (n.kind == NodeKind::kIf) m.exit = g.block(*b).end;
+      m.reads = block_reads(g, *b);
+      m.writes = block_writes(g, *b);
+    } else {
+      std::set<std::string> reads, writes;
+      for (const auto& s : n.stmts) {
+        for (const auto& r : s.reads()) reads.insert(r);
+        writes.insert(s.dest);
+      }
+      m.reads.assign(reads.begin(), reads.end());
+      m.writes.assign(writes.begin(), writes.end());
+    }
+    scopes[n.block.value()].push_back(std::move(m));
+  }
+  return scopes;
+}
+
+// Data-dependency and register-allocation arcs within one scope, per §2.1:
+//  * producer -> consumer for each register value (data dependency),
+//  * reader-of-old-value -> overwriting write (register allocation),
+//  * writer -> next writer when no read intervenes (write ordering; usually
+//    dominated, kept for safety).
+void def_use_arcs(Cdfg& g, const std::vector<Member>& members) {
+  struct RegState {
+    std::optional<NodeId> last_writer;
+    std::vector<NodeId> readers_since_write;
+  };
+  std::map<std::string, RegState> state;
+
+  for (const Member& m : members) {
+    // Reads first: the member consumes the previously produced values.
+    for (const auto& r : m.reads) {
+      RegState& st = state[r];
+      if (st.last_writer && *st.last_writer != m.entry && *st.last_writer != m.exit)
+        g.add_arc(*st.last_writer, m.entry, ArcRole::kDataDep, false, r);
+      st.readers_since_write.push_back(m.exit);
+    }
+    // Then writes: the member overwrites; all readers of the old value (and
+    // the previous writer, if unread) must have fired.
+    for (const auto& w : m.writes) {
+      RegState& st = state[w];
+      bool had_reader = false;
+      for (NodeId reader : st.readers_since_write) {
+        if (reader == m.entry || reader == m.exit) continue;
+        g.add_arc(reader, m.entry, ArcRole::kRegAlloc, false, w);
+        had_reader = true;
+      }
+      if (!had_reader && st.last_writer && *st.last_writer != m.entry &&
+          *st.last_writer != m.exit)
+        g.add_arc(*st.last_writer, m.entry, ArcRole::kRegAlloc, false, w);
+      st.last_writer = m.exit;
+      st.readers_since_write.clear();
+    }
+  }
+}
+
+// Control arcs for one block scope: root -> first node of each FU used in
+// the scope, last node of each FU -> end.  This is the paper's Figure 1
+// synchronization ("all four functional unit controllers are synchronized
+// with an ENDLOOP node").
+void control_arcs(Cdfg& g, NodeId root, NodeId end, const std::vector<Member>& members) {
+  std::map<FuId::underlying, std::pair<NodeId, NodeId>> first_last;  // per FU
+  for (const Member& m : members) {
+    FuId fu = g.node(m.entry).fu;
+    if (!fu.valid()) continue;
+    auto [it, inserted] =
+        first_last.try_emplace(fu.value(), std::make_pair(m.entry, m.exit));
+    if (!inserted) it->second.second = m.exit;
+  }
+  for (const auto& [fu, fl] : first_last) {
+    if (fl.first != root) g.add_arc(root, fl.first, ArcRole::kControl);
+    if (fl.second != end) g.add_arc(fl.second, end, ArcRole::kControl);
+  }
+  // A scope with no FU-bound members still needs a path root -> end.
+  if (first_last.empty()) g.add_arc(root, end, ArcRole::kControl);
+}
+
+}  // namespace
+
+void generate_constraint_arcs(Cdfg& g, const std::vector<NodeId>& program_order) {
+  // 1. Scheduling arcs: consecutive operations bound to one FU.
+  for (FuId fu : g.fu_ids()) {
+    const auto& order = g.fu_order(fu);
+    for (std::size_t i = 0; i + 1 < order.size(); ++i)
+      g.add_arc(order[i], order[i + 1], ArcRole::kScheduling);
+  }
+
+  // 2. Data-dependency and register-allocation arcs, per block scope.
+  ScopeMap scopes = build_scopes(g, program_order);
+  for (const auto& [block, members] : scopes) {
+    (void)block;
+    def_use_arcs(g, members);
+  }
+
+  // 3. Control arcs.  Every loop/if block synchronizes at its root and end
+  // nodes; the top-level scope synchronizes at START and END.
+  NodeId start = g.add_node(NodeKind::kStart, FuId::invalid());
+  NodeId end = g.add_node(NodeKind::kEnd, FuId::invalid());
+
+  for (BlockId b : g.block_ids()) {
+    const Block& blk = g.block(b);
+    auto it = scopes.find(b.value());
+    static const std::vector<Member> kEmpty;
+    const auto& members = it == scopes.end() ? kEmpty : it->second;
+    control_arcs(g, blk.root, blk.end, members);
+    // IF blocks additionally get the skip arc for the false branch.
+    if (blk.kind == NodeKind::kIf) g.add_arc(blk.root, blk.end, ArcRole::kControl);
+  }
+  {
+    auto it = scopes.find(BlockId::invalid().value());
+    static const std::vector<Member> kEmpty;
+    const auto& members = it == scopes.end() ? kEmpty : it->second;
+    control_arcs(g, start, end, members);
+  }
+}
+
+}  // namespace adc

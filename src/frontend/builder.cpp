@@ -1,0 +1,88 @@
+#include "frontend/builder.hpp"
+
+#include <stdexcept>
+
+#include "cdfg/validate.hpp"
+
+namespace adc {
+
+ProgramBuilder::ProgramBuilder(std::string name) : graph_(std::move(name)) {}
+
+FuId ProgramBuilder::fu(const std::string& name, const std::string& cls) {
+  if (graph_.find_fu(name)) throw std::invalid_argument("duplicate FU " + name);
+  FuId id = graph_.add_fu(name, cls);
+  fu_seq_.emplace_back();
+  return id;
+}
+
+NodeId ProgramBuilder::add(NodeKind kind, FuId fu, std::vector<RtlStatement> stmts) {
+  if (finished_) throw std::logic_error("builder already finished");
+  BlockId block = open_.empty() ? BlockId::invalid() : open_.back().block;
+  NodeId id = graph_.add_node(kind, fu, std::move(stmts), block);
+  program_order_.push_back(id);
+  if (fu.valid()) fu_seq_.at(fu.index()).push_back(id);
+  return id;
+}
+
+NodeId ProgramBuilder::stmt(FuId fu, const std::string& rtl_text) {
+  RtlStatement s = parse_rtl(rtl_text);
+  NodeKind kind = s.is_move() ? NodeKind::kAssign : NodeKind::kOperation;
+  return add(kind, fu, {std::move(s)});
+}
+
+NodeId ProgramBuilder::begin_loop(FuId fu, const std::string& cond_reg) {
+  // The LOOP node belongs to the *enclosing* block; the body nodes will be
+  // placed in the new block.
+  NodeId root = add(NodeKind::kLoop, fu, {});
+  graph_.node(root).cond_reg = cond_reg;
+  BlockId parent = open_.empty() ? BlockId::invalid() : open_.back().block;
+  BlockId block = graph_.add_block(NodeKind::kLoop, root, NodeId::invalid(), parent);
+  open_.push_back(OpenBlock{block, root, fu});
+  return root;
+}
+
+NodeId ProgramBuilder::end_loop() {
+  if (open_.empty() || graph_.block(open_.back().block).kind != NodeKind::kLoop)
+    throw std::logic_error("end_loop without begin_loop");
+  OpenBlock ob = open_.back();
+  open_.pop_back();
+  // ENDLOOP also belongs to the enclosing block and must share the LOOP's
+  // functional unit (the loop-back is that controller's own cycle).
+  NodeId end = add(NodeKind::kEndLoop, ob.fu, {});
+  graph_.block(ob.block).end = end;
+  return end;
+}
+
+NodeId ProgramBuilder::begin_if(FuId fu, const std::string& cond_reg) {
+  NodeId root = add(NodeKind::kIf, fu, {});
+  graph_.node(root).cond_reg = cond_reg;
+  BlockId parent = open_.empty() ? BlockId::invalid() : open_.back().block;
+  BlockId block = graph_.add_block(NodeKind::kIf, root, NodeId::invalid(), parent);
+  open_.push_back(OpenBlock{block, root, fu});
+  return root;
+}
+
+NodeId ProgramBuilder::end_if() {
+  if (open_.empty() || graph_.block(open_.back().block).kind != NodeKind::kIf)
+    throw std::logic_error("end_if without begin_if");
+  OpenBlock ob = open_.back();
+  open_.pop_back();
+  NodeId end = add(NodeKind::kEndIf, ob.fu, {});
+  graph_.block(ob.block).end = end;
+  return end;
+}
+
+Cdfg ProgramBuilder::finish() {
+  if (finished_) throw std::logic_error("builder already finished");
+  if (!open_.empty()) throw std::logic_error("unclosed block at finish()");
+  finished_ = true;
+
+  for (FuId fu : graph_.fu_ids()) graph_.set_fu_order(fu, fu_seq_.at(fu.index()));
+
+  generate_constraint_arcs(graph_, program_order_);
+
+  validate_or_throw(graph_, ValidateOptions{.allow_backward_arcs = false});
+  return std::move(graph_);
+}
+
+}  // namespace adc

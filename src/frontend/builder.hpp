@@ -1,0 +1,77 @@
+#pragma once
+// ProgramBuilder — the CDFG frontend.
+//
+// The paper's method takes a *scheduled, resource-bound* CDFG as given.  The
+// builder reconstructs that front end: the user states an RTL program in
+// sequential program order, with each statement bound to a functional unit;
+// per-FU schedule order is the program-order subsequence of statements bound
+// to that unit (exactly the paper's Figure 1 "columns").  finish() then
+// derives every constraint arc automatically per paper §2.1:
+//
+//   * control arcs (START/END/LOOP/ENDLOOP/IF/ENDIF entry and exit),
+//   * scheduling arcs between consecutive operations of one FU,
+//   * data-dependency arcs (producer -> consumers of each register value),
+//   * register-allocation arcs (readers of the old value -> overwriting
+//     write), to avoid early overwriting.
+//
+// Loops are do-while shaped: the LOOP node examines its condition register
+// each iteration (the environment must initialize it before START; the body
+// recomputes it).  LOOP and ENDLOOP must be bound to the same functional
+// unit, which matches the paper's target architecture (the loop-back is the
+// controller's own cycle).
+
+#include <string>
+#include <vector>
+
+#include "cdfg/cdfg.hpp"
+
+namespace adc {
+
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string name = "program");
+
+  // Declare a functional unit (e.g. fu("ALU1", "alu")).
+  FuId fu(const std::string& name, const std::string& cls);
+
+  // Append an RTL statement (parsed from the paper's textual form) bound to
+  // the given unit, in the current block.  Statements of the form "R1 := R2"
+  // become assignment nodes (they do not use the FU datapath).
+  NodeId stmt(FuId fu, const std::string& rtl_text);
+
+  // Open / close a loop whose LOOP node examines `cond_reg`.
+  NodeId begin_loop(FuId fu, const std::string& cond_reg);
+  NodeId end_loop();
+
+  // Open / close an IF block whose IF node examines `cond_reg` (body runs
+  // only when the register is non-zero).
+  NodeId begin_if(FuId fu, const std::string& cond_reg);
+  NodeId end_if();
+
+  // Generates all constraint arcs, adds START/END, validates, and returns
+  // the finished graph.  The builder must not be reused afterwards.
+  Cdfg finish();
+
+ private:
+  struct OpenBlock {
+    BlockId block;
+    NodeId root;
+    FuId fu;
+  };
+
+  NodeId add(NodeKind kind, FuId fu, std::vector<RtlStatement> stmts);
+
+  Cdfg graph_;
+  std::vector<OpenBlock> open_;
+  std::vector<NodeId> program_order_;
+  std::vector<std::vector<NodeId>> fu_seq_;
+  bool finished_ = false;
+};
+
+// Generates every constraint arc of §2.1 into `g`, given that nodes carry
+// statements/blocks and FU orders are set.  `program_order` is the original
+// sequential statement order.  Exposed separately so tests can exercise it
+// and so the scheduler substrate can reuse it.
+void generate_constraint_arcs(Cdfg& g, const std::vector<NodeId>& program_order);
+
+}  // namespace adc

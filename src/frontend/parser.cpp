@@ -1,0 +1,171 @@
+#include "frontend/parser.hpp"
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <stdexcept>
+
+#include "frontend/builder.hpp"
+
+namespace adc {
+
+namespace {
+
+struct Token {
+  enum class Kind { kIdent, kPunct, kRtlText, kEof } kind;
+  std::string text;
+  int line;
+};
+
+class Scanner {
+ public:
+  explicit Scanner(const std::string& src) : src_(src) {}
+
+  [[noreturn]] void fail(const std::string& msg, int line) const {
+    throw std::invalid_argument("parse error at line " + std::to_string(line) + ": " + msg);
+  }
+
+  Token next() {
+    skip_ws_and_comments();
+    if (pos_ >= src_.size()) return {Token::Kind::kEof, "", line_};
+    char c = src_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = pos_;
+      while (pos_ < src_.size() &&
+             (std::isalnum(static_cast<unsigned char>(src_[pos_])) || src_[pos_] == '_'))
+        ++pos_;
+      return {Token::Kind::kIdent, src_.substr(start, pos_ - start), line_};
+    }
+    ++pos_;
+    return {Token::Kind::kPunct, std::string(1, c), line_};
+  }
+
+  // Everything up to the next ';' — used for the RTL statement body, which
+  // has its own parser.
+  std::string until_semicolon(int line) {
+    std::size_t start = pos_;
+    while (pos_ < src_.size() && src_[pos_] != ';') {
+      if (src_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    if (pos_ >= src_.size()) fail("unterminated statement (missing ';')", line);
+    std::string out = src_.substr(start, pos_ - start);
+    ++pos_;  // consume ';'
+    return out;
+  }
+
+  int line() const { return line_; }
+
+ private:
+  void skip_ws_and_comments() {
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& src) : scan_(src) {}
+
+  Cdfg run() {
+    expect_ident("program");
+    Token name = expect(Token::Kind::kIdent, "program name");
+    builder_ = std::make_unique<ProgramBuilder>(name.text);
+    expect_punct("{");
+    body(/*depth=*/0);
+    return builder_->finish();
+  }
+
+ private:
+  Token expect(Token::Kind kind, const std::string& what) {
+    Token t = scan_.next();
+    if (t.kind != kind) scan_.fail("expected " + what + ", got '" + t.text + "'", t.line);
+    return t;
+  }
+  void expect_ident(const std::string& word) {
+    Token t = scan_.next();
+    if (t.kind != Token::Kind::kIdent || t.text != word)
+      scan_.fail("expected '" + word + "', got '" + t.text + "'", t.line);
+  }
+  void expect_punct(const std::string& p) {
+    Token t = scan_.next();
+    if (t.kind != Token::Kind::kPunct || t.text != p)
+      scan_.fail("expected '" + p + "', got '" + t.text + "'", t.line);
+  }
+
+  FuId lookup_fu(const std::string& name, int line) {
+    auto it = fus_.find(name);
+    if (it == fus_.end()) scan_.fail("unknown functional unit '" + name + "'", line);
+    return it->second;
+  }
+
+  // Parses block contents until the matching '}'.
+  void body(int depth) {
+    for (;;) {
+      Token t = scan_.next();
+      if (t.kind == Token::Kind::kPunct && t.text == "}") {
+        return;
+      }
+      if (t.kind == Token::Kind::kEof) scan_.fail("unexpected end of input", t.line);
+      if (t.kind != Token::Kind::kIdent) scan_.fail("unexpected '" + t.text + "'", t.line);
+
+      if (t.text == "fu") {
+        if (depth != 0) scan_.fail("fu declarations must be top-level", t.line);
+        Token name = expect(Token::Kind::kIdent, "FU name");
+        expect_punct(":");
+        Token cls = expect(Token::Kind::kIdent, "FU class");
+        expect_punct(";");
+        fus_[name.text] = builder_->fu(name.text, cls.text);
+      } else if (t.text == "loop" || t.text == "if") {
+        Token cond = expect(Token::Kind::kIdent, "condition register");
+        expect_ident("on");
+        Token fu = expect(Token::Kind::kIdent, "FU name");
+        expect_punct("{");
+        if (t.text == "loop") {
+          builder_->begin_loop(lookup_fu(fu.text, fu.line), cond.text);
+          body(depth + 1);
+          builder_->end_loop();
+        } else {
+          builder_->begin_if(lookup_fu(fu.text, fu.line), cond.text);
+          body(depth + 1);
+          builder_->end_if();
+        }
+      } else {
+        // "<FU>: <rtl>;"
+        FuId fu = lookup_fu(t.text, t.line);
+        expect_punct(":");
+        std::string rtl = scan_.until_semicolon(t.line);
+        try {
+          builder_->stmt(fu, rtl);
+        } catch (const std::invalid_argument& e) {
+          scan_.fail(e.what(), t.line);
+        }
+      }
+    }
+  }
+
+  Scanner scan_;
+  std::unique_ptr<ProgramBuilder> builder_;
+  std::map<std::string, FuId> fus_;
+};
+
+}  // namespace
+
+Cdfg parse_program(const std::string& source) { return Parser(source).run(); }
+
+}  // namespace adc

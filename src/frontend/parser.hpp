@@ -1,0 +1,29 @@
+#pragma once
+// A small textual front-end language for scheduled, resource-bound CDFGs.
+//
+//   program diffeq {
+//     fu ALU1 : alu;
+//     fu MUL1 : mul;
+//     loop C on ALU2 {
+//       ALU1: B := 2dx + dx;
+//       MUL1: M1 := U * X1;
+//       ...
+//     }
+//   }
+//
+// Statements appear in sequential program order; `FU:` prefixes give the
+// resource binding; per-FU schedule order is the program-order subsequence.
+// `loop <condreg> on <FU> { ... }` and `if <condreg> on <FU> { ... }` open
+// structured blocks.  Comments run from '#' to end of line.
+
+#include <string>
+
+#include "cdfg/cdfg.hpp"
+
+namespace adc {
+
+// Parses and elaborates the program; throws std::invalid_argument with a
+// line number on syntax errors.
+Cdfg parse_program(const std::string& source);
+
+}  // namespace adc

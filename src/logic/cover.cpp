@@ -1,0 +1,23 @@
+#include "logic/cover.hpp"
+
+namespace adc {
+
+std::vector<std::string> verify_cover(const FunctionSpec& f,
+                                      const std::vector<Cube>& products) {
+  std::vector<std::string> errors;
+  for (const auto& p : products)
+    if (!implicant_valid(f, p))
+      errors.push_back(f.name + ": product " + p.to_string() + " is not a dhf implicant");
+  for (const auto& r : f.required) {
+    if (!implicant_valid(f, r)) continue;  // spec conflict, reported elsewhere
+    bool covered = false;
+    for (const auto& p : products)
+      if (p.contains(r)) covered = true;
+    if (!covered)
+      errors.push_back(f.name + ": required cube " + r.to_string() +
+                       " not inside any single product");
+  }
+  return errors;
+}
+
+}  // namespace adc

@@ -1,0 +1,16 @@
+#pragma once
+// Cover-level checks used by tests and the verification harness.
+
+#include <string>
+#include <vector>
+
+#include "logic/hazard_free.hpp"
+
+namespace adc {
+
+// Verifies that `products` is a hazard-free cover of the specification:
+// every product is a dhf implicant, and every required cube lies inside a
+// single product.  Returns human-readable violations (empty = OK).
+std::vector<std::string> verify_cover(const FunctionSpec& f, const std::vector<Cube>& products);
+
+}  // namespace adc

@@ -1,0 +1,52 @@
+#pragma once
+// Cube algebra for two-level hazard-free logic minimization.
+//
+// A cube over n binary variables assigns each variable one of {0, 1, X}.
+// Representation: two bitmasks per word — can0 (the variable may be 0) and
+// can1 (the variable may be 1).  0 = can0, 1 = can1, X = both.  A variable
+// with neither bit is an empty (contradictory) cube.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace adc {
+
+class Cube {
+ public:
+  Cube() = default;
+  // The universal cube (all X) over n variables.
+  explicit Cube(std::size_t n);
+
+  std::size_t var_count() const { return n_; }
+
+  enum class V : std::uint8_t { kZero, kOne, kFree, kEmpty };
+
+  V get(std::size_t var) const;
+  void set(std::size_t var, V v);
+  Cube with(std::size_t var, V v) const;
+
+  bool valid() const;  // no variable is kEmpty
+  // Number of fixed (0/1) variables — the literal count of the product.
+  std::size_t literal_count() const;
+
+  // Containment: every assignment in `other` is in *this.
+  bool contains(const Cube& other) const;
+  // Non-empty intersection?
+  bool intersects(const Cube& other) const;
+  Cube intersect(const Cube& other) const;  // may be invalid
+  // Smallest cube containing both.
+  Cube supercube(const Cube& other) const;
+
+  friend bool operator==(const Cube&, const Cube&) = default;
+  bool operator<(const Cube& o) const;  // arbitrary total order for sets
+
+  // Rendering: one character per variable (0, 1, -).
+  std::string to_string() const;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::uint64_t> can0_, can1_;
+};
+
+}  // namespace adc

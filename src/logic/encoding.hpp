@@ -1,0 +1,27 @@
+#pragma once
+// State assignment for the concretized machine.
+//
+// Codes follow a Gray sequence along a depth-first walk of the transition
+// structure, so that most state changes flip a single feedback bit (the
+// race-free ideal; the fraction achieved is reported).  Unused codes are
+// global don't-cares.  This substitutes for the exact critical-race-free
+// assignment engines inside Minimalist/3D, which are out of scope; see
+// DESIGN.md.
+
+#include <cstdint>
+#include <vector>
+
+#include "logic/flow_table.hpp"
+
+namespace adc {
+
+struct Encoding {
+  std::size_t bits = 0;
+  std::vector<std::uint32_t> code;  // per concrete state
+  int distance1 = 0;                // transitions whose codes differ in one bit
+  int total = 0;                    // state-changing transitions
+};
+
+Encoding assign_codes(const ConcreteMachine& cm);
+
+}  // namespace adc

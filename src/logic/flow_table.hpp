@@ -1,0 +1,64 @@
+#pragma once
+// Concretization of an XBM specification for logic synthesis.
+//
+// Transition-signalled (toggle) wires get concrete phases by tracking each
+// wire's toggle parity along every path; a state reached with two different
+// wire-value signatures is split (the lazy equivalent of unrolling the spec
+// until phases close — e.g. a wire toggling once per loop iteration doubles
+// the ring).  Directed don't-care windows make a wire's value unknown (X)
+// until its compulsory consumption; conditionals are always X outside their
+// sampled transition.
+//
+// The result is a plain Mealy flow structure: states with 3-valued input
+// signatures and definite output values, and transitions carrying the
+// start/end input points of each burst.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "extract/extract.hpp"
+#include "logic/cube.hpp"
+#include "xbm/xbm.hpp"
+
+namespace adc {
+
+struct ConcreteTransition {
+  std::size_t from = 0;
+  std::size_t to = 0;
+  Cube start;  // input values when the burst begins (over input vars only)
+  Cube end;    // input values when it completes
+  Cube trans;  // the transition cube: supercube(start, end) + ddc expansion
+  std::vector<std::pair<std::size_t, bool>> output_changes;  // (output var, new value)
+  TransitionId origin;
+};
+
+struct ConcreteState {
+  Cube inputs;                     // 3-valued input signature
+  std::vector<bool> outputs;       // definite output values
+  StateId spec_state;              // originating XBM state
+};
+
+struct ConcreteMachine {
+  std::vector<std::string> input_names;   // var order for input cubes
+  std::vector<std::string> output_names;
+  std::vector<SignalId> input_signals;
+  std::vector<bool> input_is_conditional;
+  std::vector<SignalId> output_signals;
+  std::vector<ConcreteState> states;
+  std::vector<ConcreteTransition> transitions;
+  std::size_t initial = 0;
+
+  std::size_t input_var(SignalId s) const;
+  std::size_t output_var(SignalId s) const;
+};
+
+// Throws std::runtime_error on malformed machines (validate(m) first).
+// With signal bindings supplied, sampled conditional values are tracked
+// while they provably hold: from the sampling transition until the
+// controller relatches the condition register or synchronizes with another
+// controller (a global request consumption).  Without bindings,
+// conditionals are unknown everywhere outside their sampled transition.
+ConcreteMachine concretize(const Xbm& m, const SignalBindings* bindings = nullptr);
+
+}  // namespace adc

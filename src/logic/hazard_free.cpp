@@ -1,0 +1,182 @@
+#include "logic/hazard_free.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+#include <set>
+
+namespace adc {
+
+bool implicant_valid(const FunctionSpec& f, const Cube& p) {
+  for (const auto& o : f.off)
+    if (p.intersects(o)) return false;
+  for (const auto& d : f.dynamic) {
+    if (!p.intersects(d.t)) continue;
+    const Cube& anchor = d.type == HfType::kRise ? d.b : d.a;
+    if (!p.contains(anchor)) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Closes a cube under the dynamic-transition anchor rules: whenever it
+// intersects a dynamic transition it absorbs the anchor point, repeating to
+// a fixpoint.  Fails (nullopt) if the closure runs into an OFF region —
+// then no dhf implicant contains the cube at all.
+std::optional<Cube> grow_to_valid(const FunctionSpec& f, Cube c) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& o : f.off)
+      if (c.intersects(o)) return std::nullopt;
+    for (const auto& d : f.dynamic) {
+      if (!c.intersects(d.t)) continue;
+      const Cube& anchor = d.type == HfType::kRise ? d.b : d.a;
+      if (c.contains(anchor)) continue;
+      c = c.supercube(anchor);
+      changed = true;
+    }
+  }
+  return c;
+}
+
+// Grows a required cube into a maximal dhf implicant by freeing variables
+// in the given order (re-closing under the anchor rules after each step).
+Cube expand(const FunctionSpec& f, Cube seed, const std::vector<std::size_t>& order) {
+  for (std::size_t var : order) {
+    if (seed.get(var) == Cube::V::kFree) continue;
+    auto widened = grow_to_valid(f, seed.with(var, Cube::V::kFree));
+    if (widened && widened->contains(seed)) seed = *widened;
+  }
+  return seed;
+}
+
+}  // namespace
+
+std::vector<Cube> candidate_implicants(const FunctionSpec& f) {
+  std::set<Cube> pool;
+  std::vector<std::size_t> ascending(f.vars), descending(f.vars);
+  for (std::size_t i = 0; i < f.vars; ++i) {
+    ascending[i] = i;
+    descending[i] = f.vars - 1 - i;
+  }
+  for (const auto& r : f.required) {
+    auto seed = grow_to_valid(f, r);
+    if (!seed) continue;  // unrealizable; reported by the covering step
+    pool.insert(expand(f, *seed, ascending));
+    pool.insert(expand(f, *seed, descending));
+    // Two rotated orders add diversity for medium-size functions.
+    for (std::size_t rot : {f.vars / 3, (2 * f.vars) / 3}) {
+      std::vector<std::size_t> rotated(f.vars);
+      for (std::size_t i = 0; i < f.vars; ++i) rotated[i] = (i + rot) % f.vars;
+      pool.insert(expand(f, *seed, rotated));
+    }
+  }
+  return {pool.begin(), pool.end()};
+}
+
+namespace {
+
+// Exact minimum unate covering by branch and bound (small instances).
+void exact_cover(const std::vector<std::vector<std::size_t>>& covers_of, std::size_t n_req,
+                 std::vector<std::size_t>& chosen, std::set<std::size_t>& covered,
+                 std::vector<std::size_t>& best, int depth_limit) {
+  if (!best.empty() && chosen.size() >= best.size()) return;
+  if (covered.size() == n_req) {
+    best = chosen;
+    return;
+  }
+  if (static_cast<int>(chosen.size()) >= depth_limit) return;
+  // Branch on the first uncovered requirement.
+  std::size_t r = 0;
+  while (covered.count(r)) ++r;
+  for (std::size_t c = 0; c < covers_of.size(); ++c) {
+    if (std::find(covers_of[c].begin(), covers_of[c].end(), r) == covers_of[c].end())
+      continue;
+    std::vector<std::size_t> added;
+    for (std::size_t rr : covers_of[c])
+      if (covered.insert(rr).second) added.push_back(rr);
+    chosen.push_back(c);
+    exact_cover(covers_of, n_req, chosen, covered, best, depth_limit);
+    chosen.pop_back();
+    for (std::size_t rr : added) covered.erase(rr);
+  }
+}
+
+}  // namespace
+
+CoverResult minimize_hazard_free(const FunctionSpec& f, const CoverOptions& opts) {
+  CoverResult res;
+
+  // Spec sanity: a required cube whose anchor closure runs into an OFF
+  // region cannot be inside any dhf implicant — a genuine contradiction.
+  std::vector<Cube> required;
+  for (const auto& r : f.required) {
+    if (!grow_to_valid(f, r)) {
+      res.feasible = false;
+      res.issues.push_back(f.name + ": required cube " + r.to_string() +
+                           " cannot be contained in any dhf implicant");
+      continue;
+    }
+    required.push_back(r);
+  }
+  // Drop required cubes contained in other required cubes.
+  std::vector<Cube> reduced;
+  for (const auto& r : required) {
+    bool dominated = false;
+    for (const auto& other : required)
+      if (!(other == r) && other.contains(r)) dominated = true;
+    if (!dominated) reduced.push_back(r);
+  }
+  std::sort(reduced.begin(), reduced.end());
+  reduced.erase(std::unique(reduced.begin(), reduced.end()), reduced.end());
+  if (reduced.empty()) return res;  // constant-0 (or fully unrealizable)
+
+  auto candidates = candidate_implicants(f);
+  std::vector<std::vector<std::size_t>> covers_of(candidates.size());
+  for (std::size_t c = 0; c < candidates.size(); ++c)
+    for (std::size_t r = 0; r < reduced.size(); ++r)
+      if (candidates[c].contains(reduced[r])) covers_of[c].push_back(r);
+
+  if (opts.exact && reduced.size() <= static_cast<std::size_t>(opts.exact_limit)) {
+    std::vector<std::size_t> chosen, best;
+    std::set<std::size_t> covered;
+    exact_cover(covers_of, reduced.size(), chosen, covered, best,
+                static_cast<int>(reduced.size()) + 1);
+    if (!best.empty()) {
+      for (std::size_t c : best) res.products.push_back(candidates[c]);
+      return res;
+    }
+  }
+
+  // Greedy covering: most new requirements per pick, fewest literals on tie.
+  std::set<std::size_t> covered;
+  while (covered.size() < reduced.size()) {
+    std::size_t best_c = candidates.size();
+    std::size_t best_gain = 0;
+    std::size_t best_lits = std::numeric_limits<std::size_t>::max();
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      std::size_t gain = 0;
+      for (std::size_t r : covers_of[c])
+        if (!covered.count(r)) ++gain;
+      if (gain == 0) continue;
+      std::size_t lits = candidates[c].literal_count();
+      if (gain > best_gain || (gain == best_gain && lits < best_lits)) {
+        best_c = c;
+        best_gain = gain;
+        best_lits = lits;
+      }
+    }
+    if (best_c == candidates.size()) {
+      res.feasible = false;
+      res.issues.push_back(f.name + ": covering failed (no candidate for a requirement)");
+      break;
+    }
+    res.products.push_back(candidates[best_c]);
+    for (std::size_t r : covers_of[best_c]) covered.insert(r);
+  }
+  return res;
+}
+
+}  // namespace adc

@@ -1,0 +1,67 @@
+#pragma once
+// Hazard-free two-level minimization (the Nowick/Dill formulation used by
+// Minimalist and 3D, reimplemented as the paper's gate-level backend).
+//
+// A single-output function is specified by a set of *input transitions*
+// (multiple-input changes) over the (primary input, state bit) space:
+//
+//   static 1 -> 1 : the whole transition cube is a *required cube* — it
+//                   must lie inside ONE product, or the AND-OR network can
+//                   glitch as cover responsibility shifts between products;
+//   static 0 -> 0 : no product may intersect the transition cube;
+//   rising  0 -> 1 : any product intersecting the transition cube must
+//                   contain its end point (monotonic turn-on); the end
+//                   point is required;
+//   falling 1 -> 0 : any product intersecting must contain the start point
+//                   (monotonic turn-off); the start point is required.
+//
+// A product satisfying all intersection rules and avoiding the OFF regions
+// is a *dhf implicant*.  Minimization selects a minimum set of dhf
+// implicants such that every required cube is contained in one of them
+// (greedy covering; small instances can optionally be solved exactly).
+
+#include <string>
+#include <vector>
+
+#include "logic/cube.hpp"
+
+namespace adc {
+
+enum class HfType { kRise, kFall };
+
+struct HfDynamic {
+  Cube t;  // transition cube
+  Cube a;  // start point
+  Cube b;  // end point
+  HfType type;
+};
+
+struct FunctionSpec {
+  std::string name;
+  std::size_t vars = 0;
+  std::vector<Cube> off;        // regions the cover must avoid
+  std::vector<Cube> required;   // each must be inside a single product
+  std::vector<HfDynamic> dynamic;
+};
+
+// True if `p` may appear in a hazard-free cover of the function.
+bool implicant_valid(const FunctionSpec& f, const Cube& p);
+
+struct CoverResult {
+  std::vector<Cube> products;
+  bool feasible = true;
+  std::vector<std::string> issues;  // unrealizable required cubes etc.
+};
+
+struct CoverOptions {
+  bool exact = false;        // branch-and-bound when the instance is small
+  int exact_limit = 18;      // max required cubes for the exact search
+};
+
+CoverResult minimize_hazard_free(const FunctionSpec& f, const CoverOptions& opts = {});
+
+// Maximal dhf implicants grown from the required cubes (the candidate pool
+// of the covering step; exposed for tests).
+std::vector<Cube> candidate_implicants(const FunctionSpec& f);
+
+}  // namespace adc

@@ -1,0 +1,254 @@
+#include "logic/minimize.hpp"
+
+#include <set>
+
+namespace adc {
+
+namespace {
+
+// Embeds an input-space cube into the full (inputs + state bits) space with
+// the state coordinates fixed to `code`.
+Cube embed(const Cube& in, std::size_t vars, std::size_t ni, std::size_t bits,
+           std::uint32_t code) {
+  Cube out(vars);
+  for (std::size_t i = 0; i < ni; ++i) out.set(i, in.get(i));
+  for (std::size_t b = 0; b < bits; ++b)
+    out.set(ni + b, ((code >> b) & 1) ? Cube::V::kOne : Cube::V::kZero);
+  return out;
+}
+
+// As above but spanning two codes (the feedback-settling cube).
+Cube embed_span(const Cube& in, std::size_t vars, std::size_t ni, std::size_t bits,
+                std::uint32_t c1, std::uint32_t c2) {
+  Cube out(vars);
+  for (std::size_t i = 0; i < ni; ++i) out.set(i, in.get(i));
+  for (std::size_t b = 0; b < bits; ++b) {
+    bool v1 = (c1 >> b) & 1, v2 = (c2 >> b) & 1;
+    out.set(ni + b, v1 == v2 ? (v1 ? Cube::V::kOne : Cube::V::kZero) : Cube::V::kFree);
+  }
+  return out;
+}
+
+}  // namespace
+
+FunctionSpec build_function_spec(const ConcreteMachine& cm, const Encoding& enc,
+                                 bool state_bit, std::size_t index, std::string name) {
+  FunctionSpec f;
+  f.name = std::move(name);
+  const std::size_t ni = cm.input_names.size();
+  f.vars = ni + enc.bits;
+
+  auto value_at = [&](std::size_t state) {
+    return state_bit ? ((enc.code[state] >> index) & 1) != 0
+                     : cm.states[state].outputs[index];
+  };
+
+  for (const auto& ct : cm.transitions) {
+    std::uint32_t c = enc.code[ct.from], c2 = enc.code[ct.to];
+    Cube T = embed(ct.trans, f.vars, ni, enc.bits, c);
+    Cube A = embed(ct.start, f.vars, ni, enc.bits, c);
+    Cube B = embed(ct.end, f.vars, ni, enc.bits, c);
+    bool v = value_at(ct.from);
+    bool v2 = value_at(ct.to);
+
+    if (v && v2) {
+      f.required.push_back(T);
+    } else if (!v && !v2) {
+      f.off.push_back(T);
+    } else if (!state_bit) {
+      // Mealy outputs change monotonically *during* the burst — the
+      // classic dynamic-transition rules with the appropriate anchor.
+      if (!v && v2) {
+        f.off.push_back(A);
+        f.required.push_back(B);
+        f.dynamic.push_back(HfDynamic{T, A, B, HfType::kRise});
+      } else {
+        f.off.push_back(B);
+        f.required.push_back(A);
+        f.dynamic.push_back(HfDynamic{T, A, B, HfType::kFall});
+      }
+    } else {
+      // Next-state excitation must hold its old value until the *complete*
+      // burst has arrived and change exactly then: for every changed input
+      // the sub-cube still missing that arrival keeps the old value, and
+      // the completion region (all compulsory arrivals in, don't-care
+      // windows free) takes the new one.
+      Cube completion = T;
+      std::vector<std::size_t> changed_vars;
+      for (std::size_t i = 0; i < ni; ++i) {
+        auto a = ct.start.get(i), b2 = ct.end.get(i);
+        if (a == Cube::V::kFree || b2 == Cube::V::kFree || a == b2) continue;
+        changed_vars.push_back(i);
+        completion.set(i, b2);
+      }
+      for (std::size_t i : changed_vars) {
+        Cube waiting = T;
+        waiting.set(i, ct.start.get(i));
+        if (v)
+          f.required.push_back(waiting);
+        else
+          f.off.push_back(waiting);
+      }
+      if (v2)
+        f.required.push_back(completion);
+      else
+        f.off.push_back(completion);
+    }
+
+    // Feedback settling: with the inputs at the burst's end point, the
+    // excitation must hold its new value while the state bits travel from
+    // the old code to the new one.  Exact for single-bit changes; a
+    // multi-bit change would have to hold over the whole code span, which
+    // the bipartite hypercube cannot always grant — those transitions are
+    // counted by the caller as declared race assumptions instead.
+    if (__builtin_popcount(c ^ c2) == 1) {
+      Cube settle = embed_span(ct.end, f.vars, ni, enc.bits, c, c2);
+      if (v2)
+        f.required.push_back(settle);
+      else
+        f.off.push_back(settle);
+    }
+  }
+
+  // No separate stable-state constraints: the resting point of every state
+  // is the start point of its outgoing transitions, whose rules already pin
+  // the function there.  (A naive "hold over the whole state signature"
+  // cube would wrongly extend across burst-completion points, where the
+  // function legitimately changes.)
+
+  // Deduplicate.
+  std::set<Cube> req(f.required.begin(), f.required.end());
+  f.required.assign(req.begin(), req.end());
+  std::set<Cube> off(f.off.begin(), f.off.end());
+  f.off.assign(off.begin(), off.end());
+  return f;
+}
+
+namespace {
+
+// Minimalist-style product sharing: after the per-function covers exist,
+// try to replace products that only one function uses with dhf implicants
+// another function already pays for — the shared AND plane shrinks while
+// every cover stays hazard-free (each replacement is re-checked against
+// the function's own specification).
+void share_products(std::vector<FunctionLogic>& functions,
+                    const std::vector<FunctionSpec>& specs) {
+  auto covers_all = [](const FunctionSpec& spec, const std::vector<Cube>& products) {
+    for (const auto& r : spec.required) {
+      if (!implicant_valid(spec, r)) continue;  // reported elsewhere
+      bool ok = false;
+      for (const auto& p : products)
+        if (p.contains(r)) ok = true;
+      if (!ok) return false;
+    }
+    return true;
+  };
+
+  std::map<Cube, int> use_count;
+  for (const auto& f : functions)
+    for (const auto& p : f.products) ++use_count[p];
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t fi = 0; fi < functions.size(); ++fi) {
+      auto& f = functions[fi];
+      for (std::size_t pi = 0; pi < f.products.size(); ++pi) {
+        if (use_count[f.products[pi]] > 1) continue;  // already shared
+        for (std::size_t gi = 0; gi < functions.size() && !changed; ++gi) {
+          if (gi == fi) continue;
+          for (const auto& q : functions[gi].products) {
+            if (q == f.products[pi]) continue;
+            if (!implicant_valid(specs[fi], q)) continue;
+            std::vector<Cube> candidate = f.products;
+            candidate[pi] = q;
+            if (!covers_all(specs[fi], candidate)) continue;
+            --use_count[f.products[pi]];
+            ++use_count[q];
+            f.products[pi] = q;
+            changed = true;
+            break;
+          }
+        }
+        if (changed) break;
+      }
+      if (changed) break;
+    }
+  }
+  // Drop duplicates a swap may have created inside one function.
+  for (auto& f : functions) {
+    std::vector<Cube> unique;
+    for (const auto& p : f.products) {
+      bool seen = false;
+      for (const auto& u : unique)
+        if (u == p) seen = true;
+      if (!seen) unique.push_back(p);
+    }
+    f.products = std::move(unique);
+  }
+}
+
+LogicSynthesisResult synthesize_impl(const Xbm& m, const SignalBindings* bindings,
+                                     const SynthesisOptions& opts) {
+  LogicSynthesisResult res;
+  res.machine = concretize(m, bindings);
+  res.encoding = assign_codes(res.machine);
+
+  std::vector<FunctionSpec> specs;
+  auto run = [&](bool state_bit, std::size_t index, std::string name) {
+    FunctionSpec spec =
+        build_function_spec(res.machine, res.encoding, state_bit, index, name);
+    CoverResult cover = minimize_hazard_free(spec, opts.cover);
+    for (const auto& issue : cover.issues) res.issues.push_back(issue);
+    res.functions.push_back(FunctionLogic{spec.name, state_bit, std::move(cover.products)});
+    specs.push_back(std::move(spec));
+  };
+
+  for (std::size_t o = 0; o < res.machine.output_names.size(); ++o)
+    run(false, o, res.machine.output_names[o]);
+  for (std::size_t b = 0; b < res.encoding.bits; ++b)
+    run(true, b, "Y" + std::to_string(b));
+
+  if (opts.share_products) share_products(res.functions, specs);
+  return res;
+}
+
+}  // namespace
+
+LogicSynthesisResult synthesize_logic(const ExtractedController& c,
+                                      const SynthesisOptions& opts) {
+  return synthesize_impl(c.machine, &c.bindings, opts);
+}
+
+LogicSynthesisResult synthesize_logic(const Xbm& m, const SynthesisOptions& opts) {
+  return synthesize_impl(m, nullptr, opts);
+}
+
+std::size_t LogicSynthesisResult::product_count(bool share_products) const {
+  if (!share_products) {
+    std::size_t n = 0;
+    for (const auto& f : functions) n += f.products.size();
+    return n;
+  }
+  std::set<Cube> distinct;
+  for (const auto& f : functions)
+    for (const auto& p : f.products) distinct.insert(p);
+  return distinct.size();
+}
+
+std::size_t LogicSynthesisResult::literal_count(bool share_products) const {
+  if (!share_products) {
+    std::size_t n = 0;
+    for (const auto& f : functions)
+      for (const auto& p : f.products) n += p.literal_count();
+    return n;
+  }
+  std::set<Cube> distinct;
+  for (const auto& f : functions)
+    for (const auto& p : f.products) distinct.insert(p);
+  std::size_t n = 0;
+  for (const auto& p : distinct) n += p.literal_count();
+  return n;
+}
+
+}  // namespace adc

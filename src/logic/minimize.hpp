@@ -1,0 +1,55 @@
+#pragma once
+// Top-level two-level synthesis of an XBM controller (the paper's gate
+// level, Figure 13): concretize phases, assign state codes, build one
+// hazard-free function specification per output and per feedback bit, and
+// minimize each cover.
+//
+// Product/literal counting supports the paper's two tool modes:
+//  * single-output (3D-like): every function pays for its own products;
+//  * shared-product (Minimalist-like): identical AND-terms used by several
+//    functions are counted once.
+
+#include <string>
+#include <vector>
+
+#include "logic/encoding.hpp"
+#include "logic/flow_table.hpp"
+#include "logic/hazard_free.hpp"
+#include "xbm/xbm.hpp"
+
+namespace adc {
+
+struct SynthesisOptions {
+  CoverOptions cover;
+  // Minimalist-style post-pass: substitute single-user products with dhf
+  // implicants another function already pays for.
+  bool share_products = true;
+};
+
+struct FunctionLogic {
+  std::string name;
+  bool is_state_bit = false;
+  std::vector<Cube> products;
+};
+
+struct LogicSynthesisResult {
+  ConcreteMachine machine;
+  Encoding encoding;
+  std::vector<FunctionLogic> functions;
+  std::vector<std::string> issues;
+
+  bool feasible() const { return issues.empty(); }
+  std::size_t product_count(bool share_products) const;
+  std::size_t literal_count(bool share_products) const;
+};
+
+// Builds the per-function hazard-free specification; exposed for tests.
+FunctionSpec build_function_spec(const ConcreteMachine& cm, const Encoding& enc,
+                                 bool state_bit, std::size_t index, std::string name);
+
+LogicSynthesisResult synthesize_logic(const ExtractedController& c,
+                                      const SynthesisOptions& opts = {});
+// Without bindings (conditionals treated as unknown everywhere).
+LogicSynthesisResult synthesize_logic(const Xbm& m, const SynthesisOptions& opts = {});
+
+}  // namespace adc

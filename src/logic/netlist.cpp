@@ -1,0 +1,257 @@
+#include "logic/netlist.hpp"
+
+#include <algorithm>
+#include <random>
+#include <sstream>
+
+namespace adc {
+
+namespace {
+
+std::string sanitize(const std::string& s) {
+  std::string out;
+  for (char c : s) out += (std::isalnum(static_cast<unsigned char>(c)) != 0) ? c : '_';
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0]))) out = "n" + out;
+  return out;
+}
+
+// Variable name for cube coordinate v.
+std::string var_name(const LogicSynthesisResult& r, std::size_t v) {
+  const std::size_t ni = r.machine.input_names.size();
+  if (v < ni) return sanitize(r.machine.input_names[v]);
+  return "y" + std::to_string(v - ni);
+}
+
+std::string product_expr(const LogicSynthesisResult& r, const Cube& p, const char* op,
+                         const char* neg) {
+  std::string out;
+  for (std::size_t v = 0; v < p.var_count(); ++v) {
+    auto val = p.get(v);
+    if (val == Cube::V::kFree) continue;
+    if (!out.empty()) out += op;
+    if (val == Cube::V::kZero) out += neg;
+    out += var_name(r, v);
+  }
+  return out.empty() ? "1'b1" : out;
+}
+
+}  // namespace
+
+std::string to_verilog(const LogicSynthesisResult& r, const std::string& module_name) {
+  std::ostringstream os;
+  const auto& cm = r.machine;
+  os << "// two-level hazard-free implementation (generated)\n";
+  os << "module " << sanitize(module_name) << " (\n";
+  for (const auto& in : cm.input_names) os << "  input  wire " << sanitize(in) << ",\n";
+  for (std::size_t i = 0; i < cm.output_names.size(); ++i)
+    os << "  output wire " << sanitize(cm.output_names[i]) << ",\n";
+  os << "  input  wire [" << (r.encoding.bits - 1) << ":0] y,\n";
+  os << "  output wire [" << (r.encoding.bits - 1) << ":0] z\n);\n";
+  for (std::size_t b = 0; b < r.encoding.bits; ++b)
+    os << "  wire y" << b << " = y[" << b << "];\n";
+  for (const auto& f : r.functions) {
+    std::string lhs = f.is_state_bit ? ("z[" + f.name.substr(1) + "]") : sanitize(f.name);
+    os << "  assign " << lhs << " = ";
+    if (f.products.empty()) {
+      os << "1'b0;\n";
+      continue;
+    }
+    for (std::size_t i = 0; i < f.products.size(); ++i) {
+      if (i) os << "\n                | ";
+      os << "(" << product_expr(r, f.products[i], " & ", "~") << ")";
+    }
+    os << ";\n";
+  }
+  os << "endmodule\n";
+  return os.str();
+}
+
+std::string to_equations(const LogicSynthesisResult& r) {
+  std::ostringstream os;
+  for (const auto& f : r.functions) {
+    os << sanitize(f.name) << " = ";
+    if (f.products.empty()) {
+      os << "0\n";
+      continue;
+    }
+    for (std::size_t i = 0; i < f.products.size(); ++i) {
+      if (i) os << " + ";
+      os << product_expr(r, f.products[i], "*", "!");
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+using Point = std::vector<bool>;
+
+bool cube_matches(const Cube& c, const Point& p) {
+  for (std::size_t v = 0; v < p.size(); ++v) {
+    auto val = c.get(v);
+    if (val == Cube::V::kOne && !p[v]) return false;
+    if (val == Cube::V::kZero && p[v]) return false;
+  }
+  return true;
+}
+
+bool eval_fn(const FunctionLogic& f, const Point& p) {
+  for (const auto& prod : f.products)
+    if (cube_matches(prod, p)) return true;
+  return false;
+}
+
+}  // namespace
+
+NetlistCheckResult check_netlist(const LogicSynthesisResult& r,
+                                 const NetlistCheckOptions& opts) {
+  NetlistCheckResult res;
+  const auto& cm = r.machine;
+  const auto& enc = r.encoding;
+  const std::size_t ni = cm.input_names.size();
+  const std::size_t vars = ni + enc.bits;
+  std::mt19937_64 rng(opts.seed);
+
+  if (!r.feasible()) {
+    res.ok = false;
+    res.violations.push_back("synthesis reported an infeasible specification");
+    return res;
+  }
+
+  // Function handles.
+  std::vector<const FunctionLogic*> out_fn, state_fn;
+  for (const auto& f : r.functions)
+    (f.is_state_bit ? state_fn : out_fn).push_back(&f);
+
+  auto make_point = [&](const Point& in, std::uint32_t code) {
+    Point p(vars, false);
+    for (std::size_t i = 0; i < ni; ++i) p[i] = in[i];
+    for (std::size_t b = 0; b < enc.bits; ++b) p[ni + b] = (code >> b) & 1;
+    return p;
+  };
+  auto next_code = [&](const Point& in, std::uint32_t code) {
+    // Iterated feedback settling (synchronous update; distance-1 codes
+    // settle in one step).
+    for (std::size_t iter = 0; iter <= enc.bits + 2; ++iter) {
+      Point p = make_point(in, code);
+      std::uint32_t z = 0;
+      for (std::size_t b = 0; b < enc.bits; ++b) {
+        ++res.evaluations;
+        if (eval_fn(*state_fn[b], p)) z |= 1u << b;
+      }
+      if (z == code) return code;
+      code = z;
+    }
+    return ~0u;  // oscillation
+  };
+
+  // Outgoing transitions per concrete state.
+  std::vector<std::vector<const ConcreteTransition*>> outs(cm.states.size());
+  for (const auto& t : cm.transitions) outs[t.from].push_back(&t);
+
+  auto violation = [&](std::string what) {
+    res.ok = false;
+    if (res.violations.size() < 20) res.violations.push_back(std::move(what));
+  };
+
+  for (int walk = 0; walk < opts.walks && res.ok; ++walk) {
+    std::size_t state = cm.initial;
+    std::uint32_t code = enc.code[state];
+    // Initial inputs: pinned values from the state signature, X -> 0.
+    Point in(ni, false);
+    for (std::size_t i = 0; i < ni; ++i)
+      in[i] = cm.states[state].inputs.get(i) == Cube::V::kOne;
+
+    for (int step = 0; step < opts.steps_per_walk && res.ok; ++step) {
+      if (outs[state].empty()) break;
+      const ConcreteTransition& t =
+          *outs[state][rng() % outs[state].size()];
+      ++res.transitions_checked;
+
+      // Target input vector: the burst's end point; unpinned vars keep
+      // their current value.
+      Point target = in;
+      std::vector<std::size_t> changed;
+      for (std::size_t v = 0; v < ni; ++v) {
+        auto want = t.end.get(v);
+        // Conditionals sampled by this transition are pinned in its cube.
+        if (t.trans.get(v) != Cube::V::kFree &&
+            cm.states[state].inputs.get(v) == Cube::V::kFree)
+          want = t.trans.get(v);
+        if (want == Cube::V::kFree) continue;
+        bool bit = want == Cube::V::kOne;
+        if (target[v] != bit) {
+          target[v] = bit;
+          changed.push_back(v);
+        }
+      }
+
+      // Expected outputs before/after.
+      std::vector<bool> out_before(out_fn.size()), out_after(out_fn.size());
+      for (std::size_t o = 0; o < out_fn.size(); ++o)
+        out_before[o] = out_after[o] = cm.states[t.from].outputs[o];
+      for (const auto& [o, v] : t.output_changes) out_after[o] = v;
+
+      for (int order = 0; order < opts.orders_per_burst && res.ok; ++order) {
+        // Fundamental-mode setup: sampled conditionals settle before the
+        // trigger burst begins, so they go first in every ordering.
+        std::vector<std::size_t> seq, tail;
+        for (std::size_t v : changed)
+          (cm.input_is_conditional[v] ? seq : tail).push_back(v);
+        std::shuffle(tail.begin(), tail.end(), rng);
+        seq.insert(seq.end(), tail.begin(), tail.end());
+        Point cur = in;
+        std::vector<int> flips(out_fn.size(), 0);
+        std::vector<bool> prev = out_before;
+        for (std::size_t k = 0; k < seq.size(); ++k) {
+          cur[seq[k]] = target[seq[k]];
+          Point p = make_point(cur, code);
+          bool last = k + 1 == seq.size();
+          // State bits must hold until the burst completes.
+          if (!last) {
+            for (std::size_t b = 0; b < enc.bits; ++b) {
+              ++res.evaluations;
+              if (eval_fn(*state_fn[b], p) != (((code >> b) & 1) != 0)) {
+                violation(cm.output_names.empty() ? "state hold violation"
+                                                  : "premature state change in burst of '" +
+                                                        state_fn[b]->name + "'");
+                break;
+              }
+            }
+          }
+          for (std::size_t o = 0; o < out_fn.size() && res.ok; ++o) {
+            ++res.evaluations;
+            bool v = eval_fn(*out_fn[o], p);
+            if (v != prev[o]) {
+              ++flips[o];
+              prev[o] = v;
+            }
+          }
+        }
+        if (!res.ok) break;
+        for (std::size_t o = 0; o < out_fn.size(); ++o) {
+          if (flips[o] > 1)
+            violation("output hazard: '" + out_fn[o]->name + "' glitched during a burst");
+          if (prev[o] != out_after[o])
+            violation("output '" + out_fn[o]->name + "' did not reach its specified value");
+        }
+      }
+      if (!res.ok) break;
+
+      // Settle the feedback and compare with the specification.
+      std::uint32_t settled = next_code(target, code);
+      if (settled != enc.code[t.to]) {
+        violation("next-state mismatch after burst (got code " + std::to_string(settled) +
+                  ", expected " + std::to_string(enc.code[t.to]) + ")");
+        break;
+      }
+      code = settled;
+      state = t.to;
+      in = target;
+    }
+  }
+  return res;
+}
+
+}  // namespace adc

@@ -1,0 +1,53 @@
+#pragma once
+// Gate-level netlist emission and functional simulation of the synthesized
+// two-level implementations.
+//
+// A synthesized controller is an AND-OR network per output and per state
+// bit, with the state bits fed back (Huffman style).  This module renders
+// the network as structural Verilog / readable equations, and — more
+// importantly — *executes* it: the netlist simulator drives the network
+// with the input bursts of the concretized specification, stepping one
+// input bit at a time in adversarial orders, and checks that
+//
+//   * the network settles to the specified next state,
+//   * every output moves monotonically to its specified value during a
+//     burst (a non-monotonic move is precisely a hazard the two-level
+//     cover was supposed to exclude).
+//
+// This is the dynamic complement to the static dhf-implicant rules in
+// hazard_free.cpp.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "logic/minimize.hpp"
+
+namespace adc {
+
+// Structural Verilog of the two-level network (one assign per function,
+// products as AND terms).  Names are sanitized signal names.
+std::string to_verilog(const LogicSynthesisResult& r, const std::string& module_name);
+
+// Human-readable sum-of-products equations.
+std::string to_equations(const LogicSynthesisResult& r);
+
+struct NetlistCheckOptions {
+  std::uint64_t seed = 1;
+  int walks = 20;          // random walks over the concrete machine
+  int steps_per_walk = 60; // transitions taken per walk
+  int orders_per_burst = 4;  // adversarial single-bit input orderings tried
+};
+
+struct NetlistCheckResult {
+  bool ok = true;
+  std::vector<std::string> violations;
+  std::int64_t transitions_checked = 0;
+  std::int64_t evaluations = 0;
+};
+
+// Replays the concretized machine on the synthesized network.
+NetlistCheckResult check_netlist(const LogicSynthesisResult& r,
+                                 const NetlistCheckOptions& opts = {});
+
+}  // namespace adc

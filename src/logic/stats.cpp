@@ -1,0 +1,28 @@
+#include "logic/stats.hpp"
+
+namespace adc {
+
+GateStats gate_stats(const LogicSynthesisResult& r, std::size_t spec_states) {
+  GateStats s;
+  s.products_single = r.product_count(false);
+  s.literals_single = r.literal_count(false);
+  s.products_shared = r.product_count(true);
+  s.literals_shared = r.literal_count(true);
+  s.spec_states = spec_states;
+  s.impl_states = r.machine.states.size();
+  s.state_bits = r.encoding.bits;
+  s.feasible = r.feasible();
+  s.distance1_transitions = r.encoding.distance1;
+  s.total_transitions = r.encoding.total;
+  return s;
+}
+
+std::string describe(const GateStats& s) {
+  return std::to_string(s.products_shared) + " products / " +
+         std::to_string(s.literals_shared) + " literals (shared), " +
+         std::to_string(s.products_single) + " / " + std::to_string(s.literals_single) +
+         " (single-output), " + std::to_string(s.impl_states) + " impl states, " +
+         std::to_string(s.state_bits) + " state bits";
+}
+
+}  // namespace adc

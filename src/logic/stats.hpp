@@ -1,0 +1,27 @@
+#pragma once
+// Gate-level statistics for the paper's Figure 13 style reports.
+
+#include <string>
+
+#include "logic/minimize.hpp"
+
+namespace adc {
+
+struct GateStats {
+  std::size_t products_single = 0;  // 3D-like, per-output counting
+  std::size_t literals_single = 0;
+  std::size_t products_shared = 0;  // Minimalist-like, shared AND terms
+  std::size_t literals_shared = 0;
+  std::size_t spec_states = 0;       // XBM states
+  std::size_t impl_states = 0;       // after phase concretization
+  std::size_t state_bits = 0;
+  int distance1_transitions = 0;
+  int total_transitions = 0;
+  bool feasible = true;
+};
+
+GateStats gate_stats(const LogicSynthesisResult& r, std::size_t spec_states);
+
+std::string describe(const GateStats& s);
+
+}  // namespace adc

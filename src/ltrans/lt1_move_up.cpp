@@ -1,0 +1,73 @@
+// LT1 "move-up" (paper §5.1): global done signals migrate to earlier
+// bursts.  A done may ride on the transition that latches the result (the
+// paper's example moves A1M+ next to reg_U_latch) but never before the
+// functional unit has completed: the edge hops backwards over transitions
+// whose inputs are only local acknowledge phases, and stops at any
+// transition that waits the FU completion, a global request, or samples a
+// conditional.
+
+#include "ltrans/common.hpp"
+
+namespace adc {
+
+using namespace detail;
+
+namespace {
+
+// True if the transition's input burst consists purely of local-handshake
+// phases that a done signal may safely overtake.
+bool overtakable(const SignalBindings& b, const XbmTransition& t) {
+  if (!t.conds.empty()) return false;
+  for (const auto& e : t.inputs) {
+    if (e.directed_dont_care) continue;
+    SignalRole r = role_of(b, e.signal);
+    if (is_local_ack(r)) continue;
+    if (r == SignalRole::kFuDone && e.polarity == EdgePolarity::kFalling) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int lt1_move_up(Xbm& m, const SignalBindings& b) {
+  int moved = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (TransitionId tid : m.transition_ids()) {
+      XbmTransition& t = m.transition(tid);
+      if (!overtakable(b, t)) continue;
+      // A done resting beside a latch strobe stays there: the result write
+      // must at least be initiated before consumers are signalled (the
+      // paper's "latching and sending done in parallel").
+      bool strobes_latch = false;
+      for (const auto& e : t.outputs)
+        if (role_of(b, e.signal) == SignalRole::kLatch &&
+            e.polarity == EdgePolarity::kRising)
+          strobes_latch = true;
+      if (strobes_latch) continue;
+      auto pred = chain_pred(m, tid);
+      if (!pred) continue;
+      // Collect the movable done edges first; then move them.
+      std::vector<XbmEdge> dones;
+      for (const auto& e : t.outputs)
+        if (is_global(role_of(b, e.signal))) dones.push_back(e);
+      if (dones.empty()) continue;
+      XbmTransition& p = m.transition(*pred);
+      bool conflict = false;
+      for (const auto& e : dones)
+        if (burst_has_signal(p.outputs, e.signal)) conflict = true;
+      if (conflict) continue;
+      for (const auto& e : dones) {
+        erase_edge(t.outputs, e.signal);
+        p.outputs.push_back(e);
+        ++moved;
+      }
+      changed = true;
+    }
+  }
+  return moved;
+}
+
+}  // namespace adc

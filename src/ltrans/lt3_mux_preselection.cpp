@@ -1,0 +1,102 @@
+// LT3 "mux-preselection" (paper §5.3): for a controller executing RTL
+// statement k, statement k+1 is deterministic, so its input muxes (and
+// operation select) can be set while statement k is finishing rather than
+// after statement k+1's requests arrive.  Mux selection drops off the
+// critical path.
+//
+// Two cases per rising select edge found on a request-triggered transition:
+//  * the previous transition resets the same wire (consecutive statements
+//    use the same source): the reset/set pair is elided — the mux simply
+//    stays selected;
+//  * otherwise the rising edge moves onto the previous transition (the end
+//    of the current statement's execution).
+
+#include "ltrans/common.hpp"
+
+namespace adc {
+
+using namespace detail;
+
+namespace {
+
+bool request_triggered(const SignalBindings& b, const XbmTransition& t) {
+  for (const auto& e : t.inputs) {
+    if (e.directed_dont_care) continue;
+    if (is_global(role_of(b, e.signal))) return true;
+  }
+  return false;
+}
+
+bool preselectable(SignalRole r) {
+  return r == SignalRole::kMuxSelect || r == SignalRole::kOpSelect ||
+         r == SignalRole::kRegMuxSelect;
+}
+
+}  // namespace
+
+int lt3_mux_preselection(Xbm& m, const SignalBindings& b) {
+  // Preselection changes *when* a select wire toggles relative to the rest
+  // of its 4-phase round trip, so it is only safe once the corresponding
+  // acknowledge is no longer observed anywhere (normally after LT4).
+  // Collect the handshakes still waited on.
+  auto ack_observed = [&m, &b](const XbmEdge& sel) {
+    auto partner = caused_role(role_of(b, sel.signal));
+    if (!partner) return true;  // unknown: be conservative
+    const SignalBinding* sb = nullptr;
+    if (auto it = b.find(sel.signal.value()); it != b.end()) sb = &it->second;
+    for (TransitionId tid : m.transition_ids()) {
+      for (const auto& e : m.transition(tid).inputs) {
+        if (e.directed_dont_care) continue;
+        auto it = b.find(e.signal.value());
+        if (it == b.end() || it->second.role != *partner) continue;
+        if (*partner == SignalRole::kMuxAck && sb &&
+            it->second.mux_side != sb->mux_side)
+          continue;
+        if (*partner == SignalRole::kRegMuxAck && sb && it->second.reg != sb->reg)
+          continue;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  int edits = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (TransitionId tid : m.transition_ids()) {
+      if (!request_triggered(b, m.transition(tid))) continue;
+      auto pred = chain_pred(m, tid);
+      if (!pred) continue;
+
+      std::vector<XbmEdge> sets;
+      for (const auto& e : m.transition(tid).outputs)
+        if (e.polarity == EdgePolarity::kRising && preselectable(role_of(b, e.signal)) &&
+            !ack_observed(e))
+          sets.push_back(e);
+
+      for (const auto& e : sets) {
+        XbmTransition& p = m.transition(*pred);
+        bool p_resets_it = false;
+        for (const auto& pe : p.outputs)
+          if (pe.signal == e.signal && pe.polarity == EdgePolarity::kFalling)
+            p_resets_it = true;
+        if (p_resets_it) {
+          // Same source selected twice in a row: keep the mux selected.
+          erase_edge(p.outputs, e.signal);
+          erase_edge(m.transition(tid).outputs, e.signal);
+          ++edits;
+          changed = true;
+        } else if (!burst_has_signal(p.outputs, e.signal)) {
+          erase_edge(m.transition(tid).outputs, e.signal);
+          p.outputs.push_back(e);
+          ++edits;
+          changed = true;
+        }
+      }
+    }
+  }
+  return edits;
+}
+
+}  // namespace adc

@@ -1,0 +1,46 @@
+// LT5 "signal sharing" (paper §5.5): two local output wires that carry the
+// same value at all times — they appear with the same phase in exactly the
+// same output bursts — are merged into a single forked wire that activates
+// both datapath operations.
+
+#include <map>
+#include <vector>
+
+#include "ltrans/common.hpp"
+
+namespace adc {
+
+using namespace detail;
+
+int lt5_signal_sharing(Xbm& m, const SignalBindings& b,
+                       std::vector<std::pair<std::string, std::string>>& shared) {
+  // Signature: ordered (transition, polarity) occurrences.
+  std::map<SignalId::underlying, std::vector<std::pair<TransitionId::underlying, int>>> sig;
+  for (TransitionId tid : m.transition_ids())
+    for (const auto& e : m.transition(tid).outputs)
+      if (is_local_set(role_of(b, e.signal)) || role_of(b, e.signal) == SignalRole::kFuGo)
+        sig[e.signal.value()].push_back({tid.value(), static_cast<int>(e.polarity)});
+
+  int merged = 0;
+  std::vector<SignalId::underlying> ids;
+  for (const auto& [s, occ] : sig) {
+    (void)occ;
+    ids.push_back(s);
+  }
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    for (std::size_t j = i + 1; j < ids.size(); ++j) {
+      auto it = sig.find(ids[j]);
+      if (it == sig.end()) continue;
+      if (sig[ids[i]].empty() || sig[ids[i]] != it->second) continue;
+      // Merge j into i: delete j's edges (identical to i's), record alias.
+      SignalId keep{ids[i]}, drop{ids[j]};
+      for (TransitionId tid : m.transition_ids()) erase_edge(m.transition(tid).outputs, drop);
+      shared.emplace_back(m.signal(keep).name, m.signal(drop).name);
+      sig.erase(ids[j]);
+      ++merged;
+    }
+  }
+  return merged;
+}
+
+}  // namespace adc

@@ -1,0 +1,56 @@
+#include "report/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace adc {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(Row{std::move(cells), false});
+}
+
+void Table::add_separator() { rows_.push_back(Row{{}, true}); }
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& r : rows_)
+    for (std::size_t i = 0; i < r.cells.size() && i < widths.size(); ++i)
+      widths[i] = std::max(widths[i], r.cells[i].size());
+
+  auto line = [&widths](const std::vector<std::string>& cells) {
+    std::ostringstream os;
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      std::string c = i < cells.size() ? cells[i] : "";
+      os << (i == 0 ? "| " : " | ");
+      os << c << std::string(widths[i] - c.size(), ' ');
+    }
+    os << " |";
+    return os.str();
+  };
+  auto rule = [&widths]() {
+    std::ostringstream os;
+    for (std::size_t w : widths) os << "+" << std::string(w + 2, '-');
+    os << "+";
+    return os.str();
+  };
+
+  std::ostringstream os;
+  os << rule() << "\n" << line(header_) << "\n" << rule() << "\n";
+  for (const auto& r : rows_) {
+    if (r.separator)
+      os << rule() << "\n";
+    else
+      os << line(r.cells) << "\n";
+  }
+  os << rule() << "\n";
+  return os.str();
+}
+
+std::string pair_cell(std::size_t a, std::size_t b) {
+  return std::to_string(a) + "/" + std::to_string(b);
+}
+
+}  // namespace adc

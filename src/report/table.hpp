@@ -1,0 +1,30 @@
+#pragma once
+// Minimal ASCII table formatting for the paper-style benchmark reports.
+
+#include <string>
+#include <vector>
+
+namespace adc {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  void add_separator();
+
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+  std::vector<Row> rows_;
+};
+
+// Convenience: "a/b" cell for the paper's "#states #trans" style pairs.
+std::string pair_cell(std::size_t a, std::size_t b);
+
+}  // namespace adc

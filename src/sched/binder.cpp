@@ -1,0 +1,55 @@
+#include <algorithm>
+#include <set>
+
+#include "frontend/builder.hpp"
+#include "sched/scheduler.hpp"
+
+namespace adc {
+
+namespace {
+
+// Emits one scheduled region: statements ordered by (start, bound unit).
+// Per-unit statement order is the start-time order, which is exactly the
+// FU schedule the CDFG's scheduling arcs enforce.
+void emit_region(ProgramBuilder& b, const std::map<std::string, FuId>& fus,
+                 const std::vector<HlsOp>& ops, const ScheduleResult& sched) {
+  std::vector<std::size_t> order(ops.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t c) {
+    const auto& ea = sched.entries[a];
+    const auto& ec = sched.entries[c];
+    if (ea.start != ec.start) return ea.start < ec.start;
+    return a < c;  // program order breaks ties (keeps sequential semantics)
+  });
+  for (std::size_t id : order)
+    b.stmt(fus.at(sched.entries[id].fu), ops[id].stmt.to_string());
+}
+
+}  // namespace
+
+Cdfg schedule_and_bind(const HlsProgram& program, const Resources& res) {
+  auto pro_ops = build_dfg(program.prologue);
+  auto body_ops = build_dfg(program.loop_body);
+  auto pro_sched = list_schedule(pro_ops, res);
+  auto body_sched = list_schedule(body_ops, res);
+
+  // Declare every unit either schedule used (plus ALU1, which owns the loop).
+  std::set<std::string> unit_names{"ALU1"};
+  for (const auto& e : pro_sched.entries) unit_names.insert(e.fu);
+  for (const auto& e : body_sched.entries) unit_names.insert(e.fu);
+
+  ProgramBuilder b(program.name);
+  std::map<std::string, FuId> fus;
+  for (const auto& name : unit_names)
+    fus[name] = b.fu(name, name.substr(0, 3) == "MUL" ? "mul" : "alu");
+
+  emit_region(b, fus, pro_ops, pro_sched);
+  if (!program.loop_body.empty()) {
+    b.begin_loop(fus.at("ALU1"), program.loop_cond);
+    emit_region(b, fus, body_ops, body_sched);
+    b.end_loop();
+  }
+  return b.finish();
+}
+
+}  // namespace adc

@@ -1,0 +1,88 @@
+#include "sched/dfg.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace adc {
+
+std::vector<HlsOp> build_dfg(const std::vector<RtlStatement>& stmts) {
+  std::vector<HlsOp> ops;
+  std::map<std::string, std::size_t> last_write;
+  std::map<std::string, std::vector<std::size_t>> readers_since_write;
+
+  for (std::size_t i = 0; i < stmts.size(); ++i) {
+    HlsOp op;
+    op.id = i;
+    op.stmt = stmts[i];
+    auto add_dep = [&op](std::size_t d) {
+      if (std::find(op.deps.begin(), op.deps.end(), d) == op.deps.end() && d != op.id)
+        op.deps.push_back(d);
+    };
+    for (const auto& r : stmts[i].reads()) {
+      if (auto it = last_write.find(r); it != last_write.end()) add_dep(it->second);  // RAW
+      readers_since_write[r].push_back(i);
+    }
+    const std::string& w = stmts[i].writes();
+    for (std::size_t reader : readers_since_write[w]) add_dep(reader);  // WAR
+    if (auto it = last_write.find(w); it != last_write.end()) add_dep(it->second);  // WAW
+    last_write[w] = i;
+    readers_since_write[w].clear();
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+std::vector<int> asap_schedule(const std::vector<HlsOp>& ops,
+                               const std::vector<int>& op_cycles) {
+  std::vector<int> start(ops.size(), 0);
+  for (const auto& op : ops)  // ops are in sequential order: deps precede
+    for (std::size_t d : op.deps)
+      start[op.id] = std::max(start[op.id], start[d] + op_cycles[d]);
+  return start;
+}
+
+std::vector<int> alap_schedule(const std::vector<HlsOp>& ops,
+                               const std::vector<int>& op_cycles, int deadline) {
+  if (deadline < 0) {
+    auto asap = asap_schedule(ops, op_cycles);
+    deadline = 0;
+    for (const auto& op : ops)
+      deadline = std::max(deadline, asap[op.id] + op_cycles[op.id]);
+  }
+  std::vector<std::vector<std::size_t>> succs(ops.size());
+  for (const auto& op : ops)
+    for (std::size_t d : op.deps) succs[d].push_back(op.id);
+  std::vector<int> start(ops.size(), 0);
+  for (std::size_t i = ops.size(); i-- > 0;) {
+    int latest = deadline - op_cycles[i];
+    for (std::size_t sc : succs[i]) latest = std::min(latest, start[sc] - op_cycles[i]);
+    start[i] = latest;
+  }
+  return start;
+}
+
+std::vector<int> schedule_slack(const std::vector<HlsOp>& ops,
+                                const std::vector<int>& op_cycles) {
+  auto asap = asap_schedule(ops, op_cycles);
+  auto alap = alap_schedule(ops, op_cycles);
+  std::vector<int> slack(ops.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) slack[i] = alap[i] - asap[i];
+  return slack;
+}
+
+std::vector<int> critical_path_priority(const std::vector<HlsOp>& ops,
+                                        const std::vector<int>& op_cycles) {
+  // Reverse topological accumulation: priority = own delay + max successor.
+  std::vector<std::vector<std::size_t>> succs(ops.size());
+  for (const auto& op : ops)
+    for (std::size_t d : op.deps) succs[d].push_back(op.id);
+  std::vector<int> prio(ops.size(), 0);
+  for (std::size_t i = ops.size(); i-- > 0;) {
+    int best = 0;
+    for (std::size_t s : succs[i]) best = std::max(best, prio[s]);
+    prio[i] = op_cycles[i] + best;
+  }
+  return prio;
+}
+
+}  // namespace adc

@@ -1,0 +1,52 @@
+#pragma once
+// Unscheduled data-flow graph — the input to the high-level-synthesis
+// substrate.  The paper assumes a scheduled, resource-bound CDFG as given
+// (produced by a tool in the De Micheli tradition); this module rebuilds
+// that front end: sequential RTL statements are analysed into a dependence
+// graph, list-scheduled under resource constraints, bound to functional
+// units, and emitted as a scheduled CDFG through the ProgramBuilder.
+
+#include <string>
+#include <vector>
+
+#include "cdfg/rtl.hpp"
+
+namespace adc {
+
+struct HlsOp {
+  std::size_t id = 0;
+  RtlStatement stmt;
+  // Dependence edges (ids of ops that must complete first): flow (RAW),
+  // anti (WAR) and output (WAW) dependences all constrain the start order.
+  std::vector<std::size_t> deps;
+};
+
+struct HlsProgram {
+  std::string name = "hls";
+  std::vector<RtlStatement> prologue;   // straight-line code before the loop
+  std::vector<RtlStatement> loop_body;  // empty: no loop
+  std::string loop_cond;                // condition register for the loop
+};
+
+// Builds the dependence graph of a statement list (sequential semantics).
+std::vector<HlsOp> build_dfg(const std::vector<RtlStatement>& stmts);
+
+// Longest dependence chain length, weighting each op by its delay in
+// abstract scheduling cycles (used as the list-scheduling priority).
+std::vector<int> critical_path_priority(const std::vector<HlsOp>& ops,
+                                        const std::vector<int>& op_cycles);
+
+// Unconstrained as-soon-as-possible start times.
+std::vector<int> asap_schedule(const std::vector<HlsOp>& ops,
+                               const std::vector<int>& op_cycles);
+
+// As-late-as-possible start times against the given deadline (defaults to
+// the ASAP makespan, i.e. zero slack on the critical path).
+std::vector<int> alap_schedule(const std::vector<HlsOp>& ops,
+                               const std::vector<int>& op_cycles, int deadline = -1);
+
+// Per-op slack = ALAP - ASAP; zero marks the critical path.
+std::vector<int> schedule_slack(const std::vector<HlsOp>& ops,
+                                const std::vector<int>& op_cycles);
+
+}  // namespace adc

@@ -1,0 +1,48 @@
+// The full elliptic-wave-filter-class benchmark lives in the scheduler
+// library because it is *generated* by the HLS substrate (dependence
+// analysis, list scheduling, binding) rather than hand-scheduled.
+
+#include "frontend/benchmarks.hpp"
+#include "sched/scheduler.hpp"
+
+namespace adc {
+
+Cdfg ewf(int alus, int mults) {
+  // A fifth-order elliptic-wave-filter-class dataflow: two cascaded
+  // second-order sections plus an output section, 26 additions and 8
+  // multiplications over the state registers sv1..sv8.  (The precise
+  // classic EWF node numbering is immaterial here — this serves as the
+  // large-scale benchmark; its reference semantics are its own sequential
+  // interpretation.)
+  HlsProgram p;
+  p.name = "ewf";
+  const char* body[] = {
+      // section 1
+      "t1 := IN + sv1",   "t2 := t1 + sv2",   "m1 := t2 * k1",
+      "t3 := m1 + sv1",   "t4 := t3 + t2",    "m2 := t4 * k2",
+      "t5 := m2 + t3",    "sv1 := t5 + t4",
+      // section 2
+      "t6 := t5 + sv3",   "t7 := t6 + sv4",   "m3 := t7 * k3",
+      "t8 := m3 + sv3",   "t9 := t8 + t7",    "m4 := t9 * k4",
+      "t10 := m4 + t8",   "sv3 := t10 + t9",  "sv4 := t7 + t10",
+      // section 3
+      "t11 := t10 + sv5", "t12 := t11 + sv6", "m5 := t12 * k5",
+      "t13 := m5 + sv5",  "t14 := t13 + t12", "m6 := t14 * k1",
+      "t15 := m6 + t13",  "sv5 := t15 + t14", "sv6 := t12 + t15",
+      // output section and state update
+      "m7 := t15 * k2",   "t16 := m7 + sv7",  "t17 := t16 + sv8",
+      "m8 := t17 * k3",   "t18 := m8 + t16",  "sv7 := t18 + t17",
+      "sv8 := t17 + t18", "OUT := t18 + t15",
+      // feed the remaining state
+      "sv2 := t2 + t5",
+  };
+  for (const char* t : body) p.prologue.push_back(parse_rtl(t));
+  Resources res;
+  res.alus = alus;
+  res.mults = mults;
+  res.alu_cycles = 1;
+  res.mult_cycles = 2;
+  return schedule_and_bind(p, res);
+}
+
+}  // namespace adc

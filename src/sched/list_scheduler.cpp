@@ -1,0 +1,68 @@
+#include <algorithm>
+#include <map>
+
+#include "sched/scheduler.hpp"
+
+namespace adc {
+
+bool needs_multiplier(const RtlStatement& s) {
+  return s.op == RtlOp::kMul || s.op == RtlOp::kDiv;
+}
+
+ScheduleResult list_schedule(const std::vector<HlsOp>& ops, const Resources& res) {
+  ScheduleResult out;
+  out.entries.resize(ops.size());
+
+  std::vector<int> cycles(ops.size());
+  for (const auto& op : ops)
+    cycles[op.id] = op.stmt.is_move() ? 1
+                    : needs_multiplier(op.stmt) ? res.mult_cycles
+                                                : res.alu_cycles;
+  std::vector<int> prio = critical_path_priority(ops, cycles);
+
+  // Unit pools: next-free time per instance.
+  std::vector<int> alu_free(static_cast<std::size_t>(std::max(1, res.alus)), 0);
+  std::vector<int> mul_free(static_cast<std::size_t>(std::max(1, res.mults)), 0);
+
+  std::vector<int> finish(ops.size(), -1);
+  std::vector<bool> placed(ops.size(), false);
+  std::size_t remaining = ops.size();
+
+  while (remaining > 0) {
+    // Ready ops: all deps placed.
+    std::vector<std::size_t> ready;
+    for (const auto& op : ops) {
+      if (placed[op.id]) continue;
+      bool ok = true;
+      for (std::size_t d : op.deps)
+        if (!placed[d]) ok = false;
+      if (ok) ready.push_back(op.id);
+    }
+    // Highest priority first; stable on id.
+    std::sort(ready.begin(), ready.end(), [&prio](std::size_t a, std::size_t b) {
+      return prio[a] != prio[b] ? prio[a] > prio[b] : a < b;
+    });
+    for (std::size_t id : ready) {
+      const HlsOp& op = ops[id];
+      int earliest = 0;
+      for (std::size_t d : op.deps) earliest = std::max(earliest, finish[d]);
+      bool mul = !op.stmt.is_move() && needs_multiplier(op.stmt);
+      auto& pool = mul ? mul_free : alu_free;
+      // First instance free at or before `earliest`, else the earliest-free.
+      std::size_t best = 0;
+      for (std::size_t u = 1; u < pool.size(); ++u)
+        if (pool[u] < pool[best]) best = u;
+      int start = std::max(earliest, pool[best]);
+      pool[best] = start + cycles[id];
+      finish[id] = start + cycles[id];
+      placed[id] = true;
+      --remaining;
+      out.entries[id] = ScheduleEntry{
+          id, start, (mul ? "MUL" : "ALU") + std::to_string(best + 1)};
+      out.makespan = std::max(out.makespan, finish[id]);
+    }
+  }
+  return out;
+}
+
+}  // namespace adc

@@ -1,0 +1,44 @@
+#pragma once
+// Resource-constrained list scheduling and functional-unit binding,
+// producing the scheduled CDFG the paper's flow starts from.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cdfg/cdfg.hpp"
+#include "sched/dfg.hpp"
+
+namespace adc {
+
+struct Resources {
+  int alus = 2;
+  int mults = 2;
+  int alu_cycles = 1;   // abstract scheduling cycles per ALU op
+  int mult_cycles = 2;  // multipliers are slower
+};
+
+struct ScheduleEntry {
+  std::size_t op = 0;
+  int start = 0;
+  std::string fu;  // bound unit, e.g. "ALU1"
+};
+
+struct ScheduleResult {
+  std::vector<ScheduleEntry> entries;  // one per op, op order
+  int makespan = 0;
+};
+
+// Is the statement executed by a multiplier-class unit?
+bool needs_multiplier(const RtlStatement& s);
+
+// List schedule with critical-path priority; ties broken by op id.  Ops are
+// bound to the unit instance that becomes free first (round-robin on ties).
+ScheduleResult list_schedule(const std::vector<HlsOp>& ops, const Resources& res);
+
+// The full front end: schedule prologue and loop body, bind, and emit a
+// scheduled CDFG via the ProgramBuilder (the LOOP is bound to the first
+// ALU-class unit, matching the paper's target architecture).
+Cdfg schedule_and_bind(const HlsProgram& program, const Resources& res);
+
+}  // namespace adc

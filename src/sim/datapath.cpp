@@ -1,0 +1,22 @@
+#include "sim/datapath.hpp"
+
+namespace adc {
+
+std::int64_t alu_compute(RtlOp op, std::int64_t l, std::int64_t r) {
+  switch (op) {
+    case RtlOp::kAdd: return l + r;
+    case RtlOp::kSub: return l - r;
+    case RtlOp::kMul: return l * r;
+    case RtlOp::kDiv: return r == 0 ? 0 : l / r;
+    case RtlOp::kLt: return l < r ? 1 : 0;
+    case RtlOp::kGt: return l > r ? 1 : 0;
+    case RtlOp::kEq: return l == r ? 1 : 0;
+    case RtlOp::kNe: return l != r ? 1 : 0;
+    case RtlOp::kShl: return l << (r & 63);
+    case RtlOp::kShr: return l >> (r & 63);
+    case RtlOp::kMove: return l;
+  }
+  return 0;
+}
+
+}  // namespace adc

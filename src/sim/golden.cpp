@@ -1,0 +1,38 @@
+#include "sim/golden.hpp"
+
+#include <stdexcept>
+
+namespace adc {
+
+DiffeqOutputs diffeq_reference(const DiffeqInputs& in, std::int64_t max_iters) {
+  DiffeqOutputs out{in.x, in.y, in.u, 0};
+  while (out.x < in.a) {
+    if (++out.iterations > max_iters)
+      throw std::runtime_error("diffeq_reference: iteration bound exceeded");
+    std::int64_t x = out.x, y = out.y, u = out.u;
+    std::int64_t x1 = x + in.dx;
+    std::int64_t u1 = u - 3 * x * u * in.dx - 3 * y * in.dx;
+    std::int64_t y1 = y + u * in.dx;
+    out.x = x1;
+    out.u = u1;
+    out.y = y1;
+  }
+  return out;
+}
+
+std::map<std::string, std::int64_t> diffeq_reference_registers(
+    const std::map<std::string, std::int64_t>& init) {
+  auto get = [&init](const char* k) {
+    auto it = init.find(k);
+    return it == init.end() ? 0 : it->second;
+  };
+  DiffeqInputs in{get("X"), get("Y"), get("U"), get("dx"), get("a")};
+  DiffeqOutputs ref = diffeq_reference(in);
+  std::map<std::string, std::int64_t> regs = init;
+  regs["X"] = ref.x;
+  regs["Y"] = ref.y;
+  regs["U"] = ref.u;
+  return regs;
+}
+
+}  // namespace adc

@@ -1,0 +1,30 @@
+#pragma once
+// Independent software reference models ("golden" oracles).  Written
+// directly against the benchmark mathematics, not against the CDFG, so
+// that frontend bugs cannot hide.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace adc {
+
+struct DiffeqInputs {
+  std::int64_t x = 0, y = 0, u = 0, dx = 1, a = 0;
+};
+
+struct DiffeqOutputs {
+  std::int64_t x = 0, y = 0, u = 0;
+  std::int64_t iterations = 0;
+};
+
+// The differential-equation solver benchmark: while (x < a)
+//   { x1 = x + dx; u1 = u - 3*x*u*dx - 3*y*dx; y1 = y + u*dx; ... }
+// computed in the same fixed-point integer arithmetic the datapath uses.
+DiffeqOutputs diffeq_reference(const DiffeqInputs& in, std::int64_t max_iters = 100000);
+
+// Register-map convenience wrapper matching the CDFG register names.
+std::map<std::string, std::int64_t> diffeq_reference_registers(
+    const std::map<std::string, std::int64_t>& init);
+
+}  // namespace adc

@@ -1,0 +1,85 @@
+#pragma once
+// CDFG-level token simulator.
+//
+// Executes a (possibly transformed) CDFG under its asynchronous firing
+// semantics: "an operation node may fire if all its predecessors have
+// fired" (paper §2.1), generalized to repeated loop executions via per-arc
+// token queues:
+//
+//  * every constraint arc carries a FIFO token count,
+//  * a node fires when every live incoming arc holds a token (consuming
+//    one from each) and the node is not already busy,
+//  * backward arcs and the implicit controller wrap-around constraints are
+//    pre-loaded with one token ("pre-enabled for the first iteration"),
+//  * LOOP nodes sample their condition register when they fire: on true
+//    they emit tokens into the loop body, on false onto their exit arcs,
+//  * IF bodies execute transparently when the condition is false: nodes
+//    fire (so schedule tokens keep flowing between controllers, exactly as
+//    the extracted controllers behave) but skip their RTL effect,
+//  * each firing occupies the node for a randomly drawn delay within the
+//    delay model's interval.
+//
+// The simulator doubles as the correctness oracle for the transformations:
+// final register state must be invariant under any precedence-preserving
+// transform, for any delay assignment.  It also checks the single-wire
+// signaling discipline: an inter-controller arc must never accumulate two
+// unconsumed tokens (that would be two transitions queued on one ready
+// wire, the hazard GT1 step D exists to prevent).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cdfg/cdfg.hpp"
+#include "cdfg/delay.hpp"
+
+namespace adc {
+
+struct TokenSimOptions {
+  DelayModel delays = DelayModel::typical();
+  std::uint64_t seed = 1;          // randomizes per-firing delays
+  std::int64_t max_firings = 200000;
+  bool check_wire_discipline = true;
+  bool randomize_delays = true;    // false: everything takes its max delay
+  bool all_min_delays = false;     // with randomize_delays=false: min corner
+  // Record per-firing fire/completion times (used by the GT3 relative-
+  // timing verification).
+  bool record_times = false;
+  // Timing-harness mode (data-independent): every LOOP runs exactly this
+  // many iterations regardless of its condition register, and IF bodies are
+  // always taken.  Negative: normal data-driven execution.
+  int forced_loop_iterations = -1;
+};
+
+struct TokenSimResult {
+  bool completed = false;          // END fired
+  std::string error;               // deadlock / wire violation / runaway
+  std::map<std::string, std::int64_t> registers;
+  std::int64_t finish_time = 0;
+  std::int64_t firings = 0;
+  std::int64_t loop_iterations = 0;  // total LOOP-node true-firings
+  // Maximum number of iterations that were ever in flight at once (>1 only
+  // after GT1 loop parallelism): the widest spread of iteration indices
+  // among concurrently executing loop-body nodes.
+  int max_overlap = 1;
+  // Per node (by id value): fire / completion time of each firing, in
+  // firing order.  Populated only with TokenSimOptions::record_times.
+  std::map<std::uint32_t, std::vector<std::int64_t>> fire_times;
+  std::map<std::uint32_t, std::vector<std::int64_t>> completion_times;
+};
+
+TokenSimResult run_token_sim(const Cdfg& g,
+                             const std::map<std::string, std::int64_t>& initial_registers,
+                             const TokenSimOptions& opts = {});
+
+// Reference sequential execution of the same RTL program (program-order
+// interpretation of the CDFG), used as the golden model.
+std::map<std::string, std::int64_t> run_sequential(
+    const Cdfg& g, const std::map<std::string, std::int64_t>& initial_registers,
+    std::int64_t max_steps = 1000000);
+
+// Evaluates one RTL statement against a register file.
+void execute_statement(const RtlStatement& s, std::map<std::string, std::int64_t>& regs);
+
+}  // namespace adc

@@ -1,0 +1,150 @@
+#include "transforms/concurrency.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace adc {
+
+namespace {
+
+// The chain of IF blocks enclosing a node (innermost first).  Events and
+// waits under different IF contexts fire conditionally and cannot share a
+// counted wire.
+std::vector<BlockId::underlying> if_context(const Cdfg& g, NodeId n) {
+  std::vector<BlockId::underlying> out;
+  BlockId b = g.node(n).block;
+  while (b.valid()) {
+    if (g.block(b).kind == NodeKind::kIf) out.push_back(b.value());
+    b = g.block(b).parent;
+  }
+  return out;
+}
+
+// The innermost loop block the node repeats with (or invalid): events on
+// one wire must repeat together.  LOOP/ENDLOOP boundary nodes repeat with
+// the loop they delimit, not with their enclosing block.
+BlockId::underlying loop_context(const Cdfg& g, NodeId n) {
+  const Node& node = g.node(n);
+  if (node.kind == NodeKind::kLoop || node.kind == NodeKind::kEndLoop) {
+    for (BlockId b : g.block_ids())
+      if (g.block(b).root == n || g.block(b).end == n) return b.value();
+  }
+  BlockId b = node.block;
+  while (b.valid()) {
+    if (g.block(b).kind == NodeKind::kLoop) return b.value();
+    b = g.block(b).parent;
+  }
+  return BlockId::invalid().value();
+}
+
+using Key = std::pair<int, int>;  // (iteration offset, dst schedule position)
+
+// Earliest wait point of event `e` at receiver `fu`; nullopt when the event
+// does not constrain that receiver at all.
+std::optional<Key> consumption_key(const Cdfg& g, const ChannelEvent& e, FuId fu) {
+  std::optional<Key> best;
+  for (ArcId aid : e.arcs) {
+    const Arc& a = g.arc(aid);
+    if (g.node(a.dst).fu != fu) continue;
+    auto pos = schedule_position(g, a.dst);
+    if (!pos) return std::nullopt;
+    Key k{a.offset(), *pos};
+    if (!best || k < *best) best = k;
+  }
+  return best;
+}
+
+bool events_well_ordered(const Cdfg& g, const std::vector<ChannelEvent>& events,
+                         const std::vector<FuId>& receivers) {
+  if (events.empty()) return false;
+
+  // All sources on one FU, all in the same loop / IF context.
+  FuId src_fu = g.node(events.front().source).fu;
+  auto ctx = if_context(g, events.front().source);
+  auto loop = loop_context(g, events.front().source);
+  std::set<NodeId::underlying> sources;
+  for (const auto& e : events) {
+    if (g.node(e.source).fu != src_fu) return false;
+    if (if_context(g, e.source) != ctx) return false;
+    if (loop_context(g, e.source) != loop) return false;
+    if (!sources.insert(e.source.value()).second) return false;  // must be combined
+    for (ArcId aid : e.arcs) {
+      const Arc& a = g.arc(aid);
+      if (if_context(g, a.dst) != ctx) return false;
+      if (loop_context(g, a.dst) != loop) return false;
+    }
+  }
+
+  // Emission order (already required of `events`): strictly increasing
+  // schedule positions.
+  int prev_pos = -1;
+  for (const auto& e : events) {
+    auto pos = schedule_position(g, e.source);
+    if (!pos || *pos <= prev_pos) return false;
+    prev_pos = *pos;
+  }
+
+  // Consumption keys per receiver: every event must constrain every
+  // receiver, keys non-decreasing, and the wrap into the next iteration
+  // must be consistent.
+  for (FuId fu : receivers) {
+    std::vector<Key> keys;
+    for (const auto& e : events) {
+      auto k = consumption_key(g, e, fu);
+      if (!k) return false;
+      keys.push_back(*k);
+    }
+    for (std::size_t i = 0; i + 1 < keys.size(); ++i)
+      if (keys[i + 1] < keys[i]) return false;
+    Key wrapped_first{keys.front().first + 1, keys.front().second};
+    if (wrapped_first < keys.back()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<int> schedule_position(const Cdfg& g, NodeId n) {
+  FuId fu = g.node(n).fu;
+  if (!fu.valid()) return std::nullopt;
+  const auto& order = g.fu_order(fu);
+  for (std::size_t i = 0; i < order.size(); ++i)
+    if (order[i] == n) return static_cast<int>(i);
+  return std::nullopt;
+}
+
+std::vector<ChannelEvent> merged_events(const Cdfg& g, const Channel& a, const Channel& b) {
+  std::map<NodeId::underlying, ChannelEvent> by_source;
+  for (const Channel* c : {&a, &b}) {
+    for (const auto& e : c->events) {
+      auto [it, inserted] = by_source.try_emplace(e.source.value(), e);
+      if (!inserted)
+        it->second.arcs.insert(it->second.arcs.end(), e.arcs.begin(), e.arcs.end());
+    }
+  }
+  std::vector<ChannelEvent> out;
+  for (auto& [src, e] : by_source) {
+    (void)src;
+    out.push_back(std::move(e));
+  }
+  std::sort(out.begin(), out.end(), [&g](const ChannelEvent& x, const ChannelEvent& y) {
+    return schedule_position(g, x.source).value_or(0) <
+           schedule_position(g, y.source).value_or(0);
+  });
+  return out;
+}
+
+bool can_multiplex(const Cdfg& g, const Channel& a, const Channel& b) {
+  if (!a.src_fu.valid() || a.src_fu != b.src_fu) return false;
+  if (a.receivers != b.receivers) return false;  // sorted by construction
+  auto events = merged_events(g, a, b);
+  return events_well_ordered(g, events, a.receivers);
+}
+
+bool channel_order_consistent(const Cdfg& g, const Channel& c) {
+  if (c.involves_environment()) return true;  // env handshakes are singular
+  return events_well_ordered(g, c.events, c.receivers);
+}
+
+}  // namespace adc

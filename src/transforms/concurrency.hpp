@@ -1,0 +1,46 @@
+#pragma once
+// Channel-sharing legality analysis for GT5.
+//
+// A shared ("multiplexed") wire carries several events per iteration.  It
+// is safe exactly when every receiving controller consumes the transitions
+// in the order the sending controller emits them:
+//
+//  * emission order is the source nodes' position in the sending FU's
+//    schedule (the sender is sequential, so events never collide),
+//  * a receiver consumes an event at the earliest of its constraint arcs'
+//    wait points; a wait point is the pair (iteration offset, position of
+//    the destination node in the receiving FU's schedule),
+//  * consumption keys must be non-decreasing along the emission order, and
+//    must wrap consistently into the next iteration (first key shifted by
+//    one iteration must not precede the last key).
+//
+// This subsumes the paper's "never concurrently active" condition for
+// GT5.1 and the multi-way ordering requirements of GT5.3.  Sharing is also
+// rejected when the endpoints live under different IF contexts (an event
+// emitted conditionally would break transition counting) or in different
+// loop blocks (events must repeat together).
+
+#include <optional>
+
+#include "cdfg/cdfg.hpp"
+#include "channel/channel.hpp"
+
+namespace adc {
+
+// Index of the node in its FU's schedule; nullopt if unbound.
+std::optional<int> schedule_position(const Cdfg& g, NodeId n);
+
+// True if channels a and b may share one wire: same source FU, identical
+// receiver sets, every event constraining every receiver, and consistent
+// consumption order at every receiver.
+bool can_multiplex(const Cdfg& g, const Channel& a, const Channel& b);
+
+// The merged event list (emission order; same-source events combined).
+// Precondition: can_multiplex(g, a, b).
+std::vector<ChannelEvent> merged_events(const Cdfg& g, const Channel& a, const Channel& b);
+
+// Validates the ordering conditions for a single (possibly already
+// multiplexed or multi-way) channel.  Used by ChannelPlan consumers.
+bool channel_order_consistent(const Cdfg& g, const Channel& c);
+
+}  // namespace adc

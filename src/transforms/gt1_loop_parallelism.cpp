@@ -1,0 +1,176 @@
+#include <map>
+#include <optional>
+#include <set>
+
+#include "cdfg/analysis.hpp"
+#include "transforms/global.hpp"
+
+namespace adc {
+
+namespace {
+
+// Def-use instance bookkeeping at loop-body scope.  Nested blocks take part
+// through their boundary nodes, like the frontend's arc generation: reads
+// and writes of a nested region are summarized, entering at the root and
+// completing at the exit node.
+struct ScopedAccess {
+  NodeId entry;
+  NodeId exit;
+  std::set<std::string> reads;
+  std::set<std::string> writes;
+};
+
+std::vector<ScopedAccess> body_members(const Cdfg& g, BlockId body) {
+  std::vector<ScopedAccess> members;
+  for (NodeId nid : g.node_ids()) {
+    const Node& n = g.node(nid);
+    if (n.block != body) continue;
+    if (n.kind == NodeKind::kEndLoop || n.kind == NodeKind::kEndIf) continue;
+    ScopedAccess m;
+    m.entry = nid;
+    m.exit = nid;
+    if (n.kind == NodeKind::kLoop || n.kind == NodeKind::kIf) {
+      BlockId nested;
+      for (BlockId b : g.block_ids())
+        if (g.block(b).root == nid) nested = b;
+      if (n.kind == NodeKind::kIf) m.exit = g.block(nested).end;
+      for (NodeId inner : g.node_ids()) {
+        if (!in_block(g, inner, nested)) continue;
+        for (const auto& s : g.node(inner).stmts) {
+          for (const auto& r : s.reads()) m.reads.insert(r);
+          m.writes.insert(s.dest);
+        }
+        if (!g.node(inner).cond_reg.empty()) m.reads.insert(g.node(inner).cond_reg);
+      }
+      if (!n.cond_reg.empty()) m.reads.insert(n.cond_reg);
+    } else {
+      for (const auto& s : n.stmts) {
+        for (const auto& r : s.reads()) m.reads.insert(r);
+        m.writes.insert(s.dest);
+      }
+    }
+    members.push_back(std::move(m));
+  }
+  // Program order == node creation order.
+  std::sort(members.begin(), members.end(),
+            [](const ScopedAccess& a, const ScopedAccess& b) { return a.entry < b.entry; });
+  return members;
+}
+
+TransformResult transform_loop(Cdfg& g, BlockId body) {
+  TransformResult res;
+  res.name = "GT1 loop parallelism";
+  const Block& blk = g.block(body);
+  NodeId loop = blk.root;
+  NodeId endloop = blk.end;
+
+  // --- Step A: remove synchronization at ENDLOOP -------------------------
+  // Keep only the FU scheduling arc from ENDLOOP's schedule predecessor.
+  std::optional<NodeId> sched_pred;
+  {
+    const auto& order = g.fu_order(g.node(endloop).fu);
+    for (std::size_t i = 0; i < order.size(); ++i)
+      if (order[i] == endloop && i > 0) sched_pred = order[i - 1];
+  }
+  for (ArcId aid : g.in_arcs(endloop)) {
+    const Arc& a = g.arc(aid);
+    if (sched_pred && a.src == *sched_pred) continue;
+    g.remove_arc(aid);
+    ++res.arcs_removed;
+    res.note("A: removed " + g.node(a.src).label() + " -> ENDLOOP");
+  }
+
+  // --- Step B: backward arcs for loop-body variables ---------------------
+  // For each register written in the body: from its last instances (one
+  // write or the parallel reads after it) back to its first instances.
+  auto members = body_members(g, body);
+  std::set<std::string> written;
+  for (const auto& m : members)
+    for (const auto& w : m.writes) written.insert(w);
+
+  for (const auto& reg : written) {
+    // First instances: the parallel reads of the incoming value, or the
+    // first write if the register is written before any read.  A
+    // read-modify-write node counts as a reader (it samples the old value).
+    std::vector<NodeId> first;
+    for (const auto& m : members) {
+      bool reads = m.reads.count(reg) != 0, writes = m.writes.count(reg) != 0;
+      if (!reads && !writes) continue;
+      if (reads || first.empty()) first.push_back(m.entry);
+      if (writes) break;
+    }
+    // Last instances: the final write, or the parallel reads following it.
+    std::vector<NodeId> last;
+    for (auto it = members.rbegin(); it != members.rend(); ++it) {
+      bool reads = it->reads.count(reg) != 0, writes = it->writes.count(reg) != 0;
+      if (!reads && !writes) continue;
+      if (writes) {
+        if (last.empty()) last.push_back(it->exit);
+        break;
+      }
+      last.push_back(it->exit);
+    }
+    for (NodeId l : last) {
+      for (NodeId f : first) {
+        if (l == f) continue;  // a node is ordered with itself by its controller
+        if (g.find_arc(l, f, /*backward=*/true)) continue;
+        if (is_implied(g, l, f, /*offset=*/1)) continue;
+        g.add_arc(l, f, ArcRole::kRegAlloc, /*backward=*/true, reg);
+        ++res.arcs_added;
+        res.note("B: backward " + g.node(l).label() + " -> " + g.node(f).label() + " (" +
+                 reg + ")");
+      }
+    }
+  }
+
+  // --- Step C: loop variable updated before re-examination ---------------
+  {
+    const std::string& cond = g.node(loop).cond_reg;
+    std::optional<NodeId> last_write;
+    for (const auto& m : members)
+      if (m.writes.count(cond)) last_write = m.exit;
+    if (last_write && *last_write != endloop &&
+        !is_implied(g, *last_write, endloop, /*offset=*/0)) {
+      g.add_arc(*last_write, endloop, ArcRole::kControl, false, cond);
+      ++res.arcs_added;
+      res.note("C: " + g.node(*last_write).label() + " -> ENDLOOP");
+    }
+  }
+
+  // --- Step D: limit parallelism to two consecutive iterations -----------
+  // The first use of each functional unit in the body must complete before
+  // the next iteration starts, or a second request could queue on the
+  // LOOP -> first-use wire.
+  {
+    std::map<FuId::underlying, NodeId> first_use;
+    for (const auto& m : members) {
+      FuId fu = g.node(m.entry).fu;
+      if (!fu.valid()) continue;
+      first_use.try_emplace(fu.value(), m.entry);
+    }
+    for (const auto& [fu, node] : first_use) {
+      (void)fu;
+      if (node == endloop) continue;
+      if (is_implied(g, node, endloop, /*offset=*/0)) continue;
+      g.add_arc(node, endloop, ArcRole::kControl);
+      ++res.arcs_added;
+      res.note("D: " + g.node(node).label() + " -> ENDLOOP");
+    }
+  }
+  return res;
+}
+
+}  // namespace
+
+TransformResult gt1_loop_parallelism(Cdfg& g) {
+  TransformResult res;
+  res.name = "GT1 loop parallelism";
+  for (BlockId b : g.block_ids()) {
+    if (g.block(b).kind != NodeKind::kLoop) continue;
+    res.absorb(transform_loop(g, b));
+  }
+  res.name = "GT1 loop parallelism";
+  return res;
+}
+
+}  // namespace adc

@@ -1,0 +1,24 @@
+#include "cdfg/analysis.hpp"
+#include "transforms/global.hpp"
+
+namespace adc {
+
+TransformResult gt2_remove_dominated(Cdfg& g, const Gt2Options& opts) {
+  TransformResult res;
+  res.name = "GT2 remove dominated constraints";
+  // Arcs are checked in id order; after each removal the remaining graph is
+  // what later checks run against, so two arcs that imply each other can
+  // never both disappear.
+  for (ArcId aid : g.arc_ids()) {
+    const Arc& a = g.arc(aid);
+    if (opts.only_inter_controller && g.node(a.src).fu == g.node(a.dst).fu) continue;
+    if (!is_dominated(g, aid)) continue;
+    res.note("removed " + g.node(a.src).label() + " -> " + g.node(a.dst).label() + " (" +
+             to_string(a.roles) + (a.backward ? ", backward" : "") + ")");
+    g.remove_arc(aid);
+    ++res.arcs_removed;
+  }
+  return res;
+}
+
+}  // namespace adc

@@ -1,0 +1,110 @@
+#include <algorithm>
+
+#include "cdfg/analysis.hpp"
+#include "sim/token_sim.hpp"
+#include "transforms/global.hpp"
+
+namespace adc {
+
+namespace {
+
+// True if node n sits under any IF block: its firings are conditional, so
+// firing counts would not align across instances and the verification
+// below would compare the wrong pairs.
+bool under_if(const Cdfg& g, NodeId n) {
+  BlockId b = g.node(n).block;
+  while (b.valid()) {
+    if (g.block(b).kind == NodeKind::kIf) return true;
+    b = g.block(b).parent;
+  }
+  return false;
+}
+
+// Structural fast path: candidate u = (a -> b, ou) is never last if some
+// remaining arc w = (c -> b, ow) satisfies a =>(offset <= ou - ow) c —
+// then c's completion (and hence w's arrival) always follows a's.
+bool structurally_covered(const Cdfg& g, const Arc& u) {
+  for (ArcId wid : g.in_arcs(u.dst)) {
+    const Arc& w = g.arc(wid);
+    int budget = u.offset() - w.offset();
+    if (budget < 0) continue;
+    if (w.src == u.src || is_implied(g, u.src, w.src, budget)) return true;
+  }
+  return false;
+}
+
+// Timing verification on the relaxed graph (u already tombstoned): in every
+// trial, a's (j - offset)-th completion must precede b's j-th firing by at
+// least `margin`.
+bool timing_covered(const Cdfg& g, const Arc& u, const DelayModel& delays,
+                    const Gt3Options& opts) {
+  auto check_trial = [&](const TokenSimOptions& simopts) {
+    TokenSimResult r = run_token_sim(g, {}, simopts);
+    if (!r.error.empty()) return false;
+    const auto fit = r.fire_times.find(u.dst.value());
+    const auto cit = r.completion_times.find(u.src.value());
+    if (fit == r.fire_times.end()) return true;  // destination never fired
+    if (cit == r.completion_times.end()) return false;
+    const auto& fires = fit->second;
+    const auto& completions = cit->second;
+    for (std::size_t j = 0; j < fires.size(); ++j) {
+      std::ptrdiff_t k = static_cast<std::ptrdiff_t>(j) - u.offset();
+      if (k < 0) continue;  // pre-enabled for the first iteration
+      if (static_cast<std::size_t>(k) >= completions.size()) continue;  // straggler
+      if (completions[static_cast<std::size_t>(k)] + opts.margin > fires[j]) return false;
+    }
+    return true;
+  };
+
+  TokenSimOptions base;
+  base.delays = delays;
+  base.record_times = true;
+  base.forced_loop_iterations = opts.harness_iterations;
+  base.check_wire_discipline = false;  // the harness measures time, not protocol
+
+  TokenSimOptions corner = base;
+  corner.randomize_delays = false;
+  corner.all_min_delays = false;
+  if (!check_trial(corner)) return false;  // all-max
+  corner.all_min_delays = true;
+  if (!check_trial(corner)) return false;  // all-min
+  for (int s = 1; s <= opts.samples; ++s) {
+    TokenSimOptions trial = base;
+    trial.seed = static_cast<std::uint64_t>(s) * 7919u + 13u;
+    if (!check_trial(trial)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+TransformResult gt3_relative_timing(Cdfg& g, const DelayModel& delays,
+                                    const Gt3Options& opts) {
+  TransformResult res;
+  res.name = "GT3 relative-timing optimization";
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (ArcId aid : g.arc_ids()) {
+      Arc& a = g.arc(aid);
+      if (opts.only_inter_controller && g.node(a.src).fu == g.node(a.dst).fu) continue;
+      if (g.in_arcs(a.dst).size() < 2) continue;  // nothing can cover it
+      if (under_if(g, a.src) || under_if(g, a.dst)) continue;
+
+      a.alive = false;  // hypothesize removal; prove on the relaxed system
+      bool safe = structurally_covered(g, a) || timing_covered(g, a, delays, opts);
+      if (safe) {
+        ++res.arcs_removed;
+        res.note("removed " + g.node(a.src).label() + " -> " + g.node(a.dst).label() +
+                 " (never the last arrival under the delay model)");
+        changed = true;
+      } else {
+        a.alive = true;
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace adc

@@ -1,0 +1,102 @@
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "cdfg/analysis.hpp"
+#include "transforms/global.hpp"
+
+namespace adc {
+
+namespace {
+
+std::set<std::string> reads_of(const Node& n) {
+  std::set<std::string> out;
+  for (const auto& s : n.stmts)
+    for (const auto& r : s.reads()) out.insert(r);
+  return out;
+}
+
+std::set<std::string> writes_of(const Node& n) {
+  std::set<std::string> out;
+  for (const auto& s : n.stmts) out.insert(s.dest);
+  return out;
+}
+
+bool disjoint(const std::set<std::string>& a, const std::set<std::string>& b) {
+  for (const auto& x : a)
+    if (b.count(x)) return false;
+  return true;
+}
+
+// The merged node executes the assignment in parallel with the operation,
+// which is only legal when they are register-independent: the assignment
+// must not consume the operation's result, overwrite its sources, or race
+// on a common destination (and vice versa).
+bool independent(const Node& assign, const Node& op) {
+  auto ar = reads_of(assign), aw = writes_of(assign);
+  auto orr = reads_of(op), ow = writes_of(op);
+  return disjoint(ar, ow) && disjoint(aw, orr) && disjoint(aw, ow) && disjoint(ar, aw);
+}
+
+// Merging `first` and `second` (schedule order) collapses them into one
+// node; any *indirect* forward path first -> ... -> second would then
+// become a cycle through the merged node.  Checks by hiding the direct
+// arcs and asking whether an offset-0 path remains.
+bool merge_creates_cycle(Cdfg& g, NodeId first, NodeId second) {
+  std::vector<ArcId> hidden;
+  for (ArcId aid : g.out_arcs(first)) {
+    if (g.arc(aid).dst == second && !g.arc(aid).backward) {
+      g.arc(aid).alive = false;
+      hidden.push_back(aid);
+    }
+  }
+  bool indirect = is_implied(g, first, second, /*offset=*/0, /*include_fu_wrap=*/false);
+  for (ArcId aid : hidden) g.arc(aid).alive = true;
+  return indirect;
+}
+
+}  // namespace
+
+TransformResult gt4_merge_assignments(Cdfg& g) {
+  TransformResult res;
+  res.name = "GT4 merge assignment nodes";
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (FuId fu : g.fu_ids()) {
+      const auto order = g.fu_order(fu);  // copy: merging edits the schedule
+      for (std::size_t i = 0; i < order.size(); ++i) {
+        const Node& v = g.node(order[i]);
+        if (!v.alive || v.kind != NodeKind::kAssign) continue;
+
+        // Prefer merging into the *preceding* schedule neighbour (the
+        // assignment rides along with the operation already in flight);
+        // fall back to the succeeding one.
+        for (int dir : {-1, +1}) {
+          std::size_t j = i + static_cast<std::size_t>(dir);
+          if (dir < 0 && i == 0) continue;
+          if (j >= order.size()) continue;
+          const Node& s = g.node(order[j]);
+          if (!s.alive || s.is_control()) continue;
+          if (s.block != v.block) continue;  // never across block boundaries
+          if (!independent(v, s)) continue;
+          NodeId earlier = dir < 0 ? order[j] : order[i];
+          NodeId later = dir < 0 ? order[i] : order[j];
+          if (merge_creates_cycle(g, earlier, later)) continue;
+
+          res.note("merged '" + v.label() + "' into '" + s.label() + "' on " +
+                   g.fu(fu).name);
+          g.merge_nodes(order[j], order[i]);
+          ++res.nodes_merged;
+          changed = true;
+          break;
+        }
+        if (changed) break;
+      }
+      if (changed) break;
+    }
+  }
+  return res;
+}
+
+}  // namespace adc

@@ -1,0 +1,58 @@
+#pragma once
+// Transform scripting — the paper closes with "algorithmic heuristics and
+// scripts based on the set of transformations … are forthcoming"; this
+// module supplies them.  A script is a semicolon-separated sequence of
+// transformation steps applied in order (steps may repeat), in the spirit
+// of SIS scripts:
+//
+//   gt1; gt2; gt3(margin=2); gt4; gt2; gt5(broadcast=all); lt(no_sharing)
+//
+// Steps and options:
+//   gt1                         loop parallelism
+//   gt2 | gt2(all)              dominated-constraint removal (all: also
+//                               intra-controller arcs)
+//   gt3(margin=N, samples=N)    relative-timing removal
+//   gt4                         assignment merging
+//   gt5(broadcast=first|all|none, no_mux, no_sym, concred)
+//                               channel elimination
+//   lt(no_move_up, no_move_down, no_presel, no_acks, no_sharing)
+//                               configures the local pipeline applied to
+//                               every extracted controller
+//
+// parse() throws std::invalid_argument with a position on malformed input.
+
+#include <string>
+#include <vector>
+
+#include "ltrans/local.hpp"
+#include "transforms/pipeline.hpp"
+
+namespace adc {
+
+class TransformScript {
+ public:
+  static TransformScript parse(const std::string& source);
+
+  // Applies the global steps in script order; returns the per-stage log
+  // and the final channel plan (derived fresh if the script has no gt5).
+  GlobalPipelineResult run(Cdfg& g, const DelayModel& delays = DelayModel::typical()) const;
+
+  // The LT configuration collected from the script's `lt(...)` step
+  // (defaults when absent).
+  const LocalTransformOptions& local_options() const { return local_; }
+  bool has_local_step() const { return has_lt_; }
+
+  // Normalized rendering (for logs and round-trip tests).
+  std::string to_string() const;
+
+ private:
+  struct Step {
+    std::string name;
+    std::vector<std::pair<std::string, std::string>> args;
+  };
+  std::vector<Step> steps_;
+  LocalTransformOptions local_;
+  bool has_lt_ = false;
+};
+
+}  // namespace adc

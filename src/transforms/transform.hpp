@@ -1,0 +1,32 @@
+#pragma once
+// Common result type for the global (CDFG-level) transformations GT1-GT5.
+// Every transform reports what it changed so pipelines and benches can
+// print per-stage statistics, mirroring the paper's experimental tables.
+
+#include <string>
+#include <vector>
+
+namespace adc {
+
+struct TransformResult {
+  std::string name;
+  int arcs_removed = 0;
+  int arcs_added = 0;
+  int nodes_merged = 0;
+  int channels_merged = 0;
+  std::vector<std::string> notes;  // human-readable change log
+
+  bool changed() const {
+    return arcs_removed || arcs_added || nodes_merged || channels_merged;
+  }
+  void note(std::string n) { notes.push_back(std::move(n)); }
+  void absorb(const TransformResult& other) {
+    arcs_removed += other.arcs_removed;
+    arcs_added += other.arcs_added;
+    nodes_merged += other.nodes_merged;
+    channels_merged += other.channels_merged;
+    for (const auto& n : other.notes) notes.push_back(n);
+  }
+};
+
+}  // namespace adc

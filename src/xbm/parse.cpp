@@ -1,0 +1,207 @@
+#include "xbm/parse.hpp"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace adc {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw std::invalid_argument("xbm parse error at line " + std::to_string(line) + ": " + msg);
+}
+
+std::vector<std::string> tokens_of(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream is(line);
+  std::string t;
+  while (is >> t) {
+    if (t[0] == ';') break;  // comment
+    out.push_back(t);
+  }
+  return out;
+}
+
+struct PendingEdge {
+  std::string name;
+  EdgePolarity polarity;
+  bool ddc;
+};
+
+// Parses "name+", "name-", "name~", each optionally followed by '*'.
+PendingEdge parse_edge(std::string t, int line) {
+  PendingEdge e{};
+  if (!t.empty() && t.back() == '*') {
+    e.ddc = true;
+    t.pop_back();
+  }
+  if (t.size() < 2) fail(line, "malformed edge '" + t + "'");
+  char suffix = t.back();
+  t.pop_back();
+  switch (suffix) {
+    case '+': e.polarity = EdgePolarity::kRising; break;
+    case '-': e.polarity = EdgePolarity::kFalling; break;
+    case '~': e.polarity = EdgePolarity::kToggle; break;
+    default: fail(line, std::string("unknown edge suffix '") + suffix + "'");
+  }
+  e.name = std::move(t);
+  return e;
+}
+
+SignalRole role_from_name(const std::string& name) {
+  static const std::map<std::string, SignalRole> roles = {
+      {"global-ready", SignalRole::kGlobalReady},
+      {"environment", SignalRole::kEnvironment},
+      {"mux-select", SignalRole::kMuxSelect},
+      {"mux-ack", SignalRole::kMuxAck},
+      {"op-select", SignalRole::kOpSelect},
+      {"op-ack", SignalRole::kOpAck},
+      {"fu-go", SignalRole::kFuGo},
+      {"fu-done", SignalRole::kFuDone},
+      {"regmux-select", SignalRole::kRegMuxSelect},
+      {"regmux-ack", SignalRole::kRegMuxAck},
+      {"latch", SignalRole::kLatch},
+      {"latch-ack", SignalRole::kLatchAck},
+      {"conditional", SignalRole::kConditional},
+  };
+  auto it = roles.find(name);
+  if (it == roles.end()) throw std::invalid_argument("unknown role name '" + name + "'");
+  return it->second;
+}
+
+}  // namespace
+
+Xbm parse_xbm(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+
+  std::string name = "xbm";
+  struct Decl {
+    SignalKind kind;
+    bool initial;
+  };
+  std::vector<std::pair<std::string, Decl>> decls;
+  std::map<std::string, SignalRole> role_overrides;
+  std::string initial_state;
+  struct RawTransition {
+    std::string from, to;
+    std::vector<std::pair<std::string, bool>> conds;
+    std::vector<PendingEdge> inputs, outputs;
+    int line;
+  };
+  std::vector<RawTransition> raw;
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    auto toks = tokens_of(line);
+    if (toks.empty()) continue;
+    if (toks[0] == "name") {
+      if (toks.size() != 2) fail(lineno, "name needs one argument");
+      name = toks[1];
+    } else if (toks[0] == "inputs" || toks[0] == "outputs") {
+      for (std::size_t i = 1; i < toks.size(); ++i) {
+        std::string t = toks[i];
+        bool init = false;
+        auto eq = t.find('=');
+        if (eq != std::string::npos) {
+          init = t.substr(eq + 1) == "1";
+          t = t.substr(0, eq);
+        }
+        decls.emplace_back(
+            t, Decl{toks[0] == "inputs" ? SignalKind::kInput : SignalKind::kOutput, init});
+      }
+    } else if (toks[0] == "initial") {
+      if (toks.size() != 2) fail(lineno, "initial needs one state name");
+      initial_state = toks[1];
+    } else if (toks[0] == "role") {
+      if (toks.size() != 3) fail(lineno, "role needs <signal> <role-name>");
+      role_overrides[toks[1]] = role_from_name(toks[2]);
+    } else {
+      // Transition: <from> <to> [<cond±> ...] edges... / edges...
+      if (toks.size() < 3) fail(lineno, "malformed transition");
+      RawTransition t;
+      t.line = lineno;
+      t.from = toks[0];
+      t.to = toks[1];
+      bool after_slash = false;
+      for (std::size_t i = 2; i < toks.size(); ++i) {
+        const std::string& tok = toks[i];
+        if (tok == "/") {
+          if (after_slash) fail(lineno, "two '/' separators");
+          after_slash = true;
+          continue;
+        }
+        if (tok.size() >= 4 && tok.front() == '<' && tok.back() == '>') {
+          char pol = tok[tok.size() - 2];
+          if (pol != '+' && pol != '-') fail(lineno, "malformed conditional " + tok);
+          t.conds.emplace_back(tok.substr(1, tok.size() - 3), pol == '+');
+          continue;
+        }
+        (after_slash ? t.outputs : t.inputs).push_back(parse_edge(tok, lineno));
+      }
+      if (!after_slash) fail(lineno, "transition missing '/'");
+      raw.push_back(std::move(t));
+    }
+  }
+
+  Xbm m(name);
+  std::map<std::string, SignalId> signals;
+  auto infer_role = [&](const std::string& sig) {
+    if (auto it = role_overrides.find(sig); it != role_overrides.end()) return it->second;
+    bool cond = false, toggled = false;
+    for (const auto& t : raw) {
+      for (const auto& [c, v] : t.conds) {
+        (void)v;
+        if (c == sig) cond = true;
+      }
+      for (const auto& e : t.inputs)
+        if (e.name == sig && e.polarity == EdgePolarity::kToggle) toggled = true;
+      for (const auto& e : t.outputs)
+        if (e.name == sig && e.polarity == EdgePolarity::kToggle) toggled = true;
+    }
+    if (cond) return SignalRole::kConditional;
+    if (toggled) return SignalRole::kGlobalReady;
+    return SignalRole::kLatch;  // generic local handshake wire
+  };
+  for (const auto& [sig, decl] : decls)
+    signals[sig] = m.add_signal(sig, decl.kind, infer_role(sig), decl.initial);
+
+  auto lookup = [&](const std::string& sig, int at) {
+    auto it = signals.find(sig);
+    if (it == signals.end()) fail(at, "undeclared signal '" + sig + "'");
+    return it->second;
+  };
+
+  std::map<std::string, StateId> states;
+  auto state_of = [&](const std::string& s) {
+    auto it = states.find(s);
+    if (it != states.end()) return it->second;
+    StateId id = m.add_state(s);
+    states[s] = id;
+    return id;
+  };
+  if (!initial_state.empty()) m.set_initial(state_of(initial_state));
+
+  for (const auto& t : raw) {
+    std::vector<XbmEdge> ins, outs;
+    std::vector<CondTerm> conds;
+    for (const auto& e : t.inputs) {
+      XbmEdge edge{lookup(e.name, t.line), e.polarity, e.ddc};
+      ins.push_back(edge);
+    }
+    for (const auto& e : t.outputs) {
+      if (e.ddc) fail(t.line, "don't-care mark on an output edge");
+      outs.push_back(XbmEdge{lookup(e.name, t.line), e.polarity, false});
+    }
+    for (const auto& [c, v] : t.conds) conds.push_back(CondTerm{lookup(c, t.line), v});
+    m.add_transition(state_of(t.from), state_of(t.to), std::move(ins), std::move(outs),
+                     std::move(conds));
+  }
+  if (initial_state.empty() && !states.empty()) m.set_initial(raw.empty() ? m.add_state() : state_of(raw[0].from));
+  return m;
+}
+
+}  // namespace adc

@@ -1,0 +1,29 @@
+#pragma once
+// Parser for the textual XBM format produced by to_text() — enables
+// writing controller specifications by hand, storing them on disk, and
+// round-tripping machines through files (the interchange role .bms files
+// play for Minimalist / 3D).
+//
+//   name CTRL
+//   inputs a=0 b=0 c=0
+//   outputs x=0 y=0
+//   initial s0
+//   s0 s1 <c+> a+ b~* / x+
+//   s1 s0 b~ / x- y~
+//
+// Suffixes: '+' rising, '-' falling, '~' transition-signalled (toggle),
+// trailing '*' marks a directed don't-care.  '<sig+>' / '<sig->' are
+// sampled conditionals.  ';' starts a comment.  Signal roles are inferred
+// from usage (toggles -> global ready wires, conditionals -> conditionals,
+// the rest -> generic local handshake wires) unless the optional
+// "role <signal> <role-name>" lines override them.
+
+#include <string>
+
+#include "xbm/xbm.hpp"
+
+namespace adc {
+
+Xbm parse_xbm(const std::string& text);
+
+}  // namespace adc

@@ -1,0 +1,17 @@
+#pragma once
+// Textual rendering of XBM machines, close to the .bms format used by
+// burst-mode tools (Minimalist / 3D): one line per transition,
+//   <from> <to> [<cond+>] in1+ in2* ... / out1+ out2- ...
+// where '*' marks a directed don't-care and '~' a transition-signalled
+// (toggle) edge.
+
+#include <string>
+
+#include "xbm/xbm.hpp"
+
+namespace adc {
+
+std::string to_text(const Xbm& m);
+std::string burst_to_string(const Xbm& m, const XbmTransition& t);
+
+}  // namespace adc

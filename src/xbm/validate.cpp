@@ -1,0 +1,157 @@
+#include "xbm/validate.hpp"
+
+#include <deque>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace adc {
+
+namespace {
+
+// Per-state values of concrete-phase signals (toggle-signalled wires carry
+// no level semantics at spec time and are excluded).
+using Values = std::map<SignalId::underlying, bool>;
+
+bool apply_edges(const Xbm& m, const std::vector<XbmEdge>& edges, Values& v,
+                 std::vector<std::string>& errors, const std::string& where) {
+  bool ok = true;
+  for (const auto& e : edges) {
+    if (e.polarity == EdgePolarity::kToggle) continue;
+    bool want_before = e.polarity == EdgePolarity::kFalling;
+    auto it = v.find(e.signal.value());
+    bool before = it != v.end() ? it->second : m.signal(e.signal).initial_value;
+    if (before != want_before) {
+      errors.push_back(where + ": signal " + m.signal(e.signal).name + (want_before ? "-" : "+") +
+                       " but it is already " + (before ? "1" : "0"));
+      ok = false;
+    }
+    v[e.signal.value()] = !want_before;
+  }
+  return ok;
+}
+
+// Compulsory (non-ddc) input signals of a transition.
+std::set<SignalId::underlying> compulsory(const XbmTransition& t) {
+  std::set<SignalId::underlying> out;
+  for (const auto& e : t.inputs)
+    if (!e.directed_dont_care) out.insert(e.signal.value());
+  return out;
+}
+
+bool conds_distinguish(const XbmTransition& a, const XbmTransition& b) {
+  for (const auto& ca : a.conds)
+    for (const auto& cb : b.conds)
+      if (ca.signal == cb.signal && ca.value != cb.value) return true;
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::string> validate(const Xbm& m) {
+  std::vector<std::string> errors;
+
+  if (!m.initial().valid() || !m.state(m.initial()).alive) {
+    errors.push_back("missing initial state");
+    return errors;
+  }
+
+  for (TransitionId tid : m.transition_ids()) {
+    const XbmTransition& t = m.transition(tid);
+    std::string where = m.name() + " " + m.state(t.from).name + "->" + m.state(t.to).name;
+    if (!m.state(t.from).alive || !m.state(t.to).alive)
+      errors.push_back(where + ": touches dead state");
+    bool any_compulsory = false;
+    for (const auto& e : t.inputs) {
+      if (m.signal(e.signal).kind != SignalKind::kInput)
+        errors.push_back(where + ": output " + m.signal(e.signal).name + " in input burst");
+      if (!e.directed_dont_care) any_compulsory = true;
+    }
+    if (!any_compulsory)
+      errors.push_back(where + ": no compulsory edge in input burst");
+    for (const auto& e : t.outputs)
+      if (m.signal(e.signal).kind != SignalKind::kOutput)
+        errors.push_back(where + ": input " + m.signal(e.signal).name + " in output burst");
+    for (const auto& c : t.conds)
+      if (m.signal(c.signal).role != SignalRole::kConditional)
+        errors.push_back(where + ": conditional on non-conditional signal " +
+                         m.signal(c.signal).name);
+    std::set<SignalId::underlying> seen;
+    for (const auto& e : t.inputs)
+      if (!seen.insert(e.signal.value()).second)
+        errors.push_back(where + ": signal twice in input burst");
+    seen.clear();
+    for (const auto& e : t.outputs)
+      if (!seen.insert(e.signal.value()).second)
+        errors.push_back(where + ": signal twice in output burst");
+  }
+
+  // Distinguishability: out of one state, no transition's compulsory input
+  // set may contain another's unless mutually exclusive conditionals tell
+  // them apart (the XBM generalization of the maximal-set property).
+  for (StateId s : m.state_ids()) {
+    auto outs = m.out_transitions(s);
+    for (std::size_t i = 0; i < outs.size(); ++i) {
+      for (std::size_t j = i + 1; j < outs.size(); ++j) {
+        const auto& a = m.transition(outs[i]);
+        const auto& b = m.transition(outs[j]);
+        if (conds_distinguish(a, b)) continue;
+        auto ca = compulsory(a), cb = compulsory(b);
+        bool a_in_b = std::includes(cb.begin(), cb.end(), ca.begin(), ca.end());
+        bool b_in_a = std::includes(ca.begin(), ca.end(), cb.begin(), cb.end());
+        if (a_in_b || b_in_a)
+          errors.push_back(m.name() + " state " + m.state(s).name +
+                           ": ambiguous input bursts (maximal-set violation)");
+      }
+    }
+  }
+
+  // Reachability and polarity consistency.  The value maps are fully
+  // populated so that maps from different paths compare structurally.
+  Values initial_values;
+  for (SignalId s : m.signal_ids())
+    if (m.signal(s).role != SignalRole::kConditional)
+      initial_values[s.value()] = m.signal(s).initial_value;
+  std::map<StateId::underlying, Values> state_values;
+  std::deque<StateId> queue;
+  state_values[m.initial().value()] = initial_values;
+  queue.push_back(m.initial());
+  std::set<StateId::underlying> visited;
+  while (!queue.empty()) {
+    StateId s = queue.front();
+    queue.pop_front();
+    if (!visited.insert(s.value()).second) continue;
+    for (TransitionId tid : m.out_transitions(s)) {
+      const XbmTransition& t = m.transition(tid);
+      Values v = state_values[s.value()];
+      std::string where = m.name() + " " + m.state(t.from).name + "->" + m.state(t.to).name;
+      apply_edges(m, t.inputs, v, errors, where + " (inputs)");
+      apply_edges(m, t.outputs, v, errors, where + " (outputs)");
+      auto it = state_values.find(t.to.value());
+      if (it == state_values.end()) {
+        state_values[t.to.value()] = v;
+        queue.push_back(t.to);
+      } else if (it->second != v) {
+        errors.push_back(m.name() + " state " + m.state(t.to).name +
+                         ": inconsistent signal values on different paths");
+      } else if (!visited.count(t.to.value())) {
+        queue.push_back(t.to);
+      }
+    }
+  }
+  for (StateId s : m.state_ids())
+    if (!visited.count(s.value()))
+      errors.push_back(m.name() + " state " + m.state(s).name + ": unreachable");
+
+  return errors;
+}
+
+void validate_or_throw(const Xbm& m) {
+  auto errors = validate(m);
+  if (errors.empty()) return;
+  std::string msg = "XBM '" + m.name() + "' invalid:";
+  for (const auto& e : errors) msg += "\n  - " + e;
+  throw std::runtime_error(msg);
+}
+
+}  // namespace adc

@@ -1,0 +1,16 @@
+#pragma once
+// XBM well-formedness checks: reachability, burst sanity, polarity
+// consistency of concrete-phase signals, and the (extended) burst-mode
+// maximal-set / distinguishability property.  Empty result = valid.
+
+#include <string>
+#include <vector>
+
+#include "xbm/xbm.hpp"
+
+namespace adc {
+
+std::vector<std::string> validate(const Xbm& m);
+void validate_or_throw(const Xbm& m);
+
+}  // namespace adc

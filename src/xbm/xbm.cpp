@@ -1,0 +1,131 @@
+#include "xbm/xbm.hpp"
+
+#include <stdexcept>
+
+namespace adc {
+
+const char* to_string(SignalRole role) {
+  switch (role) {
+    case SignalRole::kGlobalReady: return "global-ready";
+    case SignalRole::kEnvironment: return "environment";
+    case SignalRole::kMuxSelect: return "mux-select";
+    case SignalRole::kMuxAck: return "mux-ack";
+    case SignalRole::kOpSelect: return "op-select";
+    case SignalRole::kOpAck: return "op-ack";
+    case SignalRole::kFuGo: return "fu-go";
+    case SignalRole::kFuDone: return "fu-done";
+    case SignalRole::kRegMuxSelect: return "regmux-select";
+    case SignalRole::kRegMuxAck: return "regmux-ack";
+    case SignalRole::kLatch: return "latch";
+    case SignalRole::kLatchAck: return "latch-ack";
+    case SignalRole::kConditional: return "conditional";
+  }
+  return "?";
+}
+
+SignalId Xbm::add_signal(std::string name, SignalKind kind, SignalRole role,
+                         bool initial_value) {
+  if (find_signal(name)) throw std::invalid_argument("xbm: duplicate signal " + name);
+  SignalId id(signals_.size());
+  signals_.push_back(XbmSignal{id, std::move(name), kind, role, initial_value});
+  return id;
+}
+
+StateId Xbm::add_state(std::string name) {
+  StateId id(states_.size());
+  if (name.empty()) name = "s" + std::to_string(id.value());
+  states_.push_back(XbmState{id, std::move(name), true});
+  if (!initial_.valid()) initial_ = id;
+  return id;
+}
+
+TransitionId Xbm::add_transition(StateId from, StateId to, std::vector<XbmEdge> inputs,
+                                 std::vector<XbmEdge> outputs, std::vector<CondTerm> conds) {
+  TransitionId id(transitions_.size());
+  XbmTransition t;
+  t.id = id;
+  t.from = from;
+  t.to = to;
+  t.inputs = std::move(inputs);
+  t.outputs = std::move(outputs);
+  t.conds = std::move(conds);
+  transitions_.push_back(std::move(t));
+  return id;
+}
+
+std::optional<SignalId> Xbm::find_signal(const std::string& name) const {
+  for (const auto& s : signals_)
+    if (s.name == name) return s.id;
+  return std::nullopt;
+}
+
+std::vector<SignalId> Xbm::signal_ids() const {
+  std::vector<SignalId> out;
+  for (const auto& s : signals_) out.push_back(s.id);
+  return out;
+}
+
+std::vector<StateId> Xbm::state_ids() const {
+  std::vector<StateId> out;
+  for (const auto& s : states_)
+    if (s.alive) out.push_back(s.id);
+  return out;
+}
+
+std::vector<TransitionId> Xbm::transition_ids() const {
+  std::vector<TransitionId> out;
+  for (const auto& t : transitions_)
+    if (t.alive) out.push_back(t.id);
+  return out;
+}
+
+std::vector<TransitionId> Xbm::out_transitions(StateId s) const {
+  std::vector<TransitionId> out;
+  for (const auto& t : transitions_)
+    if (t.alive && t.from == s) out.push_back(t.id);
+  return out;
+}
+
+std::vector<TransitionId> Xbm::in_transitions(StateId s) const {
+  std::vector<TransitionId> out;
+  for (const auto& t : transitions_)
+    if (t.alive && t.to == s) out.push_back(t.id);
+  return out;
+}
+
+std::size_t Xbm::state_count() const { return state_ids().size(); }
+std::size_t Xbm::transition_count() const { return transition_ids().size(); }
+
+std::size_t Xbm::input_count() const {
+  std::size_t n = 0;
+  for (const auto& s : signals_)
+    if (s.kind == SignalKind::kInput) ++n;
+  return n;
+}
+
+std::size_t Xbm::output_count() const {
+  std::size_t n = 0;
+  for (const auto& s : signals_)
+    if (s.kind == SignalKind::kOutput) ++n;
+  return n;
+}
+
+void Xbm::sweep_dead_states() {
+  for (auto& s : states_) {
+    if (!s.alive) continue;
+    bool used = s.id == initial_;
+    for (const auto& t : transitions_)
+      if (t.alive && (t.from == s.id || t.to == s.id)) used = true;
+    if (!used) s.alive = false;
+  }
+}
+
+XbmEdge rise(SignalId s) { return XbmEdge{s, EdgePolarity::kRising, false}; }
+XbmEdge fall(SignalId s) { return XbmEdge{s, EdgePolarity::kFalling, false}; }
+XbmEdge toggle(SignalId s) { return XbmEdge{s, EdgePolarity::kToggle, false}; }
+XbmEdge ddc(XbmEdge e) {
+  e.directed_dont_care = true;
+  return e;
+}
+
+}  // namespace adc

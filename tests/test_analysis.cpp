@@ -1,0 +1,148 @@
+// Offset-aware reachability, dominance and topological order.
+
+#include <gtest/gtest.h>
+
+#include "cdfg/analysis.hpp"
+#include "frontend/benchmarks.hpp"
+
+namespace adc {
+namespace {
+
+TEST(Analysis, MinPathOffsetForwardChain) {
+  Cdfg g("c");
+  FuId alu = g.add_fu("A", "alu");
+  NodeId a = g.add_node(NodeKind::kOperation, alu, {parse_rtl("x := p + q")});
+  NodeId b = g.add_node(NodeKind::kOperation, alu, {parse_rtl("y := x + q")});
+  NodeId c = g.add_node(NodeKind::kOperation, alu, {parse_rtl("z := y + q")});
+  g.set_fu_order(alu, {a, b, c});
+  g.add_arc(a, b, ArcRole::kDataDep);
+  g.add_arc(b, c, ArcRole::kDataDep);
+  EXPECT_EQ(min_path_offset(g, a, c).value(), 0);
+  ReachOptions no_wrap;
+  no_wrap.include_fu_wrap = false;
+  EXPECT_FALSE(min_path_offset(g, c, a, no_wrap).has_value());
+}
+
+TEST(Analysis, WrapGivesOffsetOnePathBack) {
+  Cdfg g("c");
+  FuId alu = g.add_fu("A", "alu");
+  NodeId a = g.add_node(NodeKind::kOperation, alu, {parse_rtl("x := p + q")});
+  NodeId b = g.add_node(NodeKind::kOperation, alu, {parse_rtl("y := x + q")});
+  g.set_fu_order(alu, {a, b});
+  g.add_arc(a, b, ArcRole::kScheduling);
+  // The controller cycles: b(k) precedes a(k+1).
+  auto d = min_path_offset(g, b, a);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(*d, 1);
+}
+
+TEST(Analysis, BackwardArcCountsAsOffsetOne) {
+  Cdfg g("c");
+  FuId alu = g.add_fu("A", "alu");
+  FuId mul = g.add_fu("M", "mul");
+  NodeId a = g.add_node(NodeKind::kOperation, alu, {parse_rtl("x := p + q")});
+  NodeId m = g.add_node(NodeKind::kOperation, mul, {parse_rtl("y := x * q")});
+  g.set_fu_order(alu, {a});
+  g.set_fu_order(mul, {m});
+  g.add_arc(a, m, ArcRole::kDataDep);
+  g.add_arc(m, a, ArcRole::kRegAlloc, /*backward=*/true);
+  EXPECT_EQ(min_path_offset(g, m, a).value(), 1);
+  EXPECT_EQ(min_path_offset(g, a, a).value(), 0);  // trivial
+}
+
+TEST(Analysis, DominatedByTwoArcPath) {
+  // The paper's §3.2 example: arc 5 implied by the path of arcs 6 and 7.
+  Cdfg g = diffeq();
+  NodeId m1a = *g.find_node_by_label("M1 := U * X1");
+  NodeId a1b = *g.find_node_by_label("A := Y + M1");
+  NodeId a1c = *g.find_node_by_label("U := U - M1");
+  ArcId direct = *g.find_arc(m1a, a1c);  // regalloc on U
+  ASSERT_TRUE(g.find_arc(m1a, a1b).has_value());
+  ASSERT_TRUE(g.find_arc(a1b, a1c).has_value());
+  EXPECT_TRUE(is_dominated(g, direct));
+}
+
+TEST(Analysis, NotDominatedWhenPathMissing) {
+  Cdfg g = diffeq();
+  NodeId m1a = *g.find_node_by_label("M1 := U * X1");
+  NodeId a1b = *g.find_node_by_label("A := Y + M1");
+  ArcId arc = *g.find_arc(m1a, a1b);
+  EXPECT_FALSE(is_dominated(g, arc));
+}
+
+TEST(Analysis, IsImpliedRespectsOffsetBudget) {
+  Cdfg g("c");
+  FuId alu = g.add_fu("A", "alu");
+  FuId mul = g.add_fu("M", "mul");
+  NodeId a = g.add_node(NodeKind::kOperation, alu, {parse_rtl("x := p + q")});
+  NodeId m = g.add_node(NodeKind::kOperation, mul, {parse_rtl("y := x * q")});
+  g.set_fu_order(alu, {a});
+  g.set_fu_order(mul, {m});
+  g.add_arc(a, m, ArcRole::kDataDep, /*backward=*/true);  // offset 1 path
+  EXPECT_FALSE(is_implied(g, a, m, 0));
+  EXPECT_TRUE(is_implied(g, a, m, 1));
+  EXPECT_TRUE(is_implied(g, a, m, 2));
+}
+
+TEST(Analysis, ForwardTopoOrderCoversAllLiveNodes) {
+  Cdfg g = diffeq();
+  auto order = forward_topo_order(g);
+  ASSERT_TRUE(order.has_value());
+  EXPECT_EQ(order->size(), g.live_node_count());
+  // Dependencies come before dependents.
+  auto pos = [&](NodeId n) {
+    return std::find(order->begin(), order->end(), n) - order->begin();
+  };
+  for (ArcId aid : g.arc_ids()) {
+    const Arc& a = g.arc(aid);
+    if (!a.backward) {
+      EXPECT_LT(pos(a.src), pos(a.dst));
+    }
+  }
+}
+
+TEST(Analysis, ForwardTopoOrderDetectsCycle) {
+  Cdfg g("c");
+  FuId alu = g.add_fu("A", "alu");
+  NodeId a = g.add_node(NodeKind::kOperation, alu, {parse_rtl("x := p + q")});
+  NodeId b = g.add_node(NodeKind::kOperation, alu, {parse_rtl("y := x + q")});
+  g.set_fu_order(alu, {a, b});
+  g.add_arc(a, b, ArcRole::kDataDep);
+  g.add_arc(b, a, ArcRole::kDataDep);
+  EXPECT_FALSE(forward_topo_order(g).has_value());
+}
+
+TEST(Analysis, InBlockWalksNesting) {
+  Cdfg g = mac_reduce();
+  // The IF body statement is inside both the IF block and the loop block.
+  NodeId body = *g.find_node_by_label("S := S - T");
+  int enclosing = 0;
+  for (BlockId b : g.block_ids())
+    if (in_block(g, body, b)) ++enclosing;
+  EXPECT_EQ(enclosing, 2);
+}
+
+TEST(Analysis, FuNodesInBlockFiltersByBlock) {
+  Cdfg g = diffeq();
+  BlockId loop = g.block_ids()[0];
+  FuId alu2 = *g.find_fu("ALU2");
+  auto inside = fu_nodes_in_block(g, alu2, loop);
+  // LOOP and ENDLOOP sit in the enclosing scope, the four ops inside.
+  EXPECT_EQ(inside.size(), 4u);
+}
+
+TEST(Analysis, ExcludedArcIgnoredInReachability) {
+  Cdfg g("c");
+  FuId alu = g.add_fu("A", "alu");
+  NodeId a = g.add_node(NodeKind::kOperation, alu, {parse_rtl("x := p + q")});
+  NodeId b = g.add_node(NodeKind::kOperation, alu, {parse_rtl("y := x + q")});
+  g.set_fu_order(alu, {a, b});
+  ArcId only = g.add_arc(a, b, ArcRole::kDataDep);
+  ReachOptions opts;
+  opts.exclude = only;
+  opts.include_fu_wrap = false;
+  EXPECT_FALSE(min_path_offset(g, a, b, opts).has_value());
+}
+
+}  // namespace
+}  // namespace adc

@@ -1,0 +1,165 @@
+// CDFG IR: construction, adjacency, arc role merging, node merging,
+// validation, DOT export.
+
+#include <gtest/gtest.h>
+
+#include "cdfg/cdfg.hpp"
+#include "cdfg/dot.hpp"
+#include "cdfg/validate.hpp"
+#include "frontend/benchmarks.hpp"
+
+namespace adc {
+namespace {
+
+Cdfg tiny() {
+  Cdfg g("tiny");
+  FuId alu = g.add_fu("ALU1", "alu");
+  NodeId a = g.add_node(NodeKind::kOperation, alu, {parse_rtl("x := a + b")});
+  NodeId b = g.add_node(NodeKind::kOperation, alu, {parse_rtl("y := x + c")});
+  g.set_fu_order(alu, {a, b});
+  g.add_arc(a, b, ArcRole::kDataDep, false, "x");
+  return g;
+}
+
+TEST(Cdfg, BasicConstruction) {
+  Cdfg g = tiny();
+  EXPECT_EQ(g.live_node_count(), 2u);
+  EXPECT_EQ(g.live_arc_count(), 1u);
+  EXPECT_EQ(g.fu_count(), 1u);
+}
+
+TEST(Cdfg, ArcRolesMergeOnSameEndpoints) {
+  Cdfg g = tiny();
+  NodeId a = g.node_ids()[0], b = g.node_ids()[1];
+  g.add_arc(a, b, ArcRole::kRegAlloc, false, "x");
+  EXPECT_EQ(g.live_arc_count(), 1u) << "same endpoints must merge roles, not duplicate";
+  const Arc& arc = g.arc(*g.find_arc(a, b));
+  EXPECT_TRUE(has_role(arc.roles, ArcRole::kDataDep));
+  EXPECT_TRUE(has_role(arc.roles, ArcRole::kRegAlloc));
+}
+
+TEST(Cdfg, BackwardArcIsDistinctFromForward) {
+  Cdfg g = tiny();
+  NodeId a = g.node_ids()[0], b = g.node_ids()[1];
+  g.add_arc(b, a, ArcRole::kRegAlloc, /*backward=*/true, "x");
+  EXPECT_EQ(g.live_arc_count(), 2u);
+  EXPECT_TRUE(g.find_arc(b, a, true).has_value());
+  EXPECT_FALSE(g.find_arc(b, a, false).has_value());
+  EXPECT_EQ(g.arc(*g.find_arc(b, a, true)).offset(), 1);
+}
+
+TEST(Cdfg, SelfArcRejected) {
+  Cdfg g = tiny();
+  NodeId a = g.node_ids()[0];
+  EXPECT_THROW(g.add_arc(a, a, ArcRole::kDataDep), std::invalid_argument);
+}
+
+TEST(Cdfg, RemoveArcTombstones) {
+  Cdfg g = tiny();
+  ArcId arc = g.arc_ids()[0];
+  g.remove_arc(arc);
+  EXPECT_EQ(g.live_arc_count(), 0u);
+  EXPECT_TRUE(g.in_arcs(g.node_ids()[1]).empty());
+  EXPECT_TRUE(g.out_arcs(g.node_ids()[0]).empty());
+}
+
+TEST(Cdfg, RemoveNodeRemovesIncidentArcs) {
+  Cdfg g = tiny();
+  g.remove_node(g.node_ids()[0]);
+  EXPECT_EQ(g.live_node_count(), 1u);
+  EXPECT_EQ(g.live_arc_count(), 0u);
+  EXPECT_EQ(g.fu_order(FuId{0u}).size(), 1u) << "schedule must drop the dead node";
+}
+
+TEST(Cdfg, MergeNodesCombinesStatementsAndReroutes) {
+  Cdfg g("m");
+  FuId alu = g.add_fu("ALU1", "alu");
+  NodeId a = g.add_node(NodeKind::kOperation, alu, {parse_rtl("x := a + b")});
+  NodeId b = g.add_node(NodeKind::kAssign, alu, {parse_rtl("z := q")});
+  NodeId c = g.add_node(NodeKind::kOperation, alu, {parse_rtl("w := z + x")});
+  g.set_fu_order(alu, {a, b, c});
+  g.add_arc(a, b, ArcRole::kScheduling);
+  g.add_arc(b, c, ArcRole::kDataDep, false, "z");
+
+  g.merge_nodes(a, b);
+  EXPECT_EQ(g.live_node_count(), 2u);
+  EXPECT_EQ(g.node(a).stmts.size(), 2u);
+  // b's outgoing dep now leaves the merged node.
+  EXPECT_TRUE(g.find_arc(a, c).has_value());
+  EXPECT_EQ(g.fu_order(alu).size(), 2u);
+}
+
+TEST(Cdfg, NodeLabelJoinsStatements) {
+  Cdfg g("m");
+  FuId alu = g.add_fu("A", "alu");
+  NodeId a = g.add_node(NodeKind::kOperation, alu,
+                        {parse_rtl("Y := Y + M2"), parse_rtl("X1 := X")});
+  EXPECT_EQ(g.node(a).label(), "Y := Y + M2; X1 := X");
+}
+
+TEST(Cdfg, FindHelpers) {
+  Cdfg g = diffeq();
+  EXPECT_TRUE(g.find_fu("ALU1").has_value());
+  EXPECT_TRUE(g.find_fu("MUL2").has_value());
+  EXPECT_FALSE(g.find_fu("NOPE").has_value());
+  EXPECT_TRUE(g.find_node_by_label("A := Y + M1").has_value());
+  EXPECT_TRUE(g.find_unique(NodeKind::kStart).has_value());
+  EXPECT_TRUE(g.find_unique(NodeKind::kLoop).has_value());
+}
+
+TEST(Cdfg, RegistersEnumeratesAll) {
+  Cdfg g = diffeq();
+  auto regs = g.registers();
+  for (const char* r : {"A", "B", "C", "M1", "M2", "U", "X", "X1", "Y", "a", "dx"})
+    EXPECT_NE(std::find(regs.begin(), regs.end(), r), regs.end()) << r;
+}
+
+TEST(Cdfg, ValidateAcceptsDiffeq) {
+  Cdfg g = diffeq();
+  EXPECT_TRUE(validate(g).empty());
+}
+
+TEST(Cdfg, ValidateRejectsForwardCycle) {
+  Cdfg g = tiny();
+  NodeId a = g.node_ids()[0], b = g.node_ids()[1];
+  g.add_arc(b, a, ArcRole::kDataDep);  // forward cycle a->b->a
+  auto errors = validate(g);
+  bool found = false;
+  for (const auto& e : errors)
+    if (e.find("cycle") != std::string::npos) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Cdfg, ValidateRejectsBackwardArcsBeforeGt1) {
+  Cdfg g = diffeq();
+  NodeId a = *g.find_node_by_label("U := U - M1");
+  NodeId b = *g.find_node_by_label("M1 := U * X1");
+  g.add_arc(a, b, ArcRole::kRegAlloc, /*backward=*/true);
+  auto errors = validate(g, ValidateOptions{.allow_backward_arcs = false});
+  EXPECT_FALSE(errors.empty());
+}
+
+TEST(Cdfg, CloneIsIndependent) {
+  Cdfg g = diffeq();
+  Cdfg copy = g.clone();
+  std::size_t arcs_before = copy.live_arc_count();
+  g.remove_arc(g.arc_ids()[0]);
+  EXPECT_EQ(copy.live_arc_count(), arcs_before);
+}
+
+TEST(Cdfg, DotExportMentionsEveryFuAndNode) {
+  Cdfg g = diffeq();
+  std::string dot = to_dot(g);
+  for (const char* fu : {"ALU1", "MUL1", "MUL2", "ALU2"})
+    EXPECT_NE(dot.find(fu), std::string::npos) << fu;
+  EXPECT_NE(dot.find("A := Y + M1"), std::string::npos);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+}
+
+TEST(Cdfg, ArcRoleToString) {
+  EXPECT_EQ(to_string(ArcRole::kControl), "ctrl");
+  EXPECT_EQ(to_string(ArcRole::kControl | ArcRole::kDataDep), "ctrl|data");
+}
+
+}  // namespace
+}  // namespace adc

@@ -1,0 +1,127 @@
+// Channel-sharing legality analysis (consumption-key ordering).
+
+#include <gtest/gtest.h>
+
+#include "frontend/benchmarks.hpp"
+#include "frontend/builder.hpp"
+#include "transforms/concurrency.hpp"
+#include "transforms/global.hpp"
+#include "transforms/gt5.hpp"
+
+namespace adc {
+namespace {
+
+TEST(Concurrency, SchedulePositions) {
+  Cdfg g = diffeq();
+  FuId alu1 = *g.find_fu("ALU1");
+  const auto& order = g.fu_order(alu1);
+  for (std::size_t i = 0; i < order.size(); ++i)
+    EXPECT_EQ(schedule_position(g, order[i]).value(), static_cast<int>(i));
+  NodeId start = *g.find_unique(NodeKind::kStart);
+  EXPECT_FALSE(schedule_position(g, start).has_value());
+}
+
+TEST(Concurrency, SingleEventChannelAlwaysConsistent) {
+  Cdfg g = diffeq();
+  auto plan = ChannelPlan::derive(g);
+  for (const auto& c : plan.channels())
+    EXPECT_TRUE(channel_order_consistent(g, c)) << describe(c, g);
+}
+
+TEST(Concurrency, MergedEventsCombineSameSource) {
+  Cdfg g = diffeq();
+  auto plan = ChannelPlan::derive(g);
+  // Find two channels sourced at the LOOP node.
+  NodeId loop = *g.find_unique(NodeKind::kLoop);
+  std::vector<const Channel*> loops;
+  for (const auto& c : plan.channels())
+    if (!c.involves_environment() && c.events.front().source == loop)
+      loops.push_back(&c);
+  ASSERT_GE(loops.size(), 2u);
+  auto merged = merged_events(g, *loops[0], *loops[1]);
+  ASSERT_EQ(merged.size(), 1u) << "same source node = one broadcast event";
+  EXPECT_EQ(merged[0].arcs.size(), 2u);
+}
+
+TEST(Concurrency, CrossIterationKeysOrderAfterForwardKeys) {
+  // MUL1 -> ALU1 in the GT-optimized DIFFEQ: M1a's done consumed this
+  // iteration, M1b's done consumed by U := U - M1 later the same
+  // iteration; merging is legal (the paper's Figure 5 multiplexing).
+  Cdfg g = diffeq();
+  gt1_loop_parallelism(g);
+  gt2_remove_dominated(g);
+  gt3_relative_timing(g, DelayModel::typical());
+  auto plan = ChannelPlan::derive(g);
+  std::vector<std::size_t> m1_to_a1;
+  for (std::size_t i = 0; i < plan.channels().size(); ++i) {
+    const auto& c = plan.channels()[i];
+    if (c.involves_environment()) continue;
+    if (g.fu(c.src_fu).name == "MUL1" && c.receivers.size() == 1 &&
+        g.fu(c.receivers[0]).name == "ALU1")
+      m1_to_a1.push_back(i);
+  }
+  ASSERT_EQ(m1_to_a1.size(), 2u);
+  EXPECT_TRUE(
+      can_multiplex(g, plan.channels()[m1_to_a1[0]], plan.channels()[m1_to_a1[1]]));
+}
+
+TEST(Concurrency, DifferentSourceFuRejected) {
+  Cdfg g = diffeq();
+  auto plan = ChannelPlan::derive(g);
+  const Channel* from_alu1 = nullptr;
+  const Channel* from_mul1 = nullptr;
+  for (const auto& c : plan.channels()) {
+    if (c.involves_environment()) continue;
+    if (g.fu(c.src_fu).name == "ALU1") from_alu1 = &c;
+    if (g.fu(c.src_fu).name == "MUL1") from_mul1 = &c;
+  }
+  ASSERT_TRUE(from_alu1 && from_mul1);
+  EXPECT_FALSE(can_multiplex(g, *from_alu1, *from_mul1));
+}
+
+TEST(Concurrency, DifferentReceiverSetsRejected) {
+  Cdfg g = diffeq();
+  auto plan = ChannelPlan::derive(g);
+  // LOOP -> ALU1 and LOOP -> MUL1: same source FU, different receivers.
+  NodeId loop = *g.find_unique(NodeKind::kLoop);
+  std::vector<const Channel*> loops;
+  for (const auto& c : plan.channels())
+    if (!c.involves_environment() && c.events.front().source == loop)
+      loops.push_back(&c);
+  ASSERT_GE(loops.size(), 2u);
+  EXPECT_FALSE(can_multiplex(g, *loops[0], *loops[1]))
+      << "multiplex requires identical receiver sets (symmetrize first)";
+}
+
+TEST(Concurrency, ConditionalContextsMustAgree) {
+  // An event emitted inside an IF body cannot share a wire with one
+  // emitted unconditionally: transition counting would break.
+  Cdfg g("ifctx");
+  FuId alu = g.add_fu("A1", "alu");
+  FuId mul = g.add_fu("M1", "mul");
+  NodeId ifn = g.add_node(NodeKind::kIf, alu);
+  g.node(ifn).cond_reg = "c";
+  BlockId blk = g.add_block(NodeKind::kIf, ifn, NodeId::invalid());
+  NodeId inner = g.add_node(NodeKind::kOperation, alu, {parse_rtl("x := p + q")}, blk);
+  NodeId endif = g.add_node(NodeKind::kEndIf, alu);
+  g.block(blk).end = endif;
+  NodeId outer = g.add_node(NodeKind::kOperation, alu, {parse_rtl("y := p - q")});
+  NodeId m1 = g.add_node(NodeKind::kOperation, mul, {parse_rtl("u := x * p")});
+  NodeId m2 = g.add_node(NodeKind::kOperation, mul, {parse_rtl("v := y * p")});
+  g.set_fu_order(alu, {ifn, inner, endif, outer});
+  g.set_fu_order(mul, {m1, m2});
+  g.add_arc(ifn, inner, ArcRole::kControl);
+  g.add_arc(inner, endif, ArcRole::kControl);
+  g.add_arc(endif, outer, ArcRole::kScheduling);
+  g.add_arc(m1, m2, ArcRole::kScheduling);
+  ArcId in_arc = g.add_arc(inner, m1, ArcRole::kDataDep, false, "x");
+  ArcId out_arc = g.add_arc(outer, m2, ArcRole::kDataDep, false, "y");
+  (void)in_arc;
+  (void)out_arc;
+  ChannelPlan plan = ChannelPlan::derive(g);
+  ASSERT_EQ(plan.channels().size(), 2u);
+  EXPECT_FALSE(try_multiplex(g, plan, 0, 1));
+}
+
+}  // namespace
+}  // namespace adc

@@ -1,0 +1,112 @@
+// Cube algebra, including parameterized sweeps over widths crossing the
+// 64-bit word boundary.
+
+#include <gtest/gtest.h>
+
+#include "logic/cube.hpp"
+
+namespace adc {
+namespace {
+
+TEST(Cube, UniversalCube) {
+  Cube c(5);
+  EXPECT_TRUE(c.valid());
+  EXPECT_EQ(c.literal_count(), 0u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(c.get(i), Cube::V::kFree);
+  EXPECT_EQ(c.to_string(), "-----");
+}
+
+TEST(Cube, SetGetRoundTrip) {
+  Cube c(4);
+  c.set(0, Cube::V::kZero);
+  c.set(1, Cube::V::kOne);
+  c.set(3, Cube::V::kOne);
+  EXPECT_EQ(c.to_string(), "01-1");
+  EXPECT_EQ(c.literal_count(), 3u);
+  EXPECT_EQ(c.get(2), Cube::V::kFree);
+}
+
+TEST(Cube, Containment) {
+  Cube wide(3);           // ---
+  Cube narrow(3);
+  narrow.set(0, Cube::V::kOne);  // 1--
+  Cube point(3);
+  point.set(0, Cube::V::kOne);
+  point.set(1, Cube::V::kZero);
+  point.set(2, Cube::V::kOne);   // 101
+  EXPECT_TRUE(wide.contains(narrow));
+  EXPECT_TRUE(narrow.contains(point));
+  EXPECT_FALSE(point.contains(narrow));
+  EXPECT_FALSE(narrow.contains(wide));
+  EXPECT_TRUE(point.contains(point));
+}
+
+TEST(Cube, IntersectionAndValidity) {
+  Cube a(3);
+  a.set(0, Cube::V::kOne);  // 1--
+  Cube b(3);
+  b.set(0, Cube::V::kZero);  // 0--
+  EXPECT_FALSE(a.intersects(b));
+  EXPECT_FALSE(a.intersect(b).valid());
+  Cube c(3);
+  c.set(1, Cube::V::kOne);  // -1-
+  EXPECT_TRUE(a.intersects(c));
+  EXPECT_EQ(a.intersect(c).to_string(), "11-");
+}
+
+TEST(Cube, Supercube) {
+  Cube a(3);
+  a.set(0, Cube::V::kOne);
+  a.set(1, Cube::V::kZero);
+  Cube b(3);
+  b.set(0, Cube::V::kOne);
+  b.set(1, Cube::V::kOne);
+  EXPECT_EQ(a.supercube(b).to_string(), "1--");
+}
+
+TEST(Cube, WithDoesNotMutate) {
+  Cube a(2);
+  Cube b = a.with(0, Cube::V::kOne);
+  EXPECT_EQ(a.get(0), Cube::V::kFree);
+  EXPECT_EQ(b.get(0), Cube::V::kOne);
+}
+
+TEST(Cube, OrderingIsStrictWeak) {
+  Cube a(2), b(2);
+  b.set(0, Cube::V::kOne);
+  EXPECT_TRUE(a < b || b < a);
+  EXPECT_FALSE(a < a);
+}
+
+class CubeWidth : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CubeWidth, WordBoundarySafety) {
+  std::size_t n = GetParam();
+  Cube c(n);
+  EXPECT_TRUE(c.valid());
+  // Pin every third variable, check integrity across word boundaries.
+  for (std::size_t i = 0; i < n; i += 3) c.set(i, i % 2 ? Cube::V::kOne : Cube::V::kZero);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i % 3 == 0)
+      EXPECT_EQ(c.get(i), i % 2 ? Cube::V::kOne : Cube::V::kZero) << "var " << i;
+    else
+      EXPECT_EQ(c.get(i), Cube::V::kFree) << "var " << i;
+  }
+  EXPECT_EQ(c.literal_count(), (n + 2) / 3);
+  // A point inside c intersects; flipping one pinned var breaks containment.
+  Cube p = c;
+  for (std::size_t i = 0; i < n; ++i)
+    if (p.get(i) == Cube::V::kFree) p.set(i, Cube::V::kZero);
+  EXPECT_TRUE(c.contains(p));
+  if (n >= 1) {
+    Cube q = p.with(0, Cube::V::kOne);  // var 0 was pinned to 0
+    EXPECT_FALSE(c.contains(q));
+    EXPECT_FALSE(c.intersects(q));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, CubeWidth,
+                         ::testing::Values(1, 7, 63, 64, 65, 100, 127, 128, 130));
+
+}  // namespace
+}  // namespace adc

@@ -1,0 +1,73 @@
+// State assignment: the hypercube embedding search and its fallback.
+
+#include <gtest/gtest.h>
+
+#include "extract/extract.hpp"
+#include "frontend/benchmarks.hpp"
+#include "logic/encoding.hpp"
+#include "ltrans/local.hpp"
+#include "transforms/pipeline.hpp"
+
+namespace adc {
+namespace {
+
+// A ring machine of the given length over one toggling wire pair (even
+// lengths close their phases).
+ConcreteMachine ring_machine(int n) {
+  Xbm m("ring");
+  SignalId a = m.add_signal("a", SignalKind::kInput, SignalRole::kGlobalReady);
+  SignalId y = m.add_signal("y", SignalKind::kOutput, SignalRole::kGlobalReady);
+  std::vector<StateId> states;
+  for (int i = 0; i < n; ++i) states.push_back(m.add_state());
+  m.set_initial(states[0]);
+  for (int i = 0; i < n; ++i)
+    m.add_transition(states[static_cast<std::size_t>(i)],
+                     states[static_cast<std::size_t>((i + 1) % n)], {toggle(a)},
+                     {toggle(y)});
+  return concretize(m);
+}
+
+class RingEncoding : public ::testing::TestWithParam<int> {};
+
+TEST_P(RingEncoding, EvenRingsEmbedDistanceOne) {
+  // Even-length cycles embed in the hypercube: every transition must be a
+  // single-bit change.
+  auto cm = ring_machine(GetParam());
+  auto enc = assign_codes(cm);
+  EXPECT_EQ(enc.distance1, enc.total) << "cycle of length " << cm.states.size();
+}
+
+INSTANTIATE_TEST_SUITE_P(EvenRings, RingEncoding, ::testing::Values(2, 4, 6, 8, 12, 16));
+
+TEST(Encoding, CodesAlwaysUniqueAndInRange) {
+  for (int n : {2, 3, 5, 9, 17}) {
+    auto cm = ring_machine(n % 2 ? n + 1 : n);  // keep phases closable
+    auto enc = assign_codes(cm);
+    std::set<std::uint32_t> codes(enc.code.begin(), enc.code.end());
+    EXPECT_EQ(codes.size(), cm.states.size());
+    for (auto c : codes) EXPECT_LT(c, 1u << enc.bits);
+  }
+}
+
+TEST(Encoding, DiffeqControllersMostlyDistanceOne) {
+  Cdfg g = diffeq();
+  auto res = run_global_transforms(g);
+  for (auto& c : extract_controllers(g, res.plan)) {
+    run_local_transforms(c);
+    auto cm = concretize(c.machine, &c.bindings);
+    auto enc = assign_codes(cm);
+    EXPECT_GE(enc.distance1 * 10, enc.total * 8)
+        << c.machine.name() << ": " << enc.distance1 << "/" << enc.total;
+  }
+}
+
+TEST(Encoding, BitCountIsMinimal) {
+  auto cm = ring_machine(8);
+  auto enc = assign_codes(cm);
+  EXPECT_EQ(enc.bits, 3u);
+  auto cm2 = ring_machine(16);
+  EXPECT_EQ(assign_codes(cm2).bits, 4u);
+}
+
+}  // namespace
+}  // namespace adc

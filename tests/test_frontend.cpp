@@ -1,0 +1,187 @@
+// ProgramBuilder and automatic constraint-arc generation (§2.1 rules),
+// checked in detail against the paper's DIFFEQ description.
+
+#include <gtest/gtest.h>
+
+#include "cdfg/analysis.hpp"
+#include "cdfg/validate.hpp"
+#include "frontend/benchmarks.hpp"
+#include "frontend/builder.hpp"
+
+namespace adc {
+namespace {
+
+bool arc_between(const Cdfg& g, const char* src, const char* dst) {
+  auto s = g.find_node_by_label(src);
+  auto d = g.find_node_by_label(dst);
+  if (!s || !d) return false;
+  return g.find_arc(*s, *d).has_value();
+}
+
+std::size_t inter_controller_arcs(const Cdfg& g) {
+  std::size_t n = 0;
+  for (ArcId a : g.arc_ids())
+    if (g.node(g.arc(a).src).fu != g.node(g.arc(a).dst).fu) ++n;
+  return n;
+}
+
+TEST(Frontend, DiffeqHasPaperStructure) {
+  Cdfg g = diffeq();
+  EXPECT_EQ(g.fu_count(), 4u);
+  // 10 RTL nodes + LOOP + ENDLOOP + START + END.
+  EXPECT_EQ(g.live_node_count(), 14u);
+  EXPECT_TRUE(validate(g).empty());
+}
+
+TEST(Frontend, DiffeqChannelCountMatchesPaper) {
+  // Paper Figure 12, row "unoptimized": 17 communication channels.
+  Cdfg g = diffeq();
+  EXPECT_EQ(inter_controller_arcs(g), 17u);
+}
+
+TEST(Frontend, DiffeqFuSchedulesMatchPaperColumns) {
+  Cdfg g = diffeq();
+  auto labels = [&g](const char* fu) {
+    std::vector<std::string> out;
+    for (NodeId n : g.fu_order(*g.find_fu(fu))) out.push_back(g.node(n).label());
+    return out;
+  };
+  EXPECT_EQ(labels("ALU1"),
+            (std::vector<std::string>{"B := 2dx + dx", "A := Y + M1", "U := U - M1"}));
+  EXPECT_EQ(labels("MUL1"), (std::vector<std::string>{"M1 := U * X1", "M1 := A * B"}));
+  EXPECT_EQ(labels("MUL2"), (std::vector<std::string>{"M2 := U * dx"}));
+  EXPECT_EQ(labels("ALU2"),
+            (std::vector<std::string>{"LOOP", "X := X + dx", "Y := Y + M2", "X1 := X",
+                                      "C := X < a", "ENDLOOP"}));
+}
+
+TEST(Frontend, DataDependencyArcsOfPaperExample) {
+  // "(M1 := U * X1, A := Y + M1) and (A := Y + M1, M1 := A * B) illustrate
+  // the data dependencies incident to the node A := Y + M1."
+  Cdfg g = diffeq();
+  EXPECT_TRUE(arc_between(g, "M1 := U * X1", "A := Y + M1"));
+  EXPECT_TRUE(arc_between(g, "A := Y + M1", "M1 := A * B"));
+}
+
+TEST(Frontend, RegisterAllocationArcOfPaperExample) {
+  // "(M1 := U * X1, U := U - M1) is a register allocation constraint arc
+  // with respect to U."
+  Cdfg g = diffeq();
+  NodeId src = *g.find_node_by_label("M1 := U * X1");
+  NodeId dst = *g.find_node_by_label("U := U - M1");
+  auto arc = g.find_arc(src, dst);
+  ASSERT_TRUE(arc.has_value());
+  EXPECT_TRUE(has_role(g.arc(*arc).roles, ArcRole::kRegAlloc));
+  const auto& vars = g.arc(*arc).vars;
+  EXPECT_NE(std::find(vars.begin(), vars.end(), "U"), vars.end());
+}
+
+TEST(Frontend, EndloopSynchronizesEveryFu) {
+  // Figure 1: the last node of each FU is synchronized with ENDLOOP.
+  Cdfg g = diffeq();
+  EXPECT_TRUE(arc_between(g, "U := U - M1", "ENDLOOP"));
+  EXPECT_TRUE(arc_between(g, "M1 := A * B", "ENDLOOP"));
+  EXPECT_TRUE(arc_between(g, "M2 := U * dx", "ENDLOOP"));
+  EXPECT_TRUE(arc_between(g, "C := X < a", "ENDLOOP"));
+}
+
+TEST(Frontend, LoopBroadcastsToFirstNodeOfEveryFu) {
+  Cdfg g = diffeq();
+  EXPECT_TRUE(arc_between(g, "LOOP", "B := 2dx + dx"));
+  EXPECT_TRUE(arc_between(g, "LOOP", "M1 := U * X1"));
+  EXPECT_TRUE(arc_between(g, "LOOP", "M2 := U * dx"));
+  EXPECT_TRUE(arc_between(g, "LOOP", "X := X + dx"));
+}
+
+TEST(Frontend, EnvironmentArcs) {
+  Cdfg g = diffeq();
+  EXPECT_TRUE(arc_between(g, "START", "LOOP"));
+  EXPECT_TRUE(arc_between(g, "LOOP", "END"));
+}
+
+TEST(Frontend, ReadersOfOldValuePrecedeOverwrite) {
+  // Y is read by A := Y + M1 before being overwritten by Y := Y + M2.
+  Cdfg g = diffeq();
+  NodeId reader = *g.find_node_by_label("A := Y + M1");
+  NodeId writer = *g.find_node_by_label("Y := Y + M2");
+  auto arc = g.find_arc(reader, writer);
+  ASSERT_TRUE(arc.has_value());
+  EXPECT_TRUE(has_role(g.arc(*arc).roles, ArcRole::kRegAlloc));
+}
+
+TEST(Frontend, SchedulingArcsAlongEachColumn) {
+  Cdfg g = diffeq();
+  EXPECT_TRUE(arc_between(g, "B := 2dx + dx", "A := Y + M1"));
+  EXPECT_TRUE(arc_between(g, "A := Y + M1", "U := U - M1"));
+  EXPECT_TRUE(arc_between(g, "M1 := U * X1", "M1 := A * B"));
+}
+
+TEST(Frontend, NoBackwardArcsBeforeGt1) {
+  Cdfg g = diffeq();
+  for (ArcId a : g.arc_ids()) EXPECT_FALSE(g.arc(a).backward);
+}
+
+TEST(Frontend, IfBlockDataArcsAttachAtBoundaries) {
+  Cdfg g = mac_reduce();
+  // The value written inside the IF must be awaited at the ENDIF, and the
+  // condition is consumed at the IF root.
+  NodeId ifn = *g.find_unique(NodeKind::kIf);
+  NodeId endif = *g.find_unique(NodeKind::kEndIf);
+  NodeId dprod = *g.find_node_by_label("D := S > T");
+  EXPECT_TRUE(g.find_arc(dprod, ifn).has_value());
+  // S is read after the loop body via the next iteration; within the body
+  // the ENDIF releases the ALU2 condition recomputation ordering.
+  EXPECT_FALSE(g.in_arcs(endif).empty());
+}
+
+TEST(Frontend, BuilderRejectsMisuse) {
+  ProgramBuilder b("bad");
+  FuId alu = b.fu("ALU1", "alu");
+  EXPECT_THROW(b.fu("ALU1", "alu"), std::invalid_argument);
+  b.begin_loop(alu, "c");
+  EXPECT_THROW(b.end_if(), std::logic_error);
+  EXPECT_THROW(b.finish(), std::logic_error);  // unclosed loop
+}
+
+TEST(Frontend, BuilderCannotBeReusedAfterFinish) {
+  ProgramBuilder b("once");
+  FuId alu = b.fu("ALU1", "alu");
+  b.stmt(alu, "x := a + b");
+  b.finish();
+  EXPECT_THROW(b.stmt(alu, "y := x + b"), std::logic_error);
+}
+
+TEST(Frontend, StraightLineProgramsHaveStartEndFanout) {
+  Cdfg g = fir4();
+  NodeId start = *g.find_unique(NodeKind::kStart);
+  NodeId end = *g.find_unique(NodeKind::kEnd);
+  // One entry arc per FU used at top level and one exit arc per FU.
+  EXPECT_EQ(g.out_arcs(start).size(), 4u);
+  EXPECT_EQ(g.in_arcs(end).size(), 4u);
+}
+
+TEST(Frontend, AllBenchmarksValidate) {
+  for (auto make : {diffeq, gcd, fir4, mac_reduce, ewf_lite}) {
+    Cdfg g = make();
+    EXPECT_TRUE(validate(g).empty()) << g.name();
+  }
+}
+
+TEST(Frontend, RandomProgramsValidate) {
+  for (int seed = 0; seed < 25; ++seed) {
+    Cdfg g = random_program(RandomProgramParams{}, static_cast<std::uint64_t>(seed));
+    EXPECT_TRUE(validate(g).empty()) << "seed " << seed;
+  }
+}
+
+TEST(Frontend, RandomStraightLineProgramsValidate) {
+  RandomProgramParams p;
+  p.with_loop = false;
+  for (int seed = 0; seed < 10; ++seed) {
+    Cdfg g = random_program(p, static_cast<std::uint64_t>(seed));
+    EXPECT_TRUE(validate(g).empty()) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace adc

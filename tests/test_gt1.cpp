@@ -1,0 +1,148 @@
+// GT1 loop parallelism: the four steps of §3.1, checked against the
+// paper's DIFFEQ narrative (arcs 1-3 removed, backward arcs 8 and 9 added,
+// steps C and D add nothing), plus behavioural checks: overlap appears and
+// results stay correct.
+
+#include <gtest/gtest.h>
+
+#include "cdfg/analysis.hpp"
+#include "frontend/benchmarks.hpp"
+#include "sim/token_sim.hpp"
+#include "transforms/global.hpp"
+
+namespace adc {
+namespace {
+
+TEST(Gt1, StepARemovesEndloopSynchronization) {
+  Cdfg g = diffeq();
+  NodeId endloop = *g.find_unique(NodeKind::kEndLoop);
+  EXPECT_EQ(g.in_arcs(endloop).size(), 4u);  // three sync arcs + the FU sched arc
+
+  auto res = gt1_loop_parallelism(g);
+  EXPECT_EQ(res.arcs_removed, 3);
+  auto ins = g.in_arcs(endloop);
+  ASSERT_EQ(ins.size(), 1u);
+  EXPECT_EQ(g.node(g.arc(ins[0]).src).label(), "C := X < a")
+      << "only the schedule-predecessor arc survives";
+}
+
+TEST(Gt1, StepBAddsExactlyThePapersTwoBackwardArcs) {
+  Cdfg g = diffeq();
+  auto res = gt1_loop_parallelism(g);
+  EXPECT_EQ(res.arcs_added, 2);
+
+  NodeId a1c = *g.find_node_by_label("U := U - M1");
+  NodeId m1a = *g.find_node_by_label("M1 := U * X1");
+  NodeId m2a = *g.find_node_by_label("M2 := U * dx");
+  auto arc8 = g.find_arc(a1c, m1a, /*backward=*/true);
+  auto arc9 = g.find_arc(a1c, m2a, /*backward=*/true);
+  ASSERT_TRUE(arc8.has_value()) << "paper's arc 8";
+  ASSERT_TRUE(arc9.has_value()) << "paper's arc 9";
+}
+
+TEST(Gt1, StepsCAndDAddNothingForDiffeq) {
+  // Paper: "step C does not need to add any constraint" and "step D does,
+  // like step C, not add any constraints" — both candidates are dominated.
+  Cdfg g = diffeq();
+  auto res = gt1_loop_parallelism(g);
+  EXPECT_EQ(res.arcs_added, 2) << "only the two backward arcs of step B";
+}
+
+TEST(Gt1, SemanticsPreservedUnderRandomDelays) {
+  Cdfg g = diffeq();
+  std::map<std::string, std::int64_t> init{{"X", 0}, {"a", 12}, {"dx", 1},
+                                           {"U", 2},  {"Y", 1}, {"X1", 0}, {"C", 1}};
+  auto gold = run_sequential(g, init);
+  gt1_loop_parallelism(g);
+  for (unsigned seed = 1; seed <= 12; ++seed) {
+    TokenSimOptions o;
+    o.seed = seed;
+    auto r = run_token_sim(g, init, o);
+    EXPECT_TRUE(r.completed) << r.error;
+    EXPECT_EQ(r.registers, gold) << "seed " << seed;
+  }
+}
+
+TEST(Gt1, EnablesTwoIterationOverlap) {
+  Cdfg g = diffeq();
+  gt1_loop_parallelism(g);
+  std::map<std::string, std::int64_t> init{{"X", 0}, {"a", 20}, {"dx", 1},
+                                           {"U", 2},  {"Y", 1}, {"X1", 0}, {"C", 1}};
+  int best = 1;
+  for (unsigned seed = 1; seed <= 10; ++seed) {
+    TokenSimOptions o;
+    o.seed = seed;
+    auto r = run_token_sim(g, init, o);
+    ASSERT_TRUE(r.completed) << r.error;
+    best = std::max(best, r.max_overlap);
+    EXPECT_LE(r.max_overlap, 2) << "step D limits overlap to two iterations";
+  }
+  EXPECT_EQ(best, 2) << "loop parallelism should actually overlap iterations";
+}
+
+TEST(Gt1, WireDisciplineStillHolds) {
+  // Step D's purpose: no wire ever queues two unconsumed transitions.
+  Cdfg g = diffeq();
+  gt1_loop_parallelism(g);
+  std::map<std::string, std::int64_t> init{{"X", 0}, {"a", 30}, {"dx", 1},
+                                           {"U", 2},  {"Y", 1}, {"X1", 0}, {"C", 1}};
+  for (unsigned seed = 1; seed <= 10; ++seed) {
+    TokenSimOptions o;
+    o.seed = seed;
+    o.check_wire_discipline = true;
+    auto r = run_token_sim(g, init, o);
+    EXPECT_TRUE(r.error.empty()) << r.error;
+  }
+}
+
+TEST(Gt1, ImprovesLoopLatency) {
+  std::map<std::string, std::int64_t> init{{"X", 0}, {"a", 30}, {"dx", 1},
+                                           {"U", 2},  {"Y", 1}, {"X1", 0}, {"C", 1}};
+  TokenSimOptions o;
+  o.randomize_delays = false;  // compare worst-case finish times
+  Cdfg before = diffeq();
+  auto rb = run_token_sim(before, init, o);
+  Cdfg after = diffeq();
+  gt1_loop_parallelism(after);
+  auto ra = run_token_sim(after, init, o);
+  ASSERT_TRUE(rb.completed && ra.completed);
+  EXPECT_LT(ra.finish_time, rb.finish_time)
+      << "overlapping iterations must shorten the schedule";
+}
+
+TEST(Gt1, IdempotentOnSecondApplication) {
+  Cdfg g = diffeq();
+  gt1_loop_parallelism(g);
+  std::size_t arcs = g.live_arc_count();
+  auto res2 = gt1_loop_parallelism(g);
+  EXPECT_EQ(res2.arcs_added, 0);
+  EXPECT_EQ(res2.arcs_removed, 0);
+  EXPECT_EQ(g.live_arc_count(), arcs);
+}
+
+TEST(Gt1, AppliesToEveryLoopInRandomPrograms) {
+  RandomProgramParams p;
+  for (int seed = 0; seed < 15; ++seed) {
+    Cdfg g = random_program(p, static_cast<std::uint64_t>(seed));
+    std::map<std::string, std::int64_t> init;
+    for (int i = 0; i < p.regs; ++i) init["r" + std::to_string(i)] = i + 1;
+    init["n"] = 4;
+    init["cond"] = 1;
+    auto gold = run_sequential(g, init);
+    gt1_loop_parallelism(g);
+    TokenSimOptions o;
+    o.seed = static_cast<std::uint64_t>(seed) * 31 + 7;
+    auto r = run_token_sim(g, init, o);
+    EXPECT_TRUE(r.completed) << "seed " << seed << ": " << r.error;
+    EXPECT_EQ(r.registers, gold) << "seed " << seed;
+  }
+}
+
+TEST(Gt1, NoOpOnStraightLineCode) {
+  Cdfg g = fir4();
+  auto res = gt1_loop_parallelism(g);
+  EXPECT_FALSE(res.changed());
+}
+
+}  // namespace
+}  // namespace adc

@@ -1,0 +1,127 @@
+// GT2 removal of dominated constraints (§3.2).
+
+#include <gtest/gtest.h>
+
+#include "cdfg/analysis.hpp"
+#include "frontend/benchmarks.hpp"
+#include "sim/token_sim.hpp"
+#include "transforms/global.hpp"
+
+namespace adc {
+namespace {
+
+TEST(Gt2, RemovesThePapersArc5) {
+  // M1:=U*X1 -> U:=U-M1 is implied by M1:=U*X1 -> A:=Y+M1 -> U:=U-M1.
+  Cdfg g = diffeq();
+  NodeId m1a = *g.find_node_by_label("M1 := U * X1");
+  NodeId a1c = *g.find_node_by_label("U := U - M1");
+  ASSERT_TRUE(g.find_arc(m1a, a1c).has_value());
+  gt2_remove_dominated(g);
+  EXPECT_FALSE(g.find_arc(m1a, a1c).has_value());
+}
+
+TEST(Gt2, KeepsNonDominatedArcs) {
+  Cdfg g = diffeq();
+  gt2_remove_dominated(g);
+  auto has = [&g](const char* s, const char* d) {
+    return g.find_arc(*g.find_node_by_label(s), *g.find_node_by_label(d)).has_value();
+  };
+  EXPECT_TRUE(has("M1 := U * X1", "A := Y + M1"));
+  EXPECT_TRUE(has("A := Y + M1", "M1 := A * B"));
+  EXPECT_TRUE(has("M1 := A * B", "U := U - M1"));
+}
+
+TEST(Gt2, NoRemainingArcIsDominated) {
+  for (auto make : {diffeq, gcd, fir4, mac_reduce, ewf_lite}) {
+    Cdfg g = make();
+    gt2_remove_dominated(g);
+    for (ArcId aid : g.arc_ids()) {
+      const Arc& a = g.arc(aid);
+      if (g.node(a.src).fu == g.node(a.dst).fu) continue;
+      EXPECT_FALSE(is_dominated(g, aid))
+          << g.name() << ": " << g.node(a.src).label() << " -> "
+          << g.node(a.dst).label();
+    }
+  }
+}
+
+TEST(Gt2, ClosurePreserved) {
+  // Removing dominated arcs must not change reachability (any offset).
+  Cdfg g = diffeq();
+  Cdfg before = g.clone();
+  gt2_remove_dominated(g);
+  for (NodeId s : before.node_ids()) {
+    for (NodeId d : before.node_ids()) {
+      if (s == d) continue;
+      auto then = min_path_offset(before, s, d);
+      auto now = min_path_offset(g, s, d);
+      EXPECT_EQ(then.has_value(), now.has_value());
+      if (then && now) {
+        EXPECT_EQ(*then, *now);
+      }
+    }
+  }
+}
+
+TEST(Gt2, IntraControllerArcsUntouchedByDefault) {
+  Cdfg g = diffeq();
+  std::size_t intra_before = 0;
+  for (ArcId a : g.arc_ids())
+    if (g.node(g.arc(a).src).fu == g.node(g.arc(a).dst).fu) ++intra_before;
+  gt2_remove_dominated(g);
+  std::size_t intra_after = 0;
+  for (ArcId a : g.arc_ids())
+    if (g.node(g.arc(a).src).fu == g.node(g.arc(a).dst).fu) ++intra_after;
+  EXPECT_EQ(intra_before, intra_after);
+}
+
+TEST(Gt2, AllArcsModeRemovesMore) {
+  Cdfg g1 = diffeq();
+  gt2_remove_dominated(g1);
+  Cdfg g2 = diffeq();
+  Gt2Options all;
+  all.only_inter_controller = false;
+  gt2_remove_dominated(g2, all);
+  EXPECT_GE(g1.live_arc_count(), g2.live_arc_count());
+}
+
+TEST(Gt2, SemanticsPreservedOnRandomPrograms) {
+  RandomProgramParams p;
+  p.stmts = 14;
+  for (int seed = 0; seed < 20; ++seed) {
+    Cdfg g = random_program(p, static_cast<std::uint64_t>(seed));
+    std::map<std::string, std::int64_t> init;
+    for (int i = 0; i < p.regs; ++i) init["r" + std::to_string(i)] = 2 * i + 1;
+    init["n"] = 3;
+    init["cond"] = 1;
+    auto gold = run_sequential(g, init);
+    gt2_remove_dominated(g);
+    TokenSimOptions o;
+    o.seed = static_cast<std::uint64_t>(seed) + 5;
+    auto r = run_token_sim(g, init, o);
+    EXPECT_TRUE(r.completed) << "seed " << seed << ": " << r.error;
+    EXPECT_EQ(r.registers, gold) << "seed " << seed;
+  }
+}
+
+TEST(Gt2, Fixpoint) {
+  Cdfg g = diffeq();
+  gt2_remove_dominated(g);
+  auto res2 = gt2_remove_dominated(g);
+  EXPECT_EQ(res2.arcs_removed, 0);
+}
+
+TEST(Gt2, AfterGt1TheDominatedSetIsDifferent) {
+  // GT1 removes the ENDLOOP synchronization, which changes what GT2 can
+  // prove: B := 2dx + dx -> M1 := A * B becomes removable.
+  Cdfg g = diffeq();
+  gt1_loop_parallelism(g);
+  NodeId a1a = *g.find_node_by_label("B := 2dx + dx");
+  NodeId m1b = *g.find_node_by_label("M1 := A * B");
+  ASSERT_TRUE(g.find_arc(a1a, m1b).has_value());
+  gt2_remove_dominated(g);
+  EXPECT_FALSE(g.find_arc(a1a, m1b).has_value());
+}
+
+}  // namespace
+}  // namespace adc

@@ -1,0 +1,135 @@
+// GT3 relative-timing optimization (§3.3): the paper's arc-10 removal, the
+// structural fast path, sensitivity to the delay model, and safety.
+
+#include <gtest/gtest.h>
+
+#include "frontend/benchmarks.hpp"
+#include "sim/token_sim.hpp"
+#include "transforms/global.hpp"
+
+namespace adc {
+namespace {
+
+Cdfg diffeq_after_gt1_gt2() {
+  Cdfg g = diffeq();
+  gt1_loop_parallelism(g);
+  gt2_remove_dominated(g);
+  return g;
+}
+
+TEST(Gt3, RemovesThePapersArc10) {
+  // Figure 3/4: of the two arcs into U := U - M1, the MUL2 arc (one
+  // multiplication) is always earlier than the MUL1 arc (mul+alu+mul), so
+  // it is deleted.
+  Cdfg g = diffeq_after_gt1_gt2();
+  NodeId m2a = *g.find_node_by_label("M2 := U * dx");
+  NodeId m1b = *g.find_node_by_label("M1 := A * B");
+  NodeId a1c = *g.find_node_by_label("U := U - M1");
+  ASSERT_TRUE(g.find_arc(m2a, a1c).has_value());
+  ASSERT_TRUE(g.find_arc(m1b, a1c).has_value());
+
+  auto res = gt3_relative_timing(g, DelayModel::typical());
+  EXPECT_EQ(res.arcs_removed, 1);
+  EXPECT_FALSE(g.find_arc(m2a, a1c).has_value()) << "arc 10 gone";
+  EXPECT_TRUE(g.find_arc(m1b, a1c).has_value()) << "arc 11 (slower) kept";
+}
+
+TEST(Gt3, RespectsTheDelayModel) {
+  // With hugely variable multiplier latency the "MUL2 always earlier"
+  // argument collapses: the single M2 multiplication can outlast the
+  // mul+alu+mul chain, so the arc must NOT be deleted.
+  Cdfg g = diffeq_after_gt1_gt2();
+  DelayModel wild;
+  wild.fu_op["alu"] = {1, 1};
+  wild.fu_op["mul"] = {1, 200};
+  NodeId m2a = *g.find_node_by_label("M2 := U * dx");
+  NodeId a1c = *g.find_node_by_label("U := U - M1");
+  gt3_relative_timing(g, wild);
+  EXPECT_TRUE(g.find_arc(m2a, a1c).has_value())
+      << "relative-timing removal must not fire when the assumption fails";
+}
+
+TEST(Gt3, ResultStaysCorrectUnderItsDelayModel) {
+  Cdfg g = diffeq_after_gt1_gt2();
+  gt3_relative_timing(g, DelayModel::typical());
+  std::map<std::string, std::int64_t> init{{"X", 0}, {"a", 10}, {"dx", 1},
+                                           {"U", 2},  {"Y", 1}, {"X1", 0}, {"C", 1}};
+  Cdfg ref = diffeq();
+  auto gold = run_sequential(ref, init);
+  for (unsigned seed = 1; seed <= 15; ++seed) {
+    TokenSimOptions o;
+    o.seed = seed;
+    auto r = run_token_sim(g, init, o);
+    EXPECT_TRUE(r.completed) << r.error;
+    EXPECT_EQ(r.registers, gold) << "seed " << seed;
+  }
+}
+
+TEST(Gt3, NeverRemovesTheOnlyIncomingArc) {
+  Cdfg g = diffeq_after_gt1_gt2();
+  gt3_relative_timing(g, DelayModel::typical());
+  // Every RTL node still has at least one incoming constraint.
+  for (NodeId n : g.node_ids()) {
+    if (g.node(n).is_control()) continue;
+    EXPECT_FALSE(g.in_arcs(n).empty()) << g.node(n).label();
+  }
+}
+
+TEST(Gt3, StructuralFastPathCoversSequentialSources) {
+  // c -> b and a -> b where a precedes c: the arc from a is never last and
+  // is removable without any timing argument.
+  Cdfg g("chain");
+  FuId alu = g.add_fu("A1", "alu");
+  FuId mul = g.add_fu("M1", "mul");
+  NodeId a = g.add_node(NodeKind::kOperation, alu, {parse_rtl("x := p + q")});
+  NodeId c = g.add_node(NodeKind::kOperation, alu, {parse_rtl("y := x + q")});
+  NodeId b = g.add_node(NodeKind::kOperation, mul, {parse_rtl("z := y * x")});
+  g.set_fu_order(alu, {a, c});
+  g.set_fu_order(mul, {b});
+  NodeId start = g.add_node(NodeKind::kStart, FuId::invalid());
+  NodeId end = g.add_node(NodeKind::kEnd, FuId::invalid());
+  g.add_arc(start, a, ArcRole::kControl);
+  g.add_arc(a, c, ArcRole::kScheduling | ArcRole::kDataDep, false, "x");
+  g.add_arc(a, b, ArcRole::kDataDep, false, "x");  // removable: c is later
+  g.add_arc(c, b, ArcRole::kDataDep, false, "y");
+  g.add_arc(b, end, ArcRole::kControl);
+
+  auto res = gt3_relative_timing(g, DelayModel::typical());
+  EXPECT_EQ(res.arcs_removed, 1);
+  EXPECT_FALSE(g.find_arc(a, b).has_value());
+  EXPECT_TRUE(g.find_arc(c, b).has_value());
+}
+
+TEST(Gt3, MarginBlocksTightRemovals) {
+  Cdfg g = diffeq_after_gt1_gt2();
+  Gt3Options opts;
+  opts.margin = 100000;  // nothing can be proven with absurd margin
+  auto res = gt3_relative_timing(g, DelayModel::typical(), opts);
+  // The structural fast path is margin-independent, so only count the
+  // timing-based removal of arc 10 as suppressed.
+  NodeId m2a = *g.find_node_by_label("M2 := U * dx");
+  NodeId a1c = *g.find_node_by_label("U := U - M1");
+  EXPECT_TRUE(g.find_arc(m2a, a1c).has_value());
+  (void)res;
+}
+
+TEST(Gt3, SkipsArcsUnderIfBlocks) {
+  Cdfg g = mac_reduce();
+  gt1_loop_parallelism(g);
+  gt2_remove_dominated(g);
+  gt3_relative_timing(g, DelayModel::typical());
+  std::map<std::string, std::int64_t> init{{"X", 0}, {"K", 3}, {"T", 40},
+                                           {"N", 6}, {"dx", 1}, {"S", 0}, {"C", 1}};
+  Cdfg ref = mac_reduce();
+  auto gold = run_sequential(ref, init);
+  for (unsigned seed = 1; seed <= 8; ++seed) {
+    TokenSimOptions o;
+    o.seed = seed;
+    auto r = run_token_sim(g, init, o);
+    EXPECT_TRUE(r.completed) << r.error;
+    EXPECT_EQ(r.registers, gold);
+  }
+}
+
+}  // namespace
+}  // namespace adc

@@ -1,0 +1,127 @@
+// GT4 merging of assignment nodes (§3.4).
+
+#include <gtest/gtest.h>
+
+#include "cdfg/validate.hpp"
+#include "frontend/benchmarks.hpp"
+#include "frontend/builder.hpp"
+#include "sim/token_sim.hpp"
+#include "transforms/global.hpp"
+
+namespace adc {
+namespace {
+
+TEST(Gt4, MergesThePapersExample) {
+  // "the two nodes Y := Y + M2 and X1 := X ... are merged into one node
+  // Y := Y + M2; X1 := X".
+  Cdfg g = diffeq();
+  auto res = gt4_merge_assignments(g);
+  EXPECT_EQ(res.nodes_merged, 1);
+  EXPECT_TRUE(g.find_node_by_label("Y := Y + M2; X1 := X").has_value());
+  EXPECT_FALSE(g.find_node_by_label("X1 := X").has_value());
+  EXPECT_TRUE(validate(g).empty());
+}
+
+TEST(Gt4, MergedNodeInheritsConstraints) {
+  Cdfg g = diffeq();
+  gt4_merge_assignments(g);
+  NodeId merged = *g.find_node_by_label("Y := Y + M2; X1 := X");
+  // X1 := X carried a register-allocation arc from M1 := U * X1.
+  NodeId m1a = *g.find_node_by_label("M1 := U * X1");
+  EXPECT_TRUE(g.find_arc(m1a, merged).has_value());
+}
+
+TEST(Gt4, SemanticsPreserved) {
+  Cdfg g = diffeq();
+  std::map<std::string, std::int64_t> init{{"X", 0}, {"a", 7}, {"dx", 1},
+                                           {"U", 2},  {"Y", 1}, {"X1", 0}, {"C", 1}};
+  auto gold = run_sequential(diffeq(), init);
+  gt4_merge_assignments(g);
+  for (unsigned seed = 1; seed <= 10; ++seed) {
+    TokenSimOptions o;
+    o.seed = seed;
+    auto r = run_token_sim(g, init, o);
+    EXPECT_TRUE(r.completed) << r.error;
+    EXPECT_EQ(r.registers, gold);
+  }
+}
+
+TEST(Gt4, RefusesDependentNeighbours) {
+  // The assignment consumes the operation's result: running them in
+  // parallel would read a stale value, so the merge must not happen.
+  ProgramBuilder b("dep");
+  FuId alu = b.fu("ALU1", "alu");
+  b.stmt(alu, "x := p + q");
+  b.stmt(alu, "y := x");  // reads the op's fresh result
+  Cdfg g = b.finish();
+  auto res = gt4_merge_assignments(g);
+  EXPECT_EQ(res.nodes_merged, 0);
+}
+
+TEST(Gt4, RefusesWriteConflicts) {
+  ProgramBuilder b("waw");
+  FuId alu = b.fu("ALU1", "alu");
+  b.stmt(alu, "x := p + q");
+  b.stmt(alu, "x := r");  // same destination: a race if parallel
+  Cdfg g = b.finish();
+  auto res = gt4_merge_assignments(g);
+  EXPECT_EQ(res.nodes_merged, 0);
+}
+
+TEST(Gt4, RefusesSourceOverwrite) {
+  // The assignment overwrites a register the operation still reads.
+  ProgramBuilder b("war");
+  FuId alu = b.fu("ALU1", "alu");
+  b.stmt(alu, "x := p + q");
+  b.stmt(alu, "p := r");
+  Cdfg g = b.finish();
+  auto res = gt4_merge_assignments(g);
+  EXPECT_EQ(res.nodes_merged, 0);
+}
+
+TEST(Gt4, MergesIndependentIntoSuccessorWhenNoPredecessor) {
+  // The assignment is the FIRST node of its unit; only the succeeding
+  // operation is available.
+  ProgramBuilder b("succ");
+  FuId alu = b.fu("ALU1", "alu");
+  b.stmt(alu, "t := s");  // independent move
+  b.stmt(alu, "x := p + q");
+  Cdfg g = b.finish();
+  auto res = gt4_merge_assignments(g);
+  EXPECT_EQ(res.nodes_merged, 1);
+  // Parallel semantics must still match the sequential program.
+  std::map<std::string, std::int64_t> init{{"s", 5}, {"p", 2}, {"q", 3}};
+  auto r = run_token_sim(g, init);
+  EXPECT_TRUE(r.completed) << r.error;
+  EXPECT_EQ(r.registers.at("t"), 5);
+  EXPECT_EQ(r.registers.at("x"), 5);
+}
+
+TEST(Gt4, ChainsOfAssignmentsMerge) {
+  ProgramBuilder b("chain");
+  FuId alu = b.fu("ALU1", "alu");
+  b.stmt(alu, "x := p + q");
+  b.stmt(alu, "t := s");
+  b.stmt(alu, "u := v");
+  Cdfg g = b.finish();
+  auto res = gt4_merge_assignments(g);
+  EXPECT_EQ(res.nodes_merged, 2);
+  EXPECT_TRUE(g.find_node_by_label("x := p + q; t := s; u := v").has_value());
+}
+
+TEST(Gt4, NeverMergesAcrossBlockBoundaries) {
+  Cdfg g = mac_reduce();
+  // The IF body's S := S - T is an operation; only moves merge, and none
+  // may cross into or out of the IF block.
+  auto res = gt4_merge_assignments(g);
+  for (NodeId n : g.node_ids()) {
+    const Node& node = g.node(n);
+    if (node.stmts.size() < 2) continue;
+    // All statements of a merged node must have lived in one block.
+    EXPECT_TRUE(validate(g).empty());
+  }
+  (void)res;
+}
+
+}  // namespace
+}  // namespace adc

@@ -1,0 +1,94 @@
+// The textual CDFG front-end language.
+
+#include <gtest/gtest.h>
+
+#include "cdfg/validate.hpp"
+#include "frontend/benchmarks.hpp"
+#include "frontend/parser.hpp"
+
+namespace adc {
+namespace {
+
+TEST(Parser, DiffeqSourceElaboratesLikeBuilder) {
+  Cdfg from_dsl = parse_program(diffeq_source());
+  Cdfg from_builder = diffeq();
+  EXPECT_EQ(from_dsl.live_node_count(), from_builder.live_node_count());
+  EXPECT_EQ(from_dsl.live_arc_count(), from_builder.live_arc_count());
+  EXPECT_EQ(from_dsl.fu_count(), from_builder.fu_count());
+  for (NodeId n : from_builder.node_ids())
+    EXPECT_TRUE(from_dsl.find_node_by_label(from_builder.node(n).label()).has_value())
+        << from_builder.node(n).label();
+}
+
+TEST(Parser, CommentsAndWhitespace) {
+  Cdfg g = parse_program(R"(program p {
+    # a comment
+    fu ALU1 : alu;   # trailing comment
+    ALU1: x := a + b;  # another
+  })");
+  EXPECT_EQ(g.name(), "p");
+  EXPECT_TRUE(g.find_node_by_label("x := a + b").has_value());
+}
+
+TEST(Parser, NestedBlocks) {
+  Cdfg g = parse_program(R"(program p {
+    fu ALU1 : alu;
+    loop c on ALU1 {
+      ALU1: d := a > b;
+      if d on ALU1 {
+        ALU1: a := a - b;
+      }
+      ALU1: c := a != b;
+    }
+  })");
+  EXPECT_TRUE(validate(g).empty());
+  EXPECT_EQ(g.block_ids().size(), 2u);
+  EXPECT_TRUE(g.find_unique(NodeKind::kIf).has_value());
+  EXPECT_TRUE(g.find_unique(NodeKind::kLoop).has_value());
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  try {
+    parse_program("program p {\n  fu A : alu;\n  B: x := y;\n}");
+    FAIL() << "expected parse error";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("unknown functional unit"), std::string::npos);
+  }
+}
+
+TEST(Parser, RejectsMissingSemicolon) {
+  EXPECT_THROW(parse_program("program p { fu A : alu; A: x := y }"),
+               std::invalid_argument);
+}
+
+TEST(Parser, RejectsUnknownKeywordShapes) {
+  EXPECT_THROW(parse_program("program p { loop c { } }"), std::invalid_argument);
+  EXPECT_THROW(parse_program("banana p { }"), std::invalid_argument);
+  EXPECT_THROW(parse_program("program p { fu A : alu; loop c on NOPE { } }"),
+               std::invalid_argument);
+}
+
+TEST(Parser, RejectsNestedFuDeclarations) {
+  EXPECT_THROW(parse_program(R"(program p {
+    fu A : alu;
+    loop c on A { fu B : alu; }
+  })"),
+               std::invalid_argument);
+}
+
+TEST(Parser, RejectsUnterminatedProgram) {
+  EXPECT_THROW(parse_program("program p { fu A : alu;"), std::invalid_argument);
+}
+
+TEST(Parser, BadRtlInsideStatementReportsLine) {
+  try {
+    parse_program("program p {\n fu A : alu;\n A: x ::= y;\n}");
+    FAIL();
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace adc

@@ -1,0 +1,107 @@
+// RTL statement parsing and semantics.
+
+#include <gtest/gtest.h>
+
+#include "cdfg/rtl.hpp"
+
+namespace adc {
+namespace {
+
+TEST(Rtl, ParsesBinaryAdd) {
+  RtlStatement s = parse_rtl("A := Y + M1");
+  EXPECT_EQ(s.dest, "A");
+  EXPECT_EQ(s.op, RtlOp::kAdd);
+  EXPECT_EQ(s.lhs.reg, "Y");
+  ASSERT_TRUE(s.rhs.has_value());
+  EXPECT_EQ(s.rhs->reg, "M1");
+}
+
+TEST(Rtl, ParsesScaledRegister) {
+  // The paper's "B := 2dx + dx" — a shift-add computing 3*dx.
+  RtlStatement s = parse_rtl("B := 2dx + dx");
+  EXPECT_EQ(s.lhs.reg, "dx");
+  EXPECT_EQ(s.lhs.scale, 2);
+  EXPECT_EQ(s.rhs->reg, "dx");
+  EXPECT_EQ(s.rhs->scale, 1);
+}
+
+TEST(Rtl, ParsesMove) {
+  RtlStatement s = parse_rtl("X1 := X");
+  EXPECT_TRUE(s.is_move());
+  EXPECT_EQ(s.dest, "X1");
+  EXPECT_EQ(s.lhs.reg, "X");
+  EXPECT_FALSE(s.rhs.has_value());
+}
+
+TEST(Rtl, ParsesComparison) {
+  RtlStatement s = parse_rtl("C := X < a");
+  EXPECT_EQ(s.op, RtlOp::kLt);
+  EXPECT_TRUE(is_comparison(s.op));
+}
+
+TEST(Rtl, ParsesConstants) {
+  RtlStatement s = parse_rtl("n := n - 1");
+  ASSERT_TRUE(s.rhs.has_value());
+  EXPECT_TRUE(s.rhs->is_const());
+  EXPECT_EQ(s.rhs->literal, 1);
+}
+
+TEST(Rtl, ParsesConstantLhs) {
+  RtlStatement s = parse_rtl("cond := 0 < n");
+  EXPECT_TRUE(s.lhs.is_const());
+  EXPECT_EQ(s.lhs.literal, 0);
+  EXPECT_EQ(s.rhs->reg, "n");
+}
+
+TEST(Rtl, ParsesAllOperators) {
+  EXPECT_EQ(parse_rtl("a := b * c").op, RtlOp::kMul);
+  EXPECT_EQ(parse_rtl("a := b / c").op, RtlOp::kDiv);
+  EXPECT_EQ(parse_rtl("a := b - c").op, RtlOp::kSub);
+  EXPECT_EQ(parse_rtl("a := b > c").op, RtlOp::kGt);
+  EXPECT_EQ(parse_rtl("a := b == c").op, RtlOp::kEq);
+  EXPECT_EQ(parse_rtl("a := b != c").op, RtlOp::kNe);
+  EXPECT_EQ(parse_rtl("a := b << c").op, RtlOp::kShl);
+  EXPECT_EQ(parse_rtl("a := b >> c").op, RtlOp::kShr);
+}
+
+TEST(Rtl, RoundTripsThroughToString) {
+  for (const char* text :
+       {"A := Y + M1", "B := 2dx + dx", "X1 := X", "C := X < a", "n := n - 1"}) {
+    RtlStatement s = parse_rtl(text);
+    EXPECT_EQ(parse_rtl(s.to_string()), s) << text;
+  }
+}
+
+TEST(Rtl, RejectsMalformedInput) {
+  EXPECT_THROW(parse_rtl(""), std::invalid_argument);
+  EXPECT_THROW(parse_rtl("A = B"), std::invalid_argument);
+  EXPECT_THROW(parse_rtl("A := "), std::invalid_argument);
+  EXPECT_THROW(parse_rtl("A := B %% C"), std::invalid_argument);
+  EXPECT_THROW(parse_rtl("A := B + C extra"), std::invalid_argument);
+}
+
+TEST(Rtl, ReadsDeduplicates) {
+  RtlStatement s = parse_rtl("U := U - U");
+  EXPECT_EQ(s.reads(), std::vector<std::string>{"U"});
+  EXPECT_TRUE(s.reads_its_dest());
+}
+
+TEST(Rtl, ReadsSkipConstants) {
+  RtlStatement s = parse_rtl("a := 3 + b");
+  EXPECT_EQ(s.reads(), std::vector<std::string>{"b"});
+}
+
+TEST(Rtl, OperandEvalAppliesScale) {
+  Operand o = Operand::make_reg("dx", 2);
+  EXPECT_EQ(o.eval(21), 42);
+  Operand c = Operand::make_const(-7);
+  EXPECT_EQ(c.eval(999), -7);
+}
+
+TEST(Rtl, NegativeConstant) {
+  RtlStatement s = parse_rtl("a := b + -4");
+  EXPECT_EQ(s.rhs->literal, -4);
+}
+
+}  // namespace
+}  // namespace adc

@@ -1,0 +1,171 @@
+// XBM machine IR: construction, queries, validation rules, printing.
+
+#include <gtest/gtest.h>
+
+#include "xbm/print.hpp"
+#include "xbm/validate.hpp"
+#include "xbm/xbm.hpp"
+
+namespace adc {
+namespace {
+
+// A minimal valid two-state 4-phase machine: req+/ack+ then req-/ack-.
+Xbm handshake() {
+  Xbm m("hs");
+  SignalId req = m.add_signal("req", SignalKind::kInput, SignalRole::kGlobalReady);
+  SignalId ack = m.add_signal("ack", SignalKind::kOutput, SignalRole::kLatch);
+  StateId s0 = m.add_state("s0");
+  StateId s1 = m.add_state("s1");
+  m.set_initial(s0);
+  m.add_transition(s0, s1, {rise(req)}, {rise(ack)});
+  m.add_transition(s1, s0, {fall(req)}, {fall(ack)});
+  return m;
+}
+
+TEST(Xbm, HandshakeValidates) {
+  Xbm m = handshake();
+  EXPECT_TRUE(validate(m).empty());
+  EXPECT_EQ(m.state_count(), 2u);
+  EXPECT_EQ(m.transition_count(), 2u);
+  EXPECT_EQ(m.input_count(), 1u);
+  EXPECT_EQ(m.output_count(), 1u);
+}
+
+TEST(Xbm, DuplicateSignalNameRejected) {
+  Xbm m("d");
+  m.add_signal("x", SignalKind::kInput, SignalRole::kGlobalReady);
+  EXPECT_THROW(m.add_signal("x", SignalKind::kOutput, SignalRole::kLatch),
+               std::invalid_argument);
+}
+
+TEST(Xbm, PolarityViolationDetected) {
+  Xbm m("p");
+  SignalId a = m.add_signal("a", SignalKind::kInput, SignalRole::kGlobalReady);
+  SignalId y = m.add_signal("y", SignalKind::kOutput, SignalRole::kLatch);
+  StateId s0 = m.add_state();
+  StateId s1 = m.add_state();
+  m.set_initial(s0);
+  m.add_transition(s0, s1, {rise(a)}, {rise(y)});
+  m.add_transition(s1, s0, {rise(a)}, {fall(y)});  // a rises twice: invalid
+  auto errors = validate(m);
+  bool found = false;
+  for (const auto& e : errors)
+    if (e.find("already") != std::string::npos) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Xbm, TogglePolarityIsPhaseFree) {
+  Xbm m("t");
+  SignalId a = m.add_signal("a", SignalKind::kInput, SignalRole::kGlobalReady);
+  SignalId y = m.add_signal("y", SignalKind::kOutput, SignalRole::kGlobalReady);
+  StateId s0 = m.add_state();
+  m.set_initial(s0);
+  m.add_transition(s0, s0, {toggle(a)}, {toggle(y)});  // odd cycle: fine for toggles
+  EXPECT_TRUE(validate(m).empty());
+}
+
+TEST(Xbm, MaximalSetViolationDetected) {
+  // Burst {a+} is a subset of {a+, b+} out of the same state with no
+  // distinguishing conditional.
+  Xbm m("ms");
+  SignalId a = m.add_signal("a", SignalKind::kInput, SignalRole::kGlobalReady);
+  SignalId b = m.add_signal("b", SignalKind::kInput, SignalRole::kGlobalReady);
+  StateId s0 = m.add_state();
+  StateId s1 = m.add_state();
+  StateId s2 = m.add_state();
+  m.set_initial(s0);
+  m.add_transition(s0, s1, {rise(a)}, {});
+  m.add_transition(s0, s2, {rise(a), rise(b)}, {});
+  auto errors = validate(m);
+  bool found = false;
+  for (const auto& e : errors)
+    if (e.find("maximal-set") != std::string::npos) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Xbm, ConditionalsDistinguishEqualBursts) {
+  Xbm m("cond");
+  SignalId a = m.add_signal("a", SignalKind::kInput, SignalRole::kGlobalReady);
+  SignalId c = m.add_signal("c", SignalKind::kInput, SignalRole::kConditional);
+  StateId s0 = m.add_state();
+  StateId s1 = m.add_state();
+  m.set_initial(s0);
+  m.add_transition(s0, s1, {toggle(a)}, {}, {CondTerm{c, true}});
+  m.add_transition(s0, s0, {toggle(a)}, {}, {CondTerm{c, false}});
+  EXPECT_TRUE(validate(m).empty());
+}
+
+TEST(Xbm, EmptyCompulsoryBurstRejected) {
+  Xbm m("e");
+  SignalId a = m.add_signal("a", SignalKind::kInput, SignalRole::kGlobalReady);
+  StateId s0 = m.add_state();
+  StateId s1 = m.add_state();
+  m.set_initial(s0);
+  m.add_transition(s0, s1, {ddc(toggle(a))}, {});
+  auto errors = validate(m);
+  bool found = false;
+  for (const auto& e : errors)
+    if (e.find("compulsory") != std::string::npos) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Xbm, UnreachableStateDetected) {
+  Xbm m = handshake();
+  m.add_state("island");
+  auto errors = validate(m);
+  bool found = false;
+  for (const auto& e : errors)
+    if (e.find("unreachable") != std::string::npos) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Xbm, OutputInInputBurstRejected) {
+  Xbm m("mix");
+  SignalId a = m.add_signal("a", SignalKind::kInput, SignalRole::kGlobalReady);
+  SignalId y = m.add_signal("y", SignalKind::kOutput, SignalRole::kLatch);
+  StateId s0 = m.add_state();
+  StateId s1 = m.add_state();
+  m.set_initial(s0);
+  m.add_transition(s0, s1, {rise(y)}, {rise(a)});
+  auto errors = validate(m);
+  EXPECT_GE(errors.size(), 2u);
+}
+
+TEST(Xbm, SweepDeadStates) {
+  Xbm m = handshake();
+  StateId orphan = m.add_state("orphan");
+  m.sweep_dead_states();
+  EXPECT_FALSE(m.state(orphan).alive);
+  EXPECT_EQ(m.state_count(), 2u);
+}
+
+TEST(Xbm, InOutTransitionQueries) {
+  Xbm m = handshake();
+  StateId s0 = m.initial();
+  EXPECT_EQ(m.out_transitions(s0).size(), 1u);
+  EXPECT_EQ(m.in_transitions(s0).size(), 1u);
+}
+
+TEST(Xbm, PrintContainsSignalsAndBursts) {
+  Xbm m = handshake();
+  std::string text = to_text(m);
+  EXPECT_NE(text.find("inputs req=0"), std::string::npos);
+  EXPECT_NE(text.find("outputs ack=0"), std::string::npos);
+  EXPECT_NE(text.find("req+ / ack+"), std::string::npos);
+  EXPECT_NE(text.find("req- / ack-"), std::string::npos);
+}
+
+TEST(Xbm, PrintMarksDdcAndToggle) {
+  Xbm m("marks");
+  SignalId a = m.add_signal("a", SignalKind::kInput, SignalRole::kGlobalReady);
+  SignalId b = m.add_signal("b", SignalKind::kInput, SignalRole::kGlobalReady);
+  StateId s0 = m.add_state();
+  m.set_initial(s0);
+  m.add_transition(s0, s0, {toggle(a), ddc(toggle(b))}, {});
+  std::string text = to_text(m);
+  EXPECT_NE(text.find("a~"), std::string::npos);
+  EXPECT_NE(text.find("b~*"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adc

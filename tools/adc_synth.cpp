@@ -1,0 +1,167 @@
+// adc_synth — command-line driver for the full synthesis flow.
+//
+//   adc_synth [options] [program.adc]
+//
+// Reads a scheduled CDFG program (the textual language of
+// frontend/parser.hpp) from a file or stdin, runs the transformation
+// pipeline, and writes the synthesis artifacts.
+//
+// Options:
+//   --script "gt1; gt2; ..."   transformation script (default: the paper's
+//                              full recipe "gt1; gt2; gt3; gt4; gt2; gt5; lt")
+//   --out DIR                  artifact directory (default ".")
+//   --emit bms|verilog|eqn|dot (repeatable; default: all)
+//   --simulate REG=VAL,...     run the gate-level simulation with the given
+//                              initial registers and report the final state
+//   --report                   print the per-controller summary table
+//   --help
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+
+#include "cdfg/dot.hpp"
+#include "cdfg/validate.hpp"
+#include "extract/extract.hpp"
+#include "frontend/parser.hpp"
+#include "logic/minimize.hpp"
+#include "logic/netlist.hpp"
+#include "logic/stats.hpp"
+#include "ltrans/local.hpp"
+#include "report/table.hpp"
+#include "sim/event_sim.hpp"
+#include "transforms/script.hpp"
+#include "xbm/print.hpp"
+
+using namespace adc;
+
+namespace {
+
+int usage(int code) {
+  std::fprintf(code ? stderr : stdout,
+               "usage: adc_synth [--script S] [--out DIR] [--emit KIND]... "
+               "[--simulate REG=VAL,...] [--report] [program.adc]\n");
+  return code;
+}
+
+std::map<std::string, std::int64_t> parse_init(const std::string& spec) {
+  std::map<std::string, std::int64_t> init;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    auto eq = item.find('=');
+    if (eq == std::string::npos)
+      throw std::invalid_argument("--simulate expects REG=VAL pairs, got '" + item + "'");
+    init[item.substr(0, eq)] = std::stoll(item.substr(eq + 1));
+  }
+  return init;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string script_text = "gt1; gt2; gt3; gt4; gt2; gt5; lt";
+  std::string out_dir = ".";
+  std::string input_file;
+  std::set<std::string> emit;
+  std::string simulate;
+  bool report = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        usage(2);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") return usage(0);
+    else if (arg == "--script") script_text = next();
+    else if (arg == "--out") out_dir = next();
+    else if (arg == "--emit") emit.insert(next());
+    else if (arg == "--simulate") simulate = next();
+    else if (arg == "--report") report = true;
+    else if (!arg.empty() && arg[0] == '-') return usage(2);
+    else input_file = arg;
+  }
+  if (emit.empty()) emit = {"bms", "verilog", "eqn", "dot"};
+
+  try {
+    std::string source;
+    if (input_file.empty()) {
+      std::stringstream ss;
+      ss << std::cin.rdbuf();
+      source = ss.str();
+    } else {
+      std::ifstream in(input_file);
+      if (!in) {
+        std::fprintf(stderr, "adc_synth: cannot open %s\n", input_file.c_str());
+        return 1;
+      }
+      std::stringstream ss;
+      ss << in.rdbuf();
+      source = ss.str();
+    }
+
+    Cdfg g = parse_program(source);
+    validate_or_throw(g, ValidateOptions{.allow_backward_arcs = false});
+    std::printf("parsed '%s': %zu nodes, %zu arcs, %zu functional units\n",
+                g.name().c_str(), g.live_node_count(), g.live_arc_count(), g.fu_count());
+
+    TransformScript script = TransformScript::parse(script_text);
+    auto global = script.run(g);
+    std::printf("script '%s': %zu controller channels\n", script.to_string().c_str(),
+                global.plan.count_controller_channels());
+
+    std::vector<ControllerInstance> instances;
+    Table t({"controller", "states", "transitions", "products", "literals",
+             "impl states"});
+    for (auto& c : extract_controllers(g, global.plan)) {
+      ControllerInstance inst;
+      if (script.has_local_step())
+        inst.shared_signals = run_local_transforms(c, script.local_options()).shared_signals;
+      if (c.machine.transition_ids().empty()) continue;
+
+      auto logic = synthesize_logic(c);
+      auto st = gate_stats(logic, c.machine.state_count());
+      t.add_row({c.machine.name(), std::to_string(st.spec_states),
+                 std::to_string(c.machine.transition_count()),
+                 std::to_string(st.products_shared), std::to_string(st.literals_shared),
+                 std::to_string(st.impl_states)});
+
+      std::string base = out_dir + "/" + g.name() + "_" + c.machine.name();
+      if (emit.count("bms")) std::ofstream(base + ".bms") << to_text(c.machine);
+      if (emit.count("verilog"))
+        std::ofstream(base + ".v") << to_verilog(logic, g.name() + "_" + c.machine.name());
+      if (emit.count("eqn")) std::ofstream(base + ".eqn") << to_equations(logic);
+
+      inst.controller = std::move(c);
+      instances.push_back(std::move(inst));
+    }
+    if (emit.count("dot"))
+      std::ofstream(out_dir + "/" + g.name() + ".dot") << to_dot(g);
+    if (report) std::printf("%s", t.to_string().c_str());
+
+    if (!simulate.empty()) {
+      auto init = parse_init(simulate);
+      auto r = run_event_sim(g, global.plan, instances, init, EventSimOptions{});
+      if (!r.completed) {
+        std::printf("simulation FAILED: %s\n", r.error.c_str());
+        return 1;
+      }
+      std::printf("simulation completed at t=%lld (%lld datapath operations)\n",
+                  static_cast<long long>(r.finish_time),
+                  static_cast<long long>(r.operations));
+      for (const auto& [reg, v] : r.registers)
+        std::printf("  %s = %lld\n", reg.c_str(), static_cast<long long>(v));
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "adc_synth: %s\n", e.what());
+    return 1;
+  }
+}
