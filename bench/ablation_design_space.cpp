@@ -3,66 +3,47 @@
 // bench toggles each transformation and reports the whole quality surface:
 // channels, controller complexity, gate-level area and simulated latency,
 // across all bundled benchmarks.
+//
+// All rows are evaluated as one batch on the parallel synthesis runtime:
+// the requests fan across a work-stealing pool and recipes sharing script
+// prefixes reuse cached stages instead of recomputing them.
 
 #include "area/area_model.hpp"
 #include "common.hpp"
+#include "runtime/flow.hpp"
 
 using namespace adc;
 using namespace adc::bench;
 
 namespace {
 
-struct Metrics {
-  std::size_t channels = 0;
-  std::size_t states = 0;
-  std::size_t transitions = 0;
-  std::size_t products = 0;
-  std::size_t literals = 0;
-  std::int64_t latency = 0;
-  bool ok = true;
-};
-
-Metrics measure(Cdfg graph, const GlobalPipelineOptions& gopts, bool gt, bool lt,
-                const std::map<std::string, std::int64_t>& init) {
-  Metrics m;
-  FlowResult f = run_flow(std::move(graph), gt, lt, gopts);
-  m.channels = f.plan.count_controller_channels();
-  for (const auto& inst : f.instances) {
-    m.states += inst.controller.machine.state_count();
-    m.transitions += inst.controller.machine.transition_count();
-    auto r = synthesize_logic(inst.controller);
-    m.products += r.product_count(true);
-    m.literals += r.literal_count(true);
-    if (!r.feasible()) m.ok = false;
-  }
-  EventSimOptions o;
-  o.randomize_delays = false;
-  auto r = run_event_sim(f.g, f.plan, f.instances, init, o);
-  m.ok = m.ok && r.completed;
-  m.latency = r.finish_time;
-  return m;
+void row(Table& t, const std::string& label, const FlowPoint& p) {
+  t.add_row({label, std::to_string(p.channels), pair_cell(p.states, p.transitions),
+             pair_cell(p.products, p.literals), std::to_string(p.latency),
+             p.ok ? "yes" : "NO"});
 }
 
-void row(Table& t, const char* label, const Metrics& m) {
-  t.add_row({label, std::to_string(m.channels), pair_cell(m.states, m.transitions),
-             pair_cell(m.products, m.literals), std::to_string(m.latency),
-             m.ok ? "yes" : "NO"});
+FlowRequest request_for(const char* bench_name, const std::string& script) {
+  const BuiltinBenchmark* b = find_builtin(bench_name);
+  if (!b) throw std::runtime_error(std::string("no builtin ") + bench_name);
+  return make_builtin_request(*b, script);
 }
 
 }  // namespace
 
 int main() {
+  ThreadPool pool;
+  FlowExecutor exec(&pool);
+
   std::printf("design-space exploration: per-transform ablation on DIFFEQ\n");
-  std::printf("cells: totals across the four controllers\n\n");
+  std::printf("cells: totals across the four controllers (%zu workers)\n\n", pool.size());
 
-  auto init = diffeq_inputs(8);
-  Table t({"configuration", "channels", "states/trans", "prod/lits", "latency", "correct"});
-
-  row(t, "no transforms", measure(diffeq(), {}, false, false, init));
+  // Part 1: the DIFFEQ ablation rows, as (label, recipe script) pairs.
+  std::vector<std::pair<std::string, std::string>> ablation;
   GlobalPipelineOptions all;
-  row(t, "all GT, no LT", measure(diffeq(), all, true, false, init));
-  row(t, "all GT + LT", measure(diffeq(), all, true, true, init));
-  t.add_separator();
+  ablation.emplace_back("no transforms", script_for(all, false, false));
+  ablation.emplace_back("all GT, no LT", script_for(all, true, false));
+  ablation.emplace_back("all GT + LT", script_for(all, true, true));
 
   struct Knock {
     const char* label;
@@ -78,58 +59,53 @@ int main() {
   for (const auto& k : knocks) {
     GlobalPipelineOptions o;
     k.tweak(o);
-    row(t, k.label, measure(diffeq(), o, true, true, init));
+    ablation.emplace_back(k.label, script_for(o, true, true));
   }
-  t.add_separator();
 
   // GT5 policy exploration: the broadcast-formation policy trades wires
   // against receiver bookkeeping.
   {
     GlobalPipelineOptions o;
     o.gt5_options.same_source = Gt5Options::SameSource::kAll;
-    row(t, "GT5 aggressive broadcast", measure(diffeq(), o, true, true, init));
+    ablation.emplace_back("GT5 aggressive broadcast", script_for(o, true, true));
     GlobalPipelineOptions o2;
     o2.gt5_options.same_source = Gt5Options::SameSource::kNone;
-    row(t, "GT5 no broadcast", measure(diffeq(), o2, true, true, init));
+    ablation.emplace_back("GT5 no broadcast", script_for(o2, true, true));
     GlobalPipelineOptions o3;
     o3.gt5_options.concurrency_reduction = true;
     o3.gt5_options.max_period_increase = 200;
-    row(t, "GT5 + concurrency reduction", measure(diffeq(), o3, true, true, init));
+    ablation.emplace_back("GT5 + concurrency reduction", script_for(o3, true, true));
+  }
+
+  std::vector<FlowRequest> reqs;
+  for (const auto& [label, script] : ablation) reqs.push_back(request_for("diffeq", script));
+  std::vector<FlowPoint> points = exec.run_all(reqs);
+
+  Table t({"configuration", "channels", "states/trans", "prod/lits", "latency", "correct"});
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    row(t, ablation[i].first, points[i]);
+    if (i == 2 || i == 7) t.add_separator();
   }
   std::printf("%s\n", t.to_string().c_str());
 
-  // The same surface for the other bundled benchmarks (fully automatic).
+  // Part 2: the same surface for the other bundled benchmarks.
   std::printf("all benchmarks, unoptimized vs fully optimized:\n");
+  const char* cases[] = {"diffeq", "gcd", "fir4", "mac_reduce", "ewf_lite", "ewf"};
+  std::string none = script_for({}, false, false);
+  std::string full = script_for({}, true, true);
+  std::vector<FlowRequest> breqs;
+  for (const char* c : cases) {
+    breqs.push_back(request_for(c, none));
+    breqs.push_back(request_for(c, full));
+  }
+  std::vector<FlowPoint> bpoints = exec.run_all(breqs);
+
   Table b({"benchmark", "config", "channels", "states/trans", "prod/lits", "latency",
            "correct"});
-  struct Case {
-    const char* name;
-    Cdfg (*make)();
-    std::map<std::string, std::int64_t> init;
-  };
-  const Case cases[] = {
-      {"diffeq", diffeq, diffeq_inputs(8)},
-      {"gcd", gcd, {{"A", 21}, {"B", 14}, {"C", 1}}},
-      {"fir4",
-       fir4,
-       {{"X0", 1}, {"X1", 2}, {"X2", 3}, {"X3", 4}, {"K0", 5}, {"K1", 6}, {"K2", 7},
-        {"K3", 8}}},
-      {"mac_reduce",
-       mac_reduce,
-       {{"X", 0}, {"K", 3}, {"T", 40}, {"N", 6}, {"dx", 1}, {"S", 0}, {"C", 1}}},
-      {"ewf_lite",
-       ewf_lite,
-       {{"IN", 9}, {"S1", 1}, {"S2", 2}, {"S3", 3}, {"K1", 2}, {"K2", 3}, {"K3", 4}}},
-      {"ewf (34 ops, HLS)",
-       []() { return ewf(); },
-       {{"IN", 5}, {"k1", 2}, {"k2", 3}, {"k3", 1}, {"k4", 2}, {"k5", 3},
-        {"sv1", 1}, {"sv2", 2}, {"sv3", 3}, {"sv4", 4}, {"sv5", 5}, {"sv6", 6},
-        {"sv7", 7}, {"sv8", 8}}},
-  };
-  for (const auto& c : cases) {
-    Metrics un = measure(c.make(), {}, false, false, c.init);
-    Metrics op = measure(c.make(), {}, true, true, c.init);
-    b.add_row({c.name, "unoptimized", std::to_string(un.channels),
+  for (std::size_t i = 0; i < bpoints.size(); i += 2) {
+    const FlowPoint& un = bpoints[i];
+    const FlowPoint& op = bpoints[i + 1];
+    b.add_row({cases[i / 2], "unoptimized", std::to_string(un.channels),
                pair_cell(un.states, un.transitions), pair_cell(un.products, un.literals),
                std::to_string(un.latency), un.ok ? "yes" : "NO"});
     b.add_row({"", "GT+LT", std::to_string(op.channels),
@@ -137,5 +113,10 @@ int main() {
                std::to_string(op.latency), op.ok ? "yes" : "NO"});
   }
   std::printf("%s", b.to_string().c_str());
+
+  CacheStats cs = exec.cache().stats();
+  std::printf("\nruntime: %llu stage computations, %llu served from cache\n",
+              static_cast<unsigned long long>(cs.misses),
+              static_cast<unsigned long long>(cs.hits + cs.joins));
   return 0;
 }

@@ -8,6 +8,7 @@
 #include "frontend/benchmarks.hpp"
 #include "logic/minimize.hpp"
 #include "ltrans/local.hpp"
+#include "runtime/flow.hpp"
 #include "sim/token_sim.hpp"
 #include "transforms/pipeline.hpp"
 
@@ -92,6 +93,64 @@ void BM_TokenSimulationDiffeq(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TokenSimulationDiffeq)->Arg(8)->Arg(64);
+
+// --- parallel synthesis runtime ------------------------------------------
+
+void BM_FlowExecutorCold(benchmark::State& state) {
+  // Full flow (frontend -> transforms -> extract -> logic, no sim) with the
+  // stage cache disabled: the serial baseline cost of one design point.
+  FlowRequest req = make_builtin_request(*find_builtin("diffeq"),
+                                         "gt1; gt2; gt3; gt4; gt2; gt5; lt");
+  req.simulate = false;
+  for (auto _ : state) {
+    FlowExecutor::Options o;
+    o.cache_capacity = 0;
+    FlowExecutor exec(nullptr, o);
+    auto p = exec.run(req);
+    benchmark::DoNotOptimize(p.literals);
+  }
+}
+BENCHMARK(BM_FlowExecutorCold)->Unit(benchmark::kMillisecond);
+
+void BM_FlowExecutorWarm(benchmark::State& state) {
+  // The same point served from a warm stage cache — the steady-state cost
+  // of a repeated recipe in a DSE batch.
+  FlowRequest req = make_builtin_request(*find_builtin("diffeq"),
+                                         "gt1; gt2; gt3; gt4; gt2; gt5; lt");
+  req.simulate = false;
+  FlowExecutor exec(nullptr);
+  exec.run(req);  // prime
+  for (auto _ : state) {
+    auto p = exec.run(req);
+    benchmark::DoNotOptimize(p.literals);
+  }
+}
+BENCHMARK(BM_FlowExecutorWarm)->Unit(benchmark::kMicrosecond);
+
+void BM_ThreadPoolSubmitDrain(benchmark::State& state) {
+  // Raw pool overhead: submit N trivial tasks and drain them.
+  ThreadPool pool(2);
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    std::atomic<int> hits{0};
+    for (int i = 0; i < n; ++i)
+      pool.submit([&hits] { hits.fetch_add(1, std::memory_order_relaxed); });
+    pool.wait_idle();
+    benchmark::DoNotOptimize(hits.load());
+  }
+}
+BENCHMARK(BM_ThreadPoolSubmitDrain)->Arg(64)->Arg(512);
+
+void BM_StageCacheHit(benchmark::State& state) {
+  StageCache cache;
+  Fingerprint key = FingerprintBuilder().add("bench-key").digest();
+  cache.get_or_compute<int>(key, [] { return 42; });
+  for (auto _ : state) {
+    auto v = cache.get_or_compute<int>(key, [] { return 42; });
+    benchmark::DoNotOptimize(*v);
+  }
+}
+BENCHMARK(BM_StageCacheHit);
 
 }  // namespace
 }  // namespace adc

@@ -3,117 +3,58 @@
 // recipes over the DIFFEQ benchmark and prints the area/latency surface so
 // a designer can pick a point.
 //
+// The recipes run on the parallel synthesis runtime (src/runtime/): a
+// work-stealing thread pool fans the evaluations out, and the
+// content-addressed stage cache lets recipes that share a script prefix
+// (most of them do) reuse each other's frontend and transform results.
+//
 //   ./build/examples/design_space_exploration
 
 #include <cstdio>
 
-#include "extract/extract.hpp"
-#include "frontend/benchmarks.hpp"
-#include "logic/minimize.hpp"
-#include "ltrans/local.hpp"
 #include "report/table.hpp"
-#include "sim/event_sim.hpp"
-#include "transforms/pipeline.hpp"
+#include "runtime/flow.hpp"
 
 using namespace adc;
 
-namespace {
-
-struct Recipe {
-  std::string name;
-  GlobalPipelineOptions global;
-  LocalTransformOptions local;
-  bool use_lt = true;
-};
-
-struct Point {
-  std::size_t channels, states, literals;
-  std::int64_t latency;
-  bool correct;
-};
-
-Point evaluate(const Recipe& r) {
-  Cdfg g = diffeq();
-  auto global = run_global_transforms(g, r.global);
-  std::vector<ControllerInstance> instances;
-  Point p{};
-  p.channels = global.plan.count_controller_channels();
-  for (auto& c : extract_controllers(g, global.plan)) {
-    ControllerInstance inst;
-    if (r.use_lt) inst.shared_signals = run_local_transforms(c, r.local).shared_signals;
-    p.states += c.machine.state_count();
-    p.literals += synthesize_logic(c).literal_count(true);
-    inst.controller = std::move(c);
-    instances.push_back(std::move(inst));
-  }
-  std::map<std::string, std::int64_t> init{{"X", 0}, {"a", 8}, {"dx", 1},
-                                           {"U", 3},  {"Y", 1}, {"X1", 0}, {"C", 1}};
-  EventSimOptions o;
-  o.randomize_delays = false;
-  auto sim = run_event_sim(g, global.plan, instances, init, o);
-  p.latency = sim.finish_time;
-  p.correct = sim.completed;
-  return p;
-}
-
-}  // namespace
-
 int main() {
-  std::vector<Recipe> recipes;
+  // Each recipe is one transformation script — that is the point: the
+  // transformations are safe primitives a script can compose.
+  const std::pair<const char*, const char*> recipes[] = {
+      {"baseline (no transforms)", ""},
+      {"area-first (GT2+GT4+GT5+LT, no speculation)", "gt2; gt4; gt2; gt5; lt"},
+      {"speed-first (all GT, LT without sharing)",
+       "gt1; gt2; gt3; gt4; gt2; gt5; lt(no_sharing)"},
+      {"conservative timing (no GT3, no ack removal)",
+       "gt1; gt2; gt4; gt2; gt5; lt(no_acks)"},
+      {"everything (the paper's full recipe)", "gt1; gt2; gt3; gt4; gt2; gt5; lt"},
+      {"everything + aggressive broadcasts",
+       "gt1; gt2; gt3; gt4; gt2; gt5(broadcast=all); lt"},
+  };
 
-  {
-    Recipe r;
-    r.name = "baseline (no transforms)";
-    r.global.gt1 = false;
-    r.global.gt2 = false;
-    r.global.gt3 = false;
-    r.global.gt4 = false;
-    r.global.gt5 = false;
-    r.use_lt = false;
-    recipes.push_back(r);
-  }
-  {
-    Recipe r;
-    r.name = "area-first (GT2+GT4+GT5+LT, no speculation)";
-    r.global.gt1 = false;  // no loop overlap
-    r.global.gt3 = false;  // no relative-timing bets
-    recipes.push_back(r);
-  }
-  {
-    Recipe r;
-    r.name = "speed-first (all GT, LT without sharing)";
-    r.local.lt5_signal_sharing = false;
-    recipes.push_back(r);
-  }
-  {
-    Recipe r;
-    r.name = "conservative timing (no GT3, no ack removal)";
-    r.global.gt3 = false;
-    r.local.lt4_remove_acks = false;
-    recipes.push_back(r);
-  }
-  {
-    Recipe r;
-    r.name = "everything (the paper's full recipe)";
-    recipes.push_back(r);
-  }
-  {
-    Recipe r;
-    r.name = "everything + aggressive broadcasts";
-    r.global.gt5_options.same_source = Gt5Options::SameSource::kAll;
-    recipes.push_back(r);
-  }
+  const BuiltinBenchmark* diffeq_bench = find_builtin("diffeq");
+  std::vector<FlowRequest> reqs;
+  for (const auto& [name, script] : recipes)
+    reqs.push_back(make_builtin_request(*diffeq_bench, script));
 
-  std::printf("DIFFEQ design-space exploration\n\n");
+  ThreadPool pool;  // hardware concurrency
+  FlowExecutor exec(&pool);
+  std::vector<FlowPoint> points = exec.run_all(reqs);
+
+  std::printf("DIFFEQ design-space exploration (%zu workers)\n\n", pool.size());
   Table t({"recipe", "channels", "total states", "total literals", "latency", "ok"});
-  for (const auto& r : recipes) {
-    Point p = evaluate(r);
-    t.add_row({r.name, std::to_string(p.channels), std::to_string(p.states),
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const FlowPoint& p = points[i];
+    t.add_row({recipes[i].first, std::to_string(p.channels), std::to_string(p.states),
                std::to_string(p.literals), std::to_string(p.latency),
-               p.correct ? "yes" : "NO"});
+               p.ok ? "yes" : "NO"});
   }
   std::printf("%s", t.to_string().c_str());
-  std::printf("\nEach recipe is a few lines of code — that is the point: the\n"
-              "transformations are safe primitives a script can compose.\n");
+
+  CacheStats cs = exec.cache().stats();
+  std::printf("\nEach recipe is a few lines of script — and because recipes share\n"
+              "prefixes, the stage cache reused %llu of %llu stage evaluations.\n",
+              static_cast<unsigned long long>(cs.hits + cs.joins),
+              static_cast<unsigned long long>(cs.hits + cs.joins + cs.misses));
   return 0;
 }

@@ -1,0 +1,121 @@
+#include "report/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace adc {
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::comma() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (has_element_.back()) out_ += ',';
+  has_element_.back() = true;
+  newline();
+}
+
+void JsonWriter::newline() {
+  if (!pretty_) return;
+  out_ += '\n';
+  out_.append(2 * (has_element_.size() - 1), ' ');
+}
+
+void JsonWriter::begin_object() {
+  comma();
+  out_ += '{';
+  has_element_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  bool had = has_element_.back();
+  has_element_.pop_back();
+  if (had) newline();
+  out_ += '}';
+}
+
+void JsonWriter::begin_array() {
+  comma();
+  out_ += '[';
+  has_element_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  bool had = has_element_.back();
+  has_element_.pop_back();
+  if (had) newline();
+  out_ += ']';
+}
+
+void JsonWriter::key(const std::string& k) {
+  comma();
+  out_ += '"';
+  out_ += escape(k);
+  out_ += pretty_ ? "\": " : "\":";
+  after_key_ = true;
+}
+
+void JsonWriter::value(const std::string& v) {
+  comma();
+  out_ += '"';
+  out_ += escape(v);
+  out_ += '"';
+}
+
+void JsonWriter::value(const char* v) { value(std::string(v)); }
+
+void JsonWriter::value(std::int64_t v) {
+  comma();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  comma();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(double v) {
+  comma();
+  if (!std::isfinite(v)) {
+    out_ += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  out_ += buf;
+}
+
+void JsonWriter::value(bool v) {
+  comma();
+  out_ += v ? "true" : "false";
+}
+
+void JsonWriter::null() {
+  comma();
+  out_ += "null";
+}
+
+}  // namespace adc

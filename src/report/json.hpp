@@ -1,0 +1,64 @@
+#pragma once
+// Minimal streaming JSON writer shared by every machine-readable report in
+// the toolchain (adc_synth --json, adc_dse --json, metrics snapshots).
+// Handles nesting, comma placement and string escaping; the caller supplies
+// structure.  No DOM, no allocation beyond the output string.
+//
+//   JsonWriter w;
+//   w.begin_object();
+//   w.key("states"); w.value(12);
+//   w.key("rows");   w.begin_array(); w.value("a"); w.end_array();
+//   w.end_object();
+//   std::string out = w.str();
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace adc {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(bool pretty = false) : pretty_(pretty) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  // Object member key; must be followed by exactly one value/container.
+  void key(const std::string& k);
+
+  void value(const std::string& v);
+  void value(const char* v);
+  void value(std::int64_t v);
+  void value(std::uint64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+  void value(double v);
+  void value(bool v);
+  void null();
+
+  // Shorthand for key+value.
+  template <typename T>
+  void kv(const std::string& k, const T& v) {
+    key(k);
+    value(v);
+  }
+
+  const std::string& str() const { return out_; }
+
+  static std::string escape(const std::string& s);
+
+ private:
+  void comma();
+  void newline();
+
+  std::string out_;
+  bool pretty_ = false;
+  // Per nesting level: has the container already emitted an element?
+  std::vector<bool> has_element_{false};
+  bool after_key_ = false;
+};
+
+}  // namespace adc

@@ -1,0 +1,118 @@
+#include "runtime/cache.hpp"
+
+#include <cstdio>
+
+namespace adc {
+
+namespace {
+constexpr std::uint64_t kPrimeHi = 0x100000001b3ull;
+constexpr std::uint64_t kPrimeLo = 0x00000100000001b3ull ^ 0x9e3779b97f4a7c15ull;
+}  // namespace
+
+std::string Fingerprint::hex() const {
+  char buf[33];
+  std::snprintf(buf, sizeof buf, "%016llx%016llx", static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buf;
+}
+
+void FingerprintBuilder::mix(const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    fp_.hi = (fp_.hi ^ p[i]) * kPrimeHi;
+    fp_.lo = (fp_.lo ^ p[i]) * kPrimeLo;
+  }
+}
+
+FingerprintBuilder& FingerprintBuilder::add(const std::string& s) {
+  std::uint64_t len = s.size();
+  mix(&len, sizeof len);  // length-prefix: "ab"+"c" != "a"+"bc"
+  mix(s.data(), s.size());
+  return *this;
+}
+
+FingerprintBuilder& FingerprintBuilder::add(std::int64_t v) {
+  mix(&v, sizeof v);
+  return *this;
+}
+
+FingerprintBuilder& FingerprintBuilder::add(std::uint64_t v) {
+  mix(&v, sizeof v);
+  return *this;
+}
+
+FingerprintBuilder& FingerprintBuilder::add(const Fingerprint& f) {
+  mix(&f.hi, sizeof f.hi);
+  mix(&f.lo, sizeof f.lo);
+  return *this;
+}
+
+std::pair<bool, std::shared_future<StageCache::Any>> StageCache::lookup_or_claim(
+    const Fingerprint& key) {
+  std::unique_lock<std::mutex> lk(mu_);
+  auto it = slots_.find(key);
+  if (it != slots_.end()) {
+    it->second.lru = ++tick_;
+    (it->second.ready ? hits_ : joins_).fetch_add(1, std::memory_order_relaxed);
+    std::shared_future<Any> fut = it->second.future;
+    lk.unlock();
+    return {true, std::move(fut)};
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  Slot slot;
+  slot.future = slot.promise.get_future().share();
+  slot.lru = ++tick_;
+  slots_.emplace(key, std::move(slot));
+  return {false, {}};
+}
+
+void StageCache::fulfill(const Fingerprint& key, Any value) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = slots_.find(key);
+  if (it == slots_.end()) return;  // evicted/cleared mid-compute; drop
+  it->second.promise.set_value(std::move(value));
+  it->second.ready = true;
+  evict_locked();
+}
+
+void StageCache::abandon(const Fingerprint& key, std::exception_ptr err) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = slots_.find(key);
+  if (it == slots_.end()) return;
+  it->second.promise.set_exception(std::move(err));
+  // Joined waiters see the exception; future callers recompute.
+  slots_.erase(it);
+}
+
+void StageCache::evict_locked() {
+  while (slots_.size() > capacity_) {
+    auto victim = slots_.end();
+    for (auto it = slots_.begin(); it != slots_.end(); ++it) {
+      if (!it->second.ready) continue;  // never evict in-flight work
+      if (victim == slots_.end() || it->second.lru < victim->second.lru) victim = it;
+    }
+    if (victim == slots_.end()) return;
+    slots_.erase(victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+CacheStats StageCache::stats() const {
+  CacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.joins = joins_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lk(mu_);
+  s.entries = slots_.size();
+  return s;
+}
+
+void StageCache::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto it = slots_.begin(); it != slots_.end();) {
+    it = it->second.ready ? slots_.erase(it) : std::next(it);
+  }
+}
+
+}  // namespace adc

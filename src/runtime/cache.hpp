@@ -1,0 +1,128 @@
+#pragma once
+// Content-addressed stage cache for the flow executor.
+//
+// A synthesis run is a chain of pure stages (parse -> transform step ->
+// ... -> extract).  Each stage's result is addressed by a fingerprint of
+// everything that determined it: the program text, the normalized script
+// prefix applied so far, and the option/delay-model rendering.  Recipes
+// that share a prefix — `gt1; gt2` vs `gt1; gt2; gt3` — therefore share
+// the upstream work: the second run starts from the cached post-`gt2`
+// graph instead of recomputing it.
+//
+// Concurrency contract: get_or_compute() deduplicates in-flight work.  The
+// first caller computes inline on its own thread; concurrent callers with
+// the same key block on the shared future (the producer is running on a
+// live thread, never parked in a pool queue, so this cannot deadlock).
+// A compute that throws is erased so later callers retry.
+//
+// Values are immutable once inserted (shared_ptr<const T>); consumers that
+// need a mutable copy clone.  Eviction is LRU over *ready* entries, bounded
+// by entry count.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace adc {
+
+// 128-bit FNV-1a style fingerprint; two independent 64-bit lanes keep the
+// collision odds negligible for cache-sized key sets.
+struct Fingerprint {
+  std::uint64_t hi = 0xcbf29ce484222325ull;
+  std::uint64_t lo = 0x84222325cbf29ce4ull;
+
+  bool operator==(const Fingerprint& o) const { return hi == o.hi && lo == o.lo; }
+  bool operator<(const Fingerprint& o) const {
+    return hi != o.hi ? hi < o.hi : lo < o.lo;
+  }
+  std::string hex() const;
+};
+
+class FingerprintBuilder {
+ public:
+  FingerprintBuilder& add(const std::string& s);
+  FingerprintBuilder& add(const char* s) { return add(std::string(s)); }
+  FingerprintBuilder& add(std::int64_t v);
+  FingerprintBuilder& add(std::uint64_t v);
+  FingerprintBuilder& add(bool v) { return add(std::uint64_t{v ? 1u : 0u}); }
+  // Chain from a previous stage's fingerprint.
+  FingerprintBuilder& add(const Fingerprint& f);
+
+  Fingerprint digest() const { return fp_; }
+
+ private:
+  void mix(const void* data, std::size_t n);
+  Fingerprint fp_;
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;      // served from a ready entry
+  std::uint64_t joins = 0;     // waited on another thread's in-flight compute
+  std::uint64_t misses = 0;    // computed here
+  std::uint64_t evictions = 0;
+  std::uint64_t entries = 0;   // current resident entries
+
+  double hit_rate() const {
+    std::uint64_t total = hits + joins + misses;
+    return total ? static_cast<double>(hits + joins) / static_cast<double>(total) : 0.0;
+  }
+};
+
+class StageCache {
+ public:
+  // capacity == 0 disables caching entirely (every call computes).
+  explicit StageCache(std::size_t capacity = 1024) : capacity_(capacity) {}
+
+  template <typename T, typename Fn>
+  std::shared_ptr<const T> get_or_compute(const Fingerprint& key, Fn&& compute) {
+    if (capacity_ == 0) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return std::make_shared<const T>(compute());
+    }
+    auto erased = lookup_or_claim(key);
+    if (erased.first) {  // someone else owns / owned it
+      return std::static_pointer_cast<const T>(erased.second.get());
+    }
+    try {
+      auto value = std::make_shared<const T>(compute());
+      fulfill(key, value);
+      return value;
+    } catch (...) {
+      abandon(key, std::current_exception());
+      throw;
+    }
+  }
+
+  CacheStats stats() const;
+  void clear();
+
+ private:
+  using Any = std::shared_ptr<const void>;
+
+  // Returns {true, future} when the key is (being) computed elsewhere;
+  // {false, _} when the caller claimed the slot and must fulfill/abandon.
+  std::pair<bool, std::shared_future<Any>> lookup_or_claim(const Fingerprint& key);
+  void fulfill(const Fingerprint& key, Any value);
+  void abandon(const Fingerprint& key, std::exception_ptr err);
+  void evict_locked();
+
+  struct Slot {
+    std::promise<Any> promise;
+    std::shared_future<Any> future;
+    bool ready = false;
+    std::uint64_t lru = 0;
+  };
+
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::map<Fingerprint, Slot> slots_;
+  std::uint64_t tick_ = 0;
+  std::atomic<std::uint64_t> hits_{0}, joins_{0}, misses_{0}, evictions_{0};
+};
+
+}  // namespace adc

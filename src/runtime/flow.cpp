@@ -1,0 +1,402 @@
+#include "runtime/flow.hpp"
+
+#include <stdexcept>
+
+#include "extract/extract.hpp"
+#include "frontend/benchmarks.hpp"
+#include "frontend/parser.hpp"
+#include "logic/minimize.hpp"
+#include "ltrans/local.hpp"
+#include "report/json.hpp"
+
+namespace adc {
+
+namespace {
+
+Fingerprint fingerprint_delays(const DelayModel& d) {
+  FingerprintBuilder fb;
+  fb.add("delays");
+  for (const auto& [cls, r] : d.fu_op) fb.add(cls).add(r.min).add(r.max);
+  for (const DelayRange& r : {d.move, d.control, d.micro_op, d.latch_write,
+                              d.done_reset, d.wire})
+    fb.add(r.min).add(r.max);
+  return fb.digest();
+}
+
+bool is_lt_step(const std::string& step_text) {
+  return step_text.rfind("lt", 0) == 0;
+}
+
+}  // namespace
+
+// Graph + accumulated pipeline log after a script prefix.
+struct FlowExecutor::GlobalSnapshot {
+  Cdfg g{"empty"};
+  GlobalPipelineResult res;
+  bool have_plan = false;
+};
+
+FlowExecutor::FlowExecutor(ThreadPool* pool) : FlowExecutor(pool, Options{}) {}
+
+FlowExecutor::FlowExecutor(ThreadPool* pool, Options opts)
+    : pool_(pool), opts_(opts), cache_(opts.cache_capacity) {}
+
+std::shared_ptr<const Cdfg> FlowExecutor::frontend_stage(const FlowRequest& req,
+                                                         Fingerprint& key, FlowPoint& p) {
+  FingerprintBuilder fb;
+  fb.add("frontend").add(req.benchmark).add(req.source);
+  key = fb.digest();
+  bool computed = false;
+  std::uint64_t us = 0;
+  std::shared_ptr<const Cdfg> parsed;
+  {
+    StageTimer t(&metrics_.histogram("stage.frontend"), &us);
+    parsed = cache_.get_or_compute<Cdfg>(key, [&]() -> Cdfg {
+      computed = true;
+      if (!req.source.empty()) return parse_program(req.source);
+      if (req.make) return req.make();
+      throw std::invalid_argument("flow: request '" + req.benchmark +
+                                  "' has neither source text nor a graph factory");
+    });
+  }
+  p.timings.push_back({"frontend", us, !computed});
+  return parsed;
+}
+
+std::shared_ptr<const FlowExecutor::GlobalSnapshot> FlowExecutor::global_stage(
+    const FlowRequest& req, const TransformScript& script,
+    std::shared_ptr<const Cdfg> parsed, Fingerprint key, FlowPoint& p) {
+  Fingerprint delays_fp = fingerprint_delays(req.delays);
+  std::uint64_t us = 0;
+  std::size_t steps_run = 0, steps_total = 0;
+  std::shared_ptr<const GlobalSnapshot> snap;
+  {
+    StageTimer t(&metrics_.histogram("stage.global"), &us);
+    for (std::size_t i = 0; i < script.step_count(); ++i) {
+      std::string step = script.step_string(i);
+      if (is_lt_step(step)) continue;  // no global action; keyed downstream
+      ++steps_total;
+      FingerprintBuilder fb;
+      fb.add(key).add(step).add(delays_fp);
+      key = fb.digest();
+      auto prev = snap;  // null for the first step
+      snap = cache_.get_or_compute<GlobalSnapshot>(key, [&]() -> GlobalSnapshot {
+        ++steps_run;
+        GlobalSnapshot next;
+        if (prev) {
+          next = *prev;  // clone: stage results are immutable
+        } else {
+          next.g = *parsed;
+        }
+        next.have_plan =
+            script.run_step(next.g, i, req.delays, next.res) || next.have_plan;
+        return next;
+      });
+    }
+    if (!snap) {  // empty / lt-only script: the parsed graph is the result
+      GlobalSnapshot base;
+      base.g = *parsed;
+      snap = std::make_shared<const GlobalSnapshot>(std::move(base));
+    }
+  }
+  metrics_.counter("flow.gt_steps").add(steps_total);
+  metrics_.counter("flow.gt_steps_cached").add(steps_total - steps_run);
+  p.timings.push_back({"global", us, steps_total > 0 && steps_run == 0});
+  return snap;
+}
+
+std::shared_ptr<const ControllerSet> FlowExecutor::controller_stage(
+    const TransformScript& script, std::shared_ptr<const GlobalSnapshot> snap,
+    const Fingerprint& key, FlowPoint& p) {
+  FingerprintBuilder fb;
+  fb.add(key).add("extract+lt").add(script.to_string());
+  Fingerprint ckey = fb.digest();
+  bool computed = false;
+  std::uint64_t us = 0;
+  std::shared_ptr<const ControllerSet> set;
+  {
+    StageTimer t(&metrics_.histogram("stage.controllers"), &us);
+    set = cache_.get_or_compute<ControllerSet>(ckey, [&]() -> ControllerSet {
+      computed = true;
+      ControllerSet out;
+      out.plan = snap->have_plan ? snap->res.plan : ChannelPlan::derive(snap->g);
+      auto extracted = extract_controllers(snap->g, out.plan);
+      out.instances.resize(extracted.size());
+      out.controllers.resize(extracted.size());
+      auto synthesize_one = [&](std::size_t i) {
+        ExtractedController c = std::move(extracted[i]);
+        ControllerInstance inst;
+        if (script.has_local_step())
+          inst.shared_signals =
+              run_local_transforms(c, script.local_options()).shared_signals;
+        ControllerMetrics m;
+        m.name = c.machine.name();
+        m.states = c.machine.state_count();
+        m.transitions = c.machine.transition_count();
+        auto logic = synthesize_logic(c);
+        m.products = logic.product_count(true);
+        m.literals = logic.literal_count(true);
+        m.feasible = logic.feasible();
+        inst.controller = std::move(c);
+        out.instances[i] = std::move(inst);
+        out.controllers[i] = std::move(m);
+      };
+      if (pool_ && opts_.fan_out_controllers && extracted.size() > 1) {
+        std::vector<std::future<void>> subtasks;
+        subtasks.reserve(extracted.size());
+        for (std::size_t i = 0; i < extracted.size(); ++i)
+          subtasks.push_back(pool_->submit([&, i] { synthesize_one(i); }));
+        for (auto& f : subtasks) pool_->wait(f);
+      } else {
+        for (std::size_t i = 0; i < extracted.size(); ++i) synthesize_one(i);
+      }
+      return out;
+    });
+  }
+  p.timings.push_back({"controllers", us, !computed});
+  return set;
+}
+
+FlowPoint FlowExecutor::run(const FlowRequest& req) {
+  FlowPoint p;
+  p.benchmark = req.benchmark;
+  p.script = req.script;  // replaced by the normalized form once parsed
+  metrics_.counter("flow.runs").add();
+  StageTimer total(&metrics_.histogram("flow.total"), &p.total_micros);
+  try {
+    TransformScript script = TransformScript::parse(req.script);
+    p.script = script.to_string();
+
+    Fingerprint key;
+    auto parsed = frontend_stage(req, key, p);
+    auto snap = global_stage(req, script, parsed, key, p);
+    auto set = controller_stage(script, snap, key, p);
+
+    p.channels = set->plan.count_controller_channels();
+    p.controllers = set->controllers;
+    p.ok = true;
+    for (const auto& m : set->controllers) {
+      p.states += m.states;
+      p.transitions += m.transitions;
+      p.products += m.products;
+      p.literals += m.literals;
+      if (!m.feasible) p.ok = false;
+    }
+    p.artifacts = set;
+
+    if (req.simulate) {
+      std::uint64_t us = 0;
+      {
+        StageTimer t(&metrics_.histogram("stage.sim"), &us);
+        auto r = run_event_sim(snap->g, set->plan, set->instances, req.init, req.sim);
+        p.latency = r.finish_time;
+        p.sim_events = r.events;
+        p.sim_operations = r.operations;
+        if (!r.completed) {
+          p.ok = false;
+          p.error = r.error;
+        }
+      }
+      p.timings.push_back({"sim", us, false});
+    }
+  } catch (const std::exception& e) {
+    p.ok = false;
+    p.error = e.what();
+    metrics_.counter("flow.errors").add();
+  }
+  return p;
+}
+
+std::vector<FlowPoint> FlowExecutor::run_all(const std::vector<FlowRequest>& reqs) {
+  std::vector<FlowPoint> out(reqs.size());
+  if (!pool_ || reqs.size() <= 1) {
+    for (std::size_t i = 0; i < reqs.size(); ++i) out[i] = run(reqs[i]);
+    return out;
+  }
+  std::vector<std::future<FlowPoint>> futs;
+  futs.reserve(reqs.size());
+  for (const FlowRequest& r : reqs)
+    futs.push_back(pool_->submit([this, &r] { return run(r); }));
+  for (std::size_t i = 0; i < futs.size(); ++i) out[i] = pool_->wait(futs[i]);
+  return out;
+}
+
+void write_json(JsonWriter& w, const FlowPoint& p) {
+  w.begin_object();
+  w.kv("benchmark", p.benchmark);
+  w.kv("script", p.script);
+  w.kv("ok", p.ok);
+  if (!p.error.empty()) w.kv("error", p.error);
+  w.kv("channels", p.channels);
+  w.kv("states", p.states);
+  w.kv("transitions", p.transitions);
+  w.kv("products", p.products);
+  w.kv("literals", p.literals);
+  w.kv("latency", p.latency);
+  w.kv("sim_events", p.sim_events);
+  w.kv("sim_operations", p.sim_operations);
+  w.kv("total_us", p.total_micros);
+  w.key("controllers");
+  w.begin_array();
+  for (const auto& c : p.controllers) {
+    w.begin_object();
+    w.kv("name", c.name);
+    w.kv("states", c.states);
+    w.kv("transitions", c.transitions);
+    w.kv("products", c.products);
+    w.kv("literals", c.literals);
+    w.kv("feasible", c.feasible);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("stages");
+  w.begin_array();
+  for (const auto& t : p.timings) {
+    w.begin_object();
+    w.kv("stage", t.stage);
+    w.kv("us", t.micros);
+    w.kv("cached", t.cached);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+std::string to_json(const FlowPoint& p) {
+  JsonWriter w;
+  write_json(w, p);
+  return w.str();
+}
+
+const std::vector<BuiltinBenchmark>& builtin_benchmarks() {
+  static const std::vector<BuiltinBenchmark> all = {
+      {"diffeq", diffeq,
+       {{"X", 0}, {"a", 8}, {"dx", 1}, {"U", 3}, {"Y", 1}, {"X1", 0}, {"C", 1}}},
+      {"gcd", gcd, {{"A", 21}, {"B", 14}, {"C", 1}}},
+      {"fir4", fir4,
+       {{"X0", 1}, {"X1", 2}, {"X2", 3}, {"X3", 4}, {"K0", 5}, {"K1", 6}, {"K2", 7},
+        {"K3", 8}}},
+      {"mac_reduce", mac_reduce,
+       {{"X", 0}, {"K", 3}, {"T", 40}, {"N", 6}, {"dx", 1}, {"S", 0}, {"C", 1}}},
+      {"ewf_lite", ewf_lite,
+       {{"IN", 9}, {"S1", 1}, {"S2", 2}, {"S3", 3}, {"K1", 2}, {"K2", 3}, {"K3", 4}}},
+      {"ewf", +[]() { return ewf(); },
+       {{"IN", 5}, {"k1", 2}, {"k2", 3}, {"k3", 1}, {"k4", 2}, {"k5", 3},
+        {"sv1", 1}, {"sv2", 2}, {"sv3", 3}, {"sv4", 4}, {"sv5", 5}, {"sv6", 6},
+        {"sv7", 7}, {"sv8", 8}}},
+  };
+  return all;
+}
+
+const BuiltinBenchmark* find_builtin(const std::string& name) {
+  for (const auto& b : builtin_benchmarks())
+    if (b.name == name) return &b;
+  return nullptr;
+}
+
+FlowRequest make_builtin_request(const BuiltinBenchmark& b, std::string script) {
+  FlowRequest r;
+  r.benchmark = b.name;
+  r.make = b.make;
+  r.script = std::move(script);
+  r.init = b.init;
+  r.sim.randomize_delays = false;  // reproducible DSE points
+  return r;
+}
+
+std::vector<std::string> gt_ablation_grid(bool with_lt) {
+  std::vector<std::string> grid;
+  grid.reserve(32);
+  for (unsigned mask = 0; mask < 32; ++mask) {
+    bool gt1 = mask & 1, gt2 = mask & 2, gt3 = mask & 4, gt4 = mask & 8,
+         gt5 = mask & 16;
+    std::string s;
+    auto append = [&](const char* step) {
+      if (!s.empty()) s += "; ";
+      s += step;
+    };
+    // The paper's standard order, with the GT2 cleanup pass after GT4.
+    if (gt1) append("gt1");
+    if (gt2) append("gt2");
+    if (gt3) append("gt3");
+    if (gt4) append("gt4");
+    if (gt2 && gt4) append("gt2");
+    if (gt5) append("gt5");
+    if (with_lt) append("lt");
+    grid.push_back(std::move(s));
+  }
+  return grid;
+}
+
+std::string script_for(const GlobalPipelineOptions& o, bool gt, bool lt,
+                       const LocalTransformOptions& lt_opts) {
+  std::string s;
+  auto append = [&](const std::string& step) {
+    if (!s.empty()) s += "; ";
+    s += step;
+  };
+  if (gt) {
+    if (o.gt1) append("gt1");
+    if (o.gt2) append("gt2");
+    if (o.gt3) {
+      Gt3Options defaults;
+      std::string step = "gt3";
+      std::vector<std::string> args;
+      if (o.gt3_options.margin != defaults.margin)
+        args.push_back("margin=" + std::to_string(o.gt3_options.margin));
+      if (o.gt3_options.samples != defaults.samples)
+        args.push_back("samples=" + std::to_string(o.gt3_options.samples));
+      if (!args.empty()) {
+        step += '(';
+        for (std::size_t i = 0; i < args.size(); ++i)
+          step += (i ? ", " : "") + args[i];
+        step += ')';
+      }
+      append(step);
+    }
+    if (o.gt4) append("gt4");
+    if (o.gt2 && o.gt4) append("gt2");  // the pipeline's post-GT4 cleanup pass
+    if (o.gt5) {
+      std::string step = "gt5";
+      std::vector<std::string> args;
+      if (o.gt5_options.same_source == Gt5Options::SameSource::kAll)
+        args.push_back("broadcast=all");
+      else if (o.gt5_options.same_source == Gt5Options::SameSource::kNone)
+        args.push_back("broadcast=none");
+      if (!o.gt5_options.multiplex) args.push_back("no_mux");
+      if (!o.gt5_options.symmetrize) args.push_back("no_sym");
+      if (o.gt5_options.concurrency_reduction) {
+        if (o.gt5_options.max_period_increase > 0)
+          args.push_back("maxperiod=" +
+                         std::to_string(o.gt5_options.max_period_increase));
+        else
+          args.push_back("concred");
+      }
+      if (!args.empty()) {
+        step += '(';
+        for (std::size_t i = 0; i < args.size(); ++i)
+          step += (i ? ", " : "") + args[i];
+        step += ')';
+      }
+      append(step);
+    }
+  }
+  if (lt) {
+    std::string step = "lt";
+    std::vector<std::string> args;
+    if (!lt_opts.lt1_move_up_dones) args.push_back("no_move_up");
+    if (!lt_opts.lt2_move_down_resets) args.push_back("no_move_down");
+    if (!lt_opts.lt3_mux_preselection) args.push_back("no_presel");
+    if (!lt_opts.lt4_remove_acks) args.push_back("no_acks");
+    if (!lt_opts.lt5_signal_sharing) args.push_back("no_sharing");
+    if (!args.empty()) {
+      step += '(';
+      for (std::size_t i = 0; i < args.size(); ++i) step += (i ? ", " : "") + args[i];
+      step += ')';
+    }
+    append(step);
+  }
+  return s;
+}
+
+}  // namespace adc

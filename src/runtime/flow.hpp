@@ -1,0 +1,180 @@
+#pragma once
+// The parallel synthesis runtime's flow executor.
+//
+// One synthesis run is modelled as a DAG of stages
+//
+//   frontend -> gt-step* -> extract(+local transforms) -> logic -> event-sim
+//
+// executed with per-stage wall-clock timing and metrics.  Two mechanisms
+// make batch design-space exploration fast:
+//
+//  * a content-addressed StageCache: the frontend result, every global
+//    transform *prefix* (the graph state after `gt1`, after `gt1; gt2`,
+//    ...) and the extracted+locally-transformed controller set are each
+//    addressed by a fingerprint of program text, normalized script prefix
+//    and delay model.  Recipes sharing a prefix — exactly the shape of the
+//    paper's Figure 12/13 ablation grids — recompute nothing upstream of
+//    their first differing step;
+//  * a work-stealing ThreadPool: run_all() fans independent recipe
+//    evaluations across workers, and within one run the per-controller
+//    work (local transforms + two-level logic synthesis) is forked as
+//    nested subtasks.
+//
+// All stage results are immutable shared snapshots; workers clone before
+// mutating, so a FlowExecutor (and its cache) is safe to share across the
+// whole pool.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cdfg/cdfg.hpp"
+#include "runtime/cache.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/thread_pool.hpp"
+#include "sim/event_sim.hpp"
+#include "transforms/script.hpp"
+
+namespace adc {
+
+// One synthesis job: a program, a transformation recipe and the
+// verification inputs.
+struct FlowRequest {
+  // Display name; doubles as the cache identity when `source` is empty, so
+  // it must uniquely name the program (builtin benchmark names do).
+  std::string benchmark;
+  // Program text in the frontend DSL.  Empty: `make` supplies the graph.
+  std::string source;
+  std::function<Cdfg()> make;
+  // Transformation recipe (transforms/script.hpp syntax).
+  std::string script = "gt1; gt2; gt3; gt4; gt2; gt5; lt";
+  // Event-simulation inputs; empty `init` with simulate=true still runs
+  // (registers default to 0 in the simulator's datapath).
+  std::map<std::string, std::int64_t> init;
+  EventSimOptions sim;
+  bool simulate = true;
+  DelayModel delays = DelayModel::typical();
+};
+
+struct ControllerMetrics {
+  std::string name;
+  std::size_t states = 0;
+  std::size_t transitions = 0;
+  std::size_t products = 0;  // shared-product counting (Figure 13)
+  std::size_t literals = 0;
+  bool feasible = true;
+};
+
+// The cached post-extraction artifact: the final channel plan, the
+// controllers after local transforms, and their gate-level metrics.
+struct ControllerSet {
+  ChannelPlan plan;
+  std::vector<ControllerInstance> instances;
+  std::vector<ControllerMetrics> controllers;
+};
+
+struct StageTiming {
+  std::string stage;
+  std::uint64_t micros = 0;
+  bool cached = false;  // served from the stage cache
+};
+
+// Figure-12/13 style quality metrics of one evaluated design point.
+struct FlowPoint {
+  std::string benchmark;
+  std::string script;  // normalized rendering
+  std::size_t channels = 0;
+  std::size_t states = 0;
+  std::size_t transitions = 0;
+  std::size_t products = 0;
+  std::size_t literals = 0;
+  std::int64_t latency = 0;
+  std::int64_t sim_events = 0;
+  std::int64_t sim_operations = 0;
+  bool ok = false;
+  std::string error;
+  std::vector<ControllerMetrics> controllers;
+  std::vector<StageTiming> timings;
+  std::uint64_t total_micros = 0;
+  // The post-extraction artifacts this point was measured from (shared
+  // with the cache; never mutate).
+  std::shared_ptr<const ControllerSet> artifacts;
+};
+
+// JSON serialization of one point / a batch report (uses report/json.hpp).
+std::string to_json(const FlowPoint& p);
+void write_json(class JsonWriter& w, const FlowPoint& p);
+
+class FlowExecutor {
+ public:
+  struct Options {
+    std::size_t cache_capacity = 1024;  // 0 disables stage caching
+    bool fan_out_controllers = true;    // per-controller nested subtasks
+  };
+
+  // `pool` may be null: everything runs on the calling thread.  The pool
+  // is borrowed, not owned.
+  explicit FlowExecutor(ThreadPool* pool = nullptr);
+  FlowExecutor(ThreadPool* pool, Options opts);
+
+  // Evaluates one design point (thread-safe; callable from pool tasks).
+  FlowPoint run(const FlowRequest& req);
+
+  // Evaluates a batch, fanning across the pool when present.  Results are
+  // in request order.
+  std::vector<FlowPoint> run_all(const std::vector<FlowRequest>& reqs);
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const StageCache& cache() const { return cache_; }
+  ThreadPool* pool() const { return pool_; }
+
+ private:
+  struct GlobalSnapshot;  // graph + accumulated pipeline log after a prefix
+
+  std::shared_ptr<const Cdfg> frontend_stage(const FlowRequest& req, Fingerprint& key,
+                                             FlowPoint& p);
+  std::shared_ptr<const GlobalSnapshot> global_stage(const FlowRequest& req,
+                                                     const TransformScript& script,
+                                                     std::shared_ptr<const Cdfg> parsed,
+                                                     Fingerprint key, FlowPoint& p);
+  std::shared_ptr<const ControllerSet> controller_stage(
+      const TransformScript& script, std::shared_ptr<const GlobalSnapshot> snap,
+      const Fingerprint& key, FlowPoint& p);
+
+  ThreadPool* pool_;
+  Options opts_;
+  StageCache cache_;
+  MetricsRegistry metrics_;
+};
+
+// --- builtin benchmark registry for the CLIs ------------------------------
+// Name -> graph factory + the register file the bundled examples simulate
+// with (matching bench/ablation_design_space.cpp).
+struct BuiltinBenchmark {
+  std::string name;
+  Cdfg (*make)();
+  std::map<std::string, std::int64_t> init;
+};
+
+const std::vector<BuiltinBenchmark>& builtin_benchmarks();
+const BuiltinBenchmark* find_builtin(const std::string& name);
+
+// Request for a builtin benchmark (deterministic sim, fixed delays).
+FlowRequest make_builtin_request(const BuiltinBenchmark& b, std::string script);
+
+// The 32-recipe GT ablation grid (every gt1..gt5 on/off combination, the
+// paper's standard step order, local transforms appended) — the grid the
+// Figure 12/13 reproduction sweeps.
+std::vector<std::string> gt_ablation_grid(bool with_lt = true);
+
+// Canonical script rendering of transforms/pipeline.hpp's fixed step order
+// for a set of pipeline options — the bridge from the option-struct API the
+// benches use onto the runtime's content-addressed recipes.  `gt`/`lt`
+// gate the global pipeline / the local-transform step wholesale.
+std::string script_for(const GlobalPipelineOptions& o, bool gt, bool lt,
+                       const LocalTransformOptions& lt_opts = {});
+
+}  // namespace adc

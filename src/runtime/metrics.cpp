@@ -1,0 +1,121 @@
+#include "runtime/metrics.hpp"
+
+#include "report/json.hpp"
+
+namespace adc {
+
+namespace {
+
+std::size_t bucket_for(std::uint64_t micros) {
+  std::size_t b = 0;
+  while ((std::uint64_t{1} << (b + 1)) <= micros && b + 1 < Histogram::kBuckets) ++b;
+  return b;
+}
+
+}  // namespace
+
+void Histogram::record_micros(std::uint64_t micros) {
+  buckets_[bucket_for(micros)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(micros, std::memory_order_relaxed);
+  std::uint64_t prev = max_.load(std::memory_order_relaxed);
+  while (prev < micros &&
+         !max_.compare_exchange_weak(prev, micros, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::quantile_micros(double q) const {
+  std::uint64_t total = count();
+  if (total == 0) return 0;
+  auto rank = static_cast<std::uint64_t>(q * static_cast<double>(total));
+  if (rank >= total) rank = total - 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += bucket(i);
+    if (seen > rank) return std::uint64_t{1} << (i + 1);  // upper bucket bound
+  }
+  return max_micros();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::map<std::string, std::uint64_t> MetricsRegistry::counters() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, c] : counters_) out[name] = c->value();
+  return out;
+}
+
+std::map<std::string, MetricsRegistry::HistogramSnapshot> MetricsRegistry::histograms()
+    const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::map<std::string, HistogramSnapshot> out;
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot s;
+    s.count = h->count();
+    s.sum_micros = h->sum_micros();
+    s.max_micros = h->max_micros();
+    s.p50_micros = h->quantile_micros(0.50);
+    s.p99_micros = h->quantile_micros(0.99);
+    out[name] = s;
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_json() const {
+  auto cs = counters();
+  auto hs = histograms();
+  JsonWriter w;
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, v] : cs) w.kv(name, v);
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, s] : hs) {
+    w.key(name);
+    w.begin_object();
+    w.kv("count", s.count);
+    w.kv("sum_us", s.sum_micros);
+    double mean =
+        s.count ? static_cast<double>(s.sum_micros) / static_cast<double>(s.count) : 0.0;
+    w.kv("mean_us", mean);
+    w.kv("p50_us", s.p50_micros);
+    w.kv("p99_us", s.p99_micros);
+    w.kv("max_us", s.max_micros);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+StageTimer::StageTimer(Histogram* hist, std::uint64_t* out_micros)
+    : hist_(hist), out_(out_micros), start_(std::chrono::steady_clock::now()) {}
+
+std::uint64_t StageTimer::elapsed_micros() const {
+  auto d = std::chrono::steady_clock::now() - start_;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(d).count());
+}
+
+StageTimer::~StageTimer() {
+  std::uint64_t us = elapsed_micros();
+  if (hist_) hist_->record_micros(us);
+  if (out_) *out_ = us;
+}
+
+}  // namespace adc

@@ -1,0 +1,99 @@
+#pragma once
+// Runtime metrics — monotonic counters and stage-duration histograms,
+// snapshot-able and JSON-serializable.  The flow executor threads one
+// registry through every stage so a batch DSE run can report cache hit
+// rates, per-stage latency distributions and pool throughput the way a
+// production service would.
+//
+// Counters are lock-free after registration (atomic increments on a stable
+// pointer); the registry mutex only guards name lookup/creation.
+// Histograms use power-of-two microsecond buckets: bucket i counts
+// durations in [2^i, 2^(i+1)) µs, which spans 1 µs .. ~1 hour in 32
+// buckets — plenty for synthesis stages.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace adc {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 32;
+
+  void record_micros(std::uint64_t micros);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum_micros() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t max_micros() const { return max_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  // Approximate quantile (upper bucket bound), q in [0,1].
+  std::uint64_t quantile_micros(double q) const;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+class MetricsRegistry {
+ public:
+  // Returned references stay valid for the registry's lifetime.
+  Counter& counter(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  // Point-in-time snapshot (name -> value / aggregate).
+  struct HistogramSnapshot {
+    std::uint64_t count = 0;
+    std::uint64_t sum_micros = 0;
+    std::uint64_t max_micros = 0;
+    std::uint64_t p50_micros = 0;
+    std::uint64_t p99_micros = 0;
+  };
+  std::map<std::string, std::uint64_t> counters() const;
+  std::map<std::string, HistogramSnapshot> histograms() const;
+
+  // {"counters": {...}, "histograms": {name: {count, sum_us, mean_us, ...}}}
+  std::string to_json() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// RAII stage timer: records elapsed wall time into a histogram (and an
+// optional per-run accumulator) on destruction.
+class StageTimer {
+ public:
+  explicit StageTimer(Histogram* hist, std::uint64_t* out_micros = nullptr);
+  ~StageTimer();
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+  std::uint64_t elapsed_micros() const;
+
+ private:
+  Histogram* hist_;
+  std::uint64_t* out_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace adc

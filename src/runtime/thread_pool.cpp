@@ -1,0 +1,141 @@
+#include "runtime/thread_pool.hpp"
+
+namespace adc {
+
+namespace {
+// Which pool (if any) owns the current thread, and its worker index.
+thread_local const ThreadPool* tl_pool = nullptr;
+thread_local std::size_t tl_index = 0;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  queues_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this, i] { worker_main(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  stop_.store(true, std::memory_order_release);
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::push_task(Task t) {
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  if (tl_pool == this) {
+    // Nested submission: LIFO onto the calling worker's own deque keeps the
+    // task graph depth-first and cache-warm.
+    WorkerQueue& q = *queues_[tl_index];
+    std::lock_guard<std::mutex> lk(q.mu);
+    q.deque.push_back(std::move(t));
+  } else {
+    std::lock_guard<std::mutex> lk(global_mu_);
+    global_.push_back(std::move(t));
+  }
+  work_cv_.notify_one();
+}
+
+bool ThreadPool::pop_local(std::size_t worker, Task& out) {
+  WorkerQueue& q = *queues_[worker];
+  std::lock_guard<std::mutex> lk(q.mu);
+  if (q.deque.empty()) return false;
+  out = std::move(q.deque.back());
+  q.deque.pop_back();
+  return true;
+}
+
+bool ThreadPool::pop_global(Task& out) {
+  std::lock_guard<std::mutex> lk(global_mu_);
+  if (global_.empty()) return false;
+  out = std::move(global_.front());
+  global_.pop_front();
+  return true;
+}
+
+bool ThreadPool::steal(std::size_t thief, Task& out) {
+  std::size_t n = queues_.size();
+  std::size_t start = steal_seed_.fetch_add(1, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t victim = (start + i) % n;
+    if (victim == thief) continue;
+    WorkerQueue& q = *queues_[victim];
+    std::lock_guard<std::mutex> lk(q.mu);
+    if (q.deque.empty()) continue;
+    // Steal FIFO: take the oldest (coldest) task, leave the victim its
+    // recent, cache-warm tail.
+    out = std::move(q.deque.front());
+    q.deque.pop_front();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::run_task(Task& t) {
+  t();  // packaged_task: exceptions are captured in the future, not thrown
+  tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lk(idle_mu_);
+    idle_cv_.notify_all();
+  }
+}
+
+bool ThreadPool::run_one() {
+  Task t;
+  if (tl_pool == this) {
+    if (pop_local(tl_index, t) || pop_global(t) || steal(tl_index, t)) {
+      run_task(t);
+      return true;
+    }
+    return false;
+  }
+  // External thread: drain the global queue, then steal from anyone.
+  if (pop_global(t) || steal(queues_.size(), t)) {
+    run_task(t);
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::worker_main(std::size_t index) {
+  tl_pool = this;
+  tl_index = index;
+  while (true) {
+    Task t;
+    if (pop_local(index, t) || pop_global(t) || steal(index, t)) {
+      run_task(t);
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(global_mu_);
+    work_cv_.wait_for(lk, std::chrono::milliseconds(10), [&] {
+      return stop_.load(std::memory_order_acquire) || !global_.empty();
+    });
+    if (stop_.load(std::memory_order_acquire)) break;
+  }
+  tl_pool = nullptr;
+}
+
+void ThreadPool::help_while(const std::function<bool()>& busy) {
+  while (busy()) {
+    if (!run_one()) std::this_thread::yield();
+  }
+}
+
+void ThreadPool::wait_idle() {
+  while (pending_.load(std::memory_order_acquire) > 0) {
+    if (!run_one()) {
+      std::unique_lock<std::mutex> lk(idle_mu_);
+      idle_cv_.wait_for(lk, std::chrono::milliseconds(1), [&] {
+        return pending_.load(std::memory_order_acquire) == 0;
+      });
+    }
+  }
+}
+
+}  // namespace adc

@@ -107,6 +107,8 @@ TransformScript TransformScript::parse(const std::string& source) {
         if (key == "broadcast") {
           if (value != "first" && value != "all" && value != "none")
             fail("gt5: unknown broadcast policy '" + value + "'", at);
+        } else if (key == "maxperiod") {
+          if (!is_num(value)) fail("gt5: maxperiod needs a numeric value", at);
         } else if (key != "no_mux" && key != "no_sym" && key != "concred") {
           fail("gt5: unknown option '" + key + "'", at);
         }
@@ -133,67 +135,85 @@ TransformScript TransformScript::parse(const std::string& source) {
   return out;
 }
 
+bool TransformScript::run_step(Cdfg& g, std::size_t i, const DelayModel& delays,
+                               GlobalPipelineResult& res) const {
+  const Step& step = steps_.at(i);
+  if (step.name == "gt1") {
+    res.stages.push_back(gt1_loop_parallelism(g));
+  } else if (step.name == "gt2") {
+    Gt2Options o;
+    o.only_inter_controller = !flag_set(step.args, "all");
+    res.stages.push_back(gt2_remove_dominated(g, o));
+  } else if (step.name == "gt3") {
+    Gt3Options o;
+    if (const auto* m = arg_value(step.args, "margin")) o.margin = to_long(*m, 0);
+    if (const auto* n = arg_value(step.args, "samples"))
+      o.samples = static_cast<int>(to_long(*n, 0));
+    res.stages.push_back(gt3_relative_timing(g, delays, o));
+  } else if (step.name == "gt4") {
+    res.stages.push_back(gt4_merge_assignments(g));
+  } else if (step.name == "gt5") {
+    Gt5Options o;
+    o.delays = delays;
+    if (const auto* b = arg_value(step.args, "broadcast")) {
+      if (*b == "all")
+        o.same_source = Gt5Options::SameSource::kAll;
+      else if (*b == "none")
+        o.same_source = Gt5Options::SameSource::kNone;
+      else if (*b == "first")
+        o.same_source = Gt5Options::SameSource::kFirstNodeTargets;
+      else
+        throw std::invalid_argument("script: unknown broadcast policy '" + *b + "'");
+    }
+    o.multiplex = !flag_set(step.args, "no_mux");
+    o.symmetrize = !flag_set(step.args, "no_sym");
+    o.concurrency_reduction = flag_set(step.args, "concred");
+    if (const auto* m = arg_value(step.args, "maxperiod")) {
+      o.concurrency_reduction = true;
+      o.max_period_increase = to_long(*m, 0);
+    }
+    auto gt5 = gt5_channel_elimination(g, o);
+    res.stages.push_back(std::move(gt5.stats));
+    res.plan = std::move(gt5.plan);
+    return true;
+  }
+  // "lt" carries no global action; its options are read by the caller.
+  return false;
+}
+
 GlobalPipelineResult TransformScript::run(Cdfg& g, const DelayModel& delays) const {
   GlobalPipelineResult res;
   bool have_plan = false;
-  for (const auto& step : steps_) {
-    if (step.name == "gt1") {
-      res.stages.push_back(gt1_loop_parallelism(g));
-    } else if (step.name == "gt2") {
-      Gt2Options o;
-      o.only_inter_controller = !flag_set(step.args, "all");
-      res.stages.push_back(gt2_remove_dominated(g, o));
-    } else if (step.name == "gt3") {
-      Gt3Options o;
-      if (const auto* m = arg_value(step.args, "margin")) o.margin = to_long(*m, 0);
-      if (const auto* n = arg_value(step.args, "samples"))
-        o.samples = static_cast<int>(to_long(*n, 0));
-      res.stages.push_back(gt3_relative_timing(g, delays, o));
-    } else if (step.name == "gt4") {
-      res.stages.push_back(gt4_merge_assignments(g));
-    } else if (step.name == "gt5") {
-      Gt5Options o;
-      o.delays = delays;
-      if (const auto* b = arg_value(step.args, "broadcast")) {
-        if (*b == "all")
-          o.same_source = Gt5Options::SameSource::kAll;
-        else if (*b == "none")
-          o.same_source = Gt5Options::SameSource::kNone;
-        else if (*b == "first")
-          o.same_source = Gt5Options::SameSource::kFirstNodeTargets;
-        else
-          throw std::invalid_argument("script: unknown broadcast policy '" + *b + "'");
-      }
-      o.multiplex = !flag_set(step.args, "no_mux");
-      o.symmetrize = !flag_set(step.args, "no_sym");
-      o.concurrency_reduction = flag_set(step.args, "concred");
-      auto gt5 = gt5_channel_elimination(g, o);
-      res.stages.push_back(std::move(gt5.stats));
-      res.plan = std::move(gt5.plan);
-      have_plan = true;
-    }
-    // "lt" carries no global action; its options are read by the caller.
-  }
+  for (std::size_t i = 0; i < steps_.size(); ++i)
+    have_plan = run_step(g, i, delays, res) || have_plan;
   if (!have_plan) res.plan = ChannelPlan::derive(g);
   return res;
 }
 
-std::string TransformScript::to_string() const {
-  std::string out;
-  for (const auto& step : steps_) {
-    if (!out.empty()) out += "; ";
-    out += step.name;
-    if (!step.args.empty()) {
-      out += '(';
-      for (std::size_t i = 0; i < step.args.size(); ++i) {
-        if (i) out += ", ";
-        out += step.args[i].first;
-        if (!step.args[i].second.empty()) out += "=" + step.args[i].second;
-      }
-      out += ')';
+std::string TransformScript::step_string(std::size_t i) const {
+  const Step& step = steps_.at(i);
+  std::string out = step.name;
+  if (!step.args.empty()) {
+    out += '(';
+    for (std::size_t a = 0; a < step.args.size(); ++a) {
+      if (a) out += ", ";
+      out += step.args[a].first;
+      if (!step.args[a].second.empty()) out += "=" + step.args[a].second;
     }
+    out += ')';
   }
   return out;
 }
+
+std::string TransformScript::prefix_string(std::size_t n) const {
+  std::string out;
+  for (std::size_t i = 0; i < n && i < steps_.size(); ++i) {
+    if (!out.empty()) out += "; ";
+    out += step_string(i);
+  }
+  return out;
+}
+
+std::string TransformScript::to_string() const { return prefix_string(steps_.size()); }
 
 }  // namespace adc

@@ -37,6 +37,19 @@ class TransformScript {
   // and the final channel plan (derived fresh if the script has no gt5).
   GlobalPipelineResult run(Cdfg& g, const DelayModel& delays = DelayModel::typical()) const;
 
+  // --- per-step execution (the parallel runtime's stage-cache unit) -------
+  // Number of parsed steps (including the `lt` step, which is a global
+  // no-op — run_step returns immediately for it).
+  std::size_t step_count() const { return steps_.size(); }
+  // Normalized rendering of step `i` alone, and of the prefix [0, n) —
+  // stable strings suitable as content-address components.
+  std::string step_string(std::size_t i) const;
+  std::string prefix_string(std::size_t n) const;
+  // Applies step `i` to `g`, appending its log to `res.stages` (and setting
+  // `res.plan` for gt5).  Returns true when the step produced a plan.
+  bool run_step(Cdfg& g, std::size_t i, const DelayModel& delays,
+                GlobalPipelineResult& res) const;
+
   // The LT configuration collected from the script's `lt(...)` step
   // (defaults when absent).
   const LocalTransformOptions& local_options() const { return local_; }

@@ -1,0 +1,267 @@
+// adc_dse — batch design-space exploration driver.
+//
+// Fans a grid of transformation recipes × benchmarks across the parallel
+// synthesis runtime (work-stealing pool + content-addressed stage cache)
+// and reports the figure-12/13 quality surface of every point: channels,
+// states, transitions, products, literals and simulated latency.
+//
+//   adc_dse --bench diffeq --grid gt --jobs 8 --json report.json
+//   adc_dse --bench diffeq,ewf --recipes "gt1; gt2; lt | gt2; gt5; lt"
+//   adc_dse --init x=0,k=3,n=5,s=0,C=1 my_program.adc
+//
+// Options:
+//   --bench NAME[,NAME...]  builtin benchmarks (diffeq, gcd, fir4,
+//                           mac_reduce, ewf_lite, ewf); positional
+//                           arguments name .adc program files instead
+//   --recipes "S1 | S2"     explicit recipe list ('|'-separated scripts)
+//   --grid gt|gt-nolt       the 32-recipe GT ablation grid (with/without
+//                           the local transforms appended)
+//   --jobs N                worker threads (default: hardware, 0 = serial)
+//   --json FILE             machine-readable report ('-' = stdout)
+//   --init REG=VAL,...      simulation register file for .adc programs
+//   --seed N                event-sim seed (with --randomize)
+//   --randomize             randomize simulation delays (default: fixed)
+//   --no-sim                skip event-simulation (structure metrics only)
+//   --verify-serial         also evaluate the grid serially on one thread
+//                           and fail if any metric differs
+//   --metrics               dump runtime metrics JSON to stderr
+//   --help
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "report/json.hpp"
+#include "report/table.hpp"
+#include "runtime/flow.hpp"
+
+using namespace adc;
+
+namespace {
+
+int usage(int code) {
+  std::fprintf(code ? stderr : stdout,
+               "usage: adc_dse [--bench NAMES] [--recipes \"S1 | S2\"] "
+               "[--grid gt|gt-nolt] [--jobs N] [--json FILE] "
+               "[--init REG=VAL,...] [--seed N] [--randomize] [--no-sim] "
+               "[--verify-serial] [--metrics] [program.adc]...\n");
+  return code;
+}
+
+std::map<std::string, std::int64_t> parse_init(const std::string& spec) {
+  std::map<std::string, std::int64_t> init;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    auto eq = item.find('=');
+    if (eq == std::string::npos)
+      throw std::invalid_argument("--init expects REG=VAL pairs, got '" + item + "'");
+    init[item.substr(0, eq)] = std::stoll(item.substr(eq + 1));
+  }
+  return init;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, sep)) {
+    // trim
+    auto b = item.find_first_not_of(" \t\n");
+    auto e = item.find_last_not_of(" \t\n");
+    if (b == std::string::npos) continue;
+    out.push_back(item.substr(b, e - b + 1));
+  }
+  return out;
+}
+
+bool same_point(const FlowPoint& a, const FlowPoint& b) {
+  return a.ok == b.ok && a.channels == b.channels && a.states == b.states &&
+         a.transitions == b.transitions && a.products == b.products &&
+         a.literals == b.literals && a.latency == b.latency;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> bench_names;
+  std::vector<std::string> files;
+  std::vector<std::string> recipes;
+  std::string grid;
+  std::string json_path;
+  std::string init_spec;
+  std::size_t jobs = std::thread::hardware_concurrency();
+  std::uint64_t seed = 1;
+  bool randomize = false, simulate = true, verify_serial = false, dump_metrics = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        usage(2);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") return usage(0);
+    else if (arg == "--bench") for (auto& n : split(next(), ',')) bench_names.push_back(n);
+    else if (arg == "--recipes") for (auto& r : split(next(), '|')) recipes.push_back(r);
+    else if (arg == "--grid") grid = next();
+    else if (arg == "--jobs") jobs = std::stoul(next());
+    else if (arg == "--json") json_path = next();
+    else if (arg == "--init") init_spec = next();
+    else if (arg == "--seed") seed = std::stoull(next());
+    else if (arg == "--randomize") randomize = true;
+    else if (arg == "--no-sim") simulate = false;
+    else if (arg == "--verify-serial") verify_serial = true;
+    else if (arg == "--metrics") dump_metrics = true;
+    else if (!arg.empty() && arg[0] == '-') return usage(2);
+    else files.push_back(arg);
+  }
+
+  try {
+    if (!grid.empty()) {
+      if (grid != "gt" && grid != "gt-nolt")
+        throw std::invalid_argument("unknown grid '" + grid + "'");
+      for (auto& s : gt_ablation_grid(grid == "gt")) recipes.push_back(s);
+    }
+    if (recipes.empty()) {
+      // A small default surface: nothing, GT only, the paper's full recipe.
+      recipes = {"", "gt1; gt2; gt3; gt4; gt2; gt5", "gt1; gt2; gt3; gt4; gt2; gt5; lt"};
+    }
+    if (bench_names.empty() && files.empty()) bench_names.push_back("diffeq");
+
+    // Assemble the request grid.
+    std::vector<FlowRequest> reqs;
+    for (const auto& name : bench_names) {
+      const BuiltinBenchmark* b = find_builtin(name);
+      if (!b) throw std::invalid_argument("unknown builtin benchmark '" + name + "'");
+      for (const auto& r : recipes) {
+        FlowRequest req = make_builtin_request(*b, r);
+        req.sim.seed = seed;
+        req.sim.randomize_delays = randomize;
+        req.simulate = simulate;
+        reqs.push_back(std::move(req));
+      }
+    }
+    auto file_init = init_spec.empty() ? std::map<std::string, std::int64_t>{}
+                                       : parse_init(init_spec);
+    for (const auto& path : files) {
+      std::ifstream in(path);
+      if (!in) throw std::runtime_error("cannot open " + path);
+      std::stringstream ss;
+      ss << in.rdbuf();
+      for (const auto& r : recipes) {
+        FlowRequest req;
+        req.benchmark = path;
+        req.source = ss.str();
+        req.script = r;
+        req.init = file_init;
+        req.sim.seed = seed;
+        req.sim.randomize_delays = randomize;
+        req.simulate = simulate;
+        reqs.push_back(std::move(req));
+      }
+    }
+
+    // Evaluate, parallel then (optionally) serial for cross-checking.
+    std::unique_ptr<ThreadPool> pool;
+    if (jobs > 0) pool = std::make_unique<ThreadPool>(jobs);
+    FlowExecutor exec(pool.get());
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<FlowPoint> points = exec.run_all(reqs);
+    auto wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+
+    int rc = 0;
+    if (verify_serial) {
+      FlowExecutor serial(nullptr);
+      std::size_t mismatches = 0;
+      for (std::size_t i = 0; i < reqs.size(); ++i) {
+        FlowPoint ref = serial.run(reqs[i]);
+        if (!same_point(points[i], ref)) {
+          ++mismatches;
+          std::fprintf(stderr,
+                       "adc_dse: MISMATCH %s [%s]: parallel "
+                       "(ch=%zu st=%zu tr=%zu pr=%zu li=%zu lat=%lld ok=%d) vs serial "
+                       "(ch=%zu st=%zu tr=%zu pr=%zu li=%zu lat=%lld ok=%d)\n",
+                       ref.benchmark.c_str(), ref.script.c_str(), points[i].channels,
+                       points[i].states, points[i].transitions, points[i].products,
+                       points[i].literals, static_cast<long long>(points[i].latency),
+                       points[i].ok, ref.channels, ref.states, ref.transitions,
+                       ref.products, ref.literals, static_cast<long long>(ref.latency),
+                       ref.ok);
+        }
+      }
+      if (mismatches) {
+        std::fprintf(stderr, "adc_dse: %zu/%zu points differ from the serial run\n",
+                     mismatches, reqs.size());
+        rc = 1;
+      } else {
+        std::fprintf(stderr, "adc_dse: all %zu points match the serial run\n",
+                     reqs.size());
+      }
+    }
+
+    CacheStats cs = exec.cache().stats();
+    if (json_path.empty()) {
+      Table t({"benchmark", "script", "channels", "states/trans", "prod/lits",
+               "latency", "ok", "ms"});
+      for (const auto& p : points)
+        t.add_row({p.benchmark, p.script.empty() ? "(none)" : p.script,
+                   std::to_string(p.channels), pair_cell(p.states, p.transitions),
+                   pair_cell(p.products, p.literals), std::to_string(p.latency),
+                   p.ok ? "yes" : "NO", std::to_string(p.total_micros / 1000)});
+      std::printf("%s", t.to_string().c_str());
+      std::printf(
+          "\n%zu points, %zu jobs, %lld ms wall; cache: %llu hits, %llu joins, "
+          "%llu misses (%.0f%% reuse)\n",
+          points.size(), jobs, static_cast<long long>(wall_ms),
+          static_cast<unsigned long long>(cs.hits),
+          static_cast<unsigned long long>(cs.joins),
+          static_cast<unsigned long long>(cs.misses), 100.0 * cs.hit_rate());
+    } else {
+      JsonWriter w(true);
+      w.begin_object();
+      w.kv("tool", "adc_dse");
+      w.kv("jobs", static_cast<std::uint64_t>(jobs));
+      w.kv("wall_ms", static_cast<std::int64_t>(wall_ms));
+      w.key("cache");
+      w.begin_object();
+      w.kv("hits", cs.hits);
+      w.kv("joins", cs.joins);
+      w.kv("misses", cs.misses);
+      w.kv("evictions", cs.evictions);
+      w.kv("hit_rate", cs.hit_rate());
+      w.end_object();
+      w.key("points");
+      w.begin_array();
+      for (const auto& p : points) write_json(w, p);
+      w.end_array();
+      w.end_object();
+      if (json_path == "-") {
+        std::printf("%s\n", w.str().c_str());
+      } else {
+        std::ofstream out(json_path);
+        out << w.str() << "\n";
+        if (!out) throw std::runtime_error("cannot write " + json_path);
+        std::fprintf(stderr, "adc_dse: wrote %s (%zu points)\n", json_path.c_str(),
+                     points.size());
+      }
+    }
+    if (dump_metrics)
+      std::fprintf(stderr, "%s\n", exec.metrics().to_json().c_str());
+
+    for (const auto& p : points)
+      if (!p.ok && !p.error.empty())
+        std::fprintf(stderr, "adc_dse: %s [%s]: %s\n", p.benchmark.c_str(),
+                     p.script.c_str(), p.error.c_str());
+    return rc;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "adc_dse: %s\n", e.what());
+    return 1;
+  }
+}

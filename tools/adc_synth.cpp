@@ -14,6 +14,9 @@
 //   --simulate REG=VAL,...     run the gate-level simulation with the given
 //                              initial registers and report the final state
 //   --report                   print the per-controller summary table
+//   --json FILE                machine-readable report (stats + simulation
+//                              result; '-' writes to stdout) — the same
+//                              serialization path adc_dse uses
 //   --help
 
 #include <cstdio>
@@ -31,6 +34,7 @@
 #include "logic/netlist.hpp"
 #include "logic/stats.hpp"
 #include "ltrans/local.hpp"
+#include "report/json.hpp"
 #include "report/table.hpp"
 #include "sim/event_sim.hpp"
 #include "transforms/script.hpp"
@@ -43,7 +47,7 @@ namespace {
 int usage(int code) {
   std::fprintf(code ? stderr : stdout,
                "usage: adc_synth [--script S] [--out DIR] [--emit KIND]... "
-               "[--simulate REG=VAL,...] [--report] [program.adc]\n");
+               "[--simulate REG=VAL,...] [--report] [--json FILE] [program.adc]\n");
   return code;
 }
 
@@ -68,6 +72,7 @@ int main(int argc, char** argv) {
   std::string input_file;
   std::set<std::string> emit;
   std::string simulate;
+  std::string json_path;
   bool report = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -84,6 +89,7 @@ int main(int argc, char** argv) {
     else if (arg == "--out") out_dir = next();
     else if (arg == "--emit") emit.insert(next());
     else if (arg == "--simulate") simulate = next();
+    else if (arg == "--json") json_path = next();
     else if (arg == "--report") report = true;
     else if (!arg.empty() && arg[0] == '-') return usage(2);
     else input_file = arg;
@@ -109,15 +115,23 @@ int main(int argc, char** argv) {
 
     Cdfg g = parse_program(source);
     validate_or_throw(g, ValidateOptions{.allow_backward_arcs = false});
-    std::printf("parsed '%s': %zu nodes, %zu arcs, %zu functional units\n",
-                g.name().c_str(), g.live_node_count(), g.live_arc_count(), g.fu_count());
+    // With --json - the report owns stdout; progress goes to stderr.
+    FILE* log = json_path == "-" ? stderr : stdout;
+    std::fprintf(log, "parsed '%s': %zu nodes, %zu arcs, %zu functional units\n",
+                 g.name().c_str(), g.live_node_count(), g.live_arc_count(), g.fu_count());
 
     TransformScript script = TransformScript::parse(script_text);
     auto global = script.run(g);
-    std::printf("script '%s': %zu controller channels\n", script.to_string().c_str(),
-                global.plan.count_controller_channels());
+    std::fprintf(log, "script '%s': %zu controller channels\n",
+                 script.to_string().c_str(), global.plan.count_controller_channels());
 
     std::vector<ControllerInstance> instances;
+    struct ControllerReport {
+      std::string name;
+      std::size_t transitions;
+      GateStats stats;
+    };
+    std::vector<ControllerReport> reports;
     Table t({"controller", "states", "transitions", "products", "literals",
              "impl states"});
     for (auto& c : extract_controllers(g, global.plan)) {
@@ -128,6 +142,7 @@ int main(int argc, char** argv) {
 
       auto logic = synthesize_logic(c);
       auto st = gate_stats(logic, c.machine.state_count());
+      reports.push_back({c.machine.name(), c.machine.transition_count(), st});
       t.add_row({c.machine.name(), std::to_string(st.spec_states),
                  std::to_string(c.machine.transition_count()),
                  std::to_string(st.products_shared), std::to_string(st.literals_shared),
@@ -144,22 +159,78 @@ int main(int argc, char** argv) {
     }
     if (emit.count("dot"))
       std::ofstream(out_dir + "/" + g.name() + ".dot") << to_dot(g);
-    if (report) std::printf("%s", t.to_string().c_str());
+    if (report) std::fprintf(log, "%s", t.to_string().c_str());
 
-    if (!simulate.empty()) {
+    EventSimResult sim_result;
+    bool simulated = !simulate.empty();
+    if (simulated) {
       auto init = parse_init(simulate);
-      auto r = run_event_sim(g, global.plan, instances, init, EventSimOptions{});
-      if (!r.completed) {
-        std::printf("simulation FAILED: %s\n", r.error.c_str());
-        return 1;
+      sim_result = run_event_sim(g, global.plan, instances, init, EventSimOptions{});
+      if (!sim_result.completed) {
+        std::fprintf(log, "simulation FAILED: %s\n", sim_result.error.c_str());
+        if (json_path.empty()) return 1;
+      } else {
+        std::fprintf(log, "simulation completed at t=%lld (%lld datapath operations)\n",
+                     static_cast<long long>(sim_result.finish_time),
+                     static_cast<long long>(sim_result.operations));
+        for (const auto& [reg, v] : sim_result.registers)
+          std::fprintf(log, "  %s = %lld\n", reg.c_str(), static_cast<long long>(v));
       }
-      std::printf("simulation completed at t=%lld (%lld datapath operations)\n",
-                  static_cast<long long>(r.finish_time),
-                  static_cast<long long>(r.operations));
-      for (const auto& [reg, v] : r.registers)
-        std::printf("  %s = %lld\n", reg.c_str(), static_cast<long long>(v));
     }
-    return 0;
+
+    if (!json_path.empty()) {
+      JsonWriter w(true);
+      w.begin_object();
+      w.kv("tool", "adc_synth");
+      w.kv("program", g.name());
+      w.kv("script", script.to_string());
+      w.kv("nodes", g.live_node_count());
+      w.kv("arcs", g.live_arc_count());
+      w.kv("channels", global.plan.count_controller_channels());
+      w.key("controllers");
+      w.begin_array();
+      for (const auto& r : reports) {
+        w.begin_object();
+        w.kv("name", r.name);
+        w.kv("states", r.stats.spec_states);
+        w.kv("transitions", r.transitions);
+        w.kv("impl_states", r.stats.impl_states);
+        w.kv("state_bits", r.stats.state_bits);
+        w.kv("products", r.stats.products_shared);
+        w.kv("literals", r.stats.literals_shared);
+        w.kv("products_single", r.stats.products_single);
+        w.kv("literals_single", r.stats.literals_single);
+        w.kv("feasible", r.stats.feasible);
+        w.end_object();
+      }
+      w.end_array();
+      if (simulated) {
+        w.key("simulation");
+        w.begin_object();
+        w.kv("completed", sim_result.completed);
+        if (!sim_result.error.empty()) w.kv("error", sim_result.error);
+        w.kv("finish_time", sim_result.finish_time);
+        w.kv("events", sim_result.events);
+        w.kv("operations", sim_result.operations);
+        w.key("registers");
+        w.begin_object();
+        for (const auto& [reg, v] : sim_result.registers) w.kv(reg, v);
+        w.end_object();
+        w.end_object();
+      }
+      w.end_object();
+      if (json_path == "-") {
+        std::printf("%s\n", w.str().c_str());
+      } else {
+        std::ofstream out(json_path);
+        out << w.str() << "\n";
+        if (!out) {
+          std::fprintf(stderr, "adc_synth: cannot write %s\n", json_path.c_str());
+          return 1;
+        }
+      }
+    }
+    return simulated && !sim_result.completed ? 1 : 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "adc_synth: %s\n", e.what());
     return 1;
