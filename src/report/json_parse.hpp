@@ -1,0 +1,43 @@
+#pragma once
+// Minimal recursive-descent JSON parser (DOM).  The inverse of
+// report/json.hpp's writer, used where the toolchain must validate its own
+// machine-readable artifacts: the trace/provenance schema tests and the
+// adc_obs_check CI validator.  Not a general-purpose parser — no streaming,
+// no \uXXXX surrogate pairs beyond the BMP, numbers land in a double.
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace adc {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  // Member order preserved (duplicate keys kept; find returns the first).
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  // First member with the given key, or nullptr (also when not an object).
+  const JsonValue* find(const std::string& key) const;
+  // find() that throws std::runtime_error when the member is missing.
+  const JsonValue& at(const std::string& key) const;
+};
+
+// Parses one JSON document; trailing non-whitespace is an error.  Throws
+// std::runtime_error with a byte offset on malformed input.
+JsonValue parse_json(const std::string& text);
+
+}  // namespace adc

@@ -66,12 +66,14 @@ std::pair<bool, std::shared_future<StageCache::Any>> StageCache::lookup_or_claim
   return {false, {}};
 }
 
-void StageCache::fulfill(const Fingerprint& key, Any value) {
+void StageCache::fulfill(const Fingerprint& key, Any value, std::size_t bytes) {
   std::lock_guard<std::mutex> lk(mu_);
   auto it = slots_.find(key);
   if (it == slots_.end()) return;  // evicted/cleared mid-compute; drop
   it->second.promise.set_value(std::move(value));
   it->second.ready = true;
+  it->second.bytes = bytes;
+  bytes_ += bytes;
   evict_locked();
 }
 
@@ -92,6 +94,7 @@ void StageCache::evict_locked() {
       if (victim == slots_.end() || it->second.lru < victim->second.lru) victim = it;
     }
     if (victim == slots_.end()) return;
+    bytes_ -= victim->second.bytes;
     slots_.erase(victim);
     evictions_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -105,13 +108,19 @@ CacheStats StageCache::stats() const {
   s.evictions = evictions_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lk(mu_);
   s.entries = slots_.size();
+  s.bytes = bytes_;
   return s;
 }
 
 void StageCache::clear() {
   std::lock_guard<std::mutex> lk(mu_);
   for (auto it = slots_.begin(); it != slots_.end();) {
-    it = it->second.ready ? slots_.erase(it) : std::next(it);
+    if (it->second.ready) {
+      bytes_ -= it->second.bytes;
+      it = slots_.erase(it);
+    } else {
+      ++it;
+    }
   }
 }
 

@@ -66,6 +66,7 @@ struct CacheStats {
   std::uint64_t misses = 0;    // computed here
   std::uint64_t evictions = 0;
   std::uint64_t entries = 0;   // current resident entries
+  std::uint64_t bytes = 0;     // shallow payload bytes (sizeof each entry)
 
   double hit_rate() const {
     std::uint64_t total = hits + joins + misses;
@@ -90,7 +91,7 @@ class StageCache {
     }
     try {
       auto value = std::make_shared<const T>(compute());
-      fulfill(key, value);
+      fulfill(key, value, sizeof(T));
       return value;
     } catch (...) {
       abandon(key, std::current_exception());
@@ -107,7 +108,7 @@ class StageCache {
   // Returns {true, future} when the key is (being) computed elsewhere;
   // {false, _} when the caller claimed the slot and must fulfill/abandon.
   std::pair<bool, std::shared_future<Any>> lookup_or_claim(const Fingerprint& key);
-  void fulfill(const Fingerprint& key, Any value);
+  void fulfill(const Fingerprint& key, Any value, std::size_t bytes);
   void abandon(const Fingerprint& key, std::exception_ptr err);
   void evict_locked();
 
@@ -116,12 +117,14 @@ class StageCache {
     std::shared_future<Any> future;
     bool ready = false;
     std::uint64_t lru = 0;
+    std::size_t bytes = 0;
   };
 
   std::size_t capacity_;
   mutable std::mutex mu_;
   std::map<Fingerprint, Slot> slots_;
   std::uint64_t tick_ = 0;
+  std::uint64_t bytes_ = 0;  // guarded by mu_
   std::atomic<std::uint64_t> hits_{0}, joins_{0}, misses_{0}, evictions_{0};
 };
 

@@ -8,6 +8,8 @@
 #include "logic/minimize.hpp"
 #include "ltrans/local.hpp"
 #include "report/json.hpp"
+#include "trace/log.hpp"
+#include "trace/tracer.hpp"
 
 namespace adc {
 
@@ -34,6 +36,11 @@ struct FlowExecutor::GlobalSnapshot {
   Cdfg g{"empty"};
   GlobalPipelineResult res;
   bool have_plan = false;
+  // Channel-ledger anchors captured at the most recent gt5 step: the
+  // one-wire-per-arc count the step started from, and the merges recorded
+  // by *earlier* stages whose plan that step discarded (re-derive).
+  std::size_t channels_unoptimized = 0;
+  int channels_merged_discarded = 0;
 };
 
 FlowExecutor::FlowExecutor(ThreadPool* pool) : FlowExecutor(pool, Options{}) {}
@@ -50,6 +57,7 @@ std::shared_ptr<const Cdfg> FlowExecutor::frontend_stage(const FlowRequest& req,
   std::uint64_t us = 0;
   std::shared_ptr<const Cdfg> parsed;
   {
+    ScopedSpan span(opts_.tracer, "frontend");
     StageTimer t(&metrics_.histogram("stage.frontend"), &us);
     parsed = cache_.get_or_compute<Cdfg>(key, [&]() -> Cdfg {
       computed = true;
@@ -58,6 +66,7 @@ std::shared_ptr<const Cdfg> FlowExecutor::frontend_stage(const FlowRequest& req,
       throw std::invalid_argument("flow: request '" + req.benchmark +
                                   "' has neither source text nor a graph factory");
     });
+    span.arg("cache", computed ? "miss" : "hit");
   }
   p.timings.push_back({"frontend", us, !computed});
   return parsed;
@@ -71,6 +80,7 @@ std::shared_ptr<const FlowExecutor::GlobalSnapshot> FlowExecutor::global_stage(
   std::size_t steps_run = 0, steps_total = 0;
   std::shared_ptr<const GlobalSnapshot> snap;
   {
+    ScopedSpan gspan(opts_.tracer, "global");
     StageTimer t(&metrics_.histogram("stage.global"), &us);
     for (std::size_t i = 0; i < script.step_count(); ++i) {
       std::string step = script.step_string(i);
@@ -80,24 +90,37 @@ std::shared_ptr<const FlowExecutor::GlobalSnapshot> FlowExecutor::global_stage(
       fb.add(key).add(step).add(delays_fp);
       key = fb.digest();
       auto prev = snap;  // null for the first step
+      ScopedSpan span(opts_.tracer, step);
+      bool step_computed = false;
       snap = cache_.get_or_compute<GlobalSnapshot>(key, [&]() -> GlobalSnapshot {
         ++steps_run;
+        step_computed = true;
         GlobalSnapshot next;
         if (prev) {
           next = *prev;  // clone: stage results are immutable
         } else {
           next.g = *parsed;
         }
+        if (step.rfind("gt5", 0) == 0) {
+          // gt5 re-derives its plan; anchor the channel ledger here.
+          next.channels_merged_discarded = 0;
+          for (const auto& st : next.res.stages)
+            next.channels_merged_discarded += st.channels_merged;
+          next.channels_unoptimized =
+              ChannelPlan::derive(next.g).count_controller_channels();
+        }
         next.have_plan =
             script.run_step(next.g, i, req.delays, next.res) || next.have_plan;
         return next;
       });
+      span.arg("cache", step_computed ? "miss" : "hit");
     }
     if (!snap) {  // empty / lt-only script: the parsed graph is the result
       GlobalSnapshot base;
       base.g = *parsed;
       snap = std::make_shared<const GlobalSnapshot>(std::move(base));
     }
+    gspan.arg("cache", steps_run == 0 ? "hit" : "miss");
   }
   metrics_.counter("flow.gt_steps").add(steps_total);
   metrics_.counter("flow.gt_steps_cached").add(steps_total - steps_run);
@@ -115,6 +138,7 @@ std::shared_ptr<const ControllerSet> FlowExecutor::controller_stage(
   std::uint64_t us = 0;
   std::shared_ptr<const ControllerSet> set;
   {
+    ScopedSpan span(opts_.tracer, "controllers");
     StageTimer t(&metrics_.histogram("stage.controllers"), &us);
     set = cache_.get_or_compute<ControllerSet>(ckey, [&]() -> ControllerSet {
       computed = true;
@@ -123,23 +147,37 @@ std::shared_ptr<const ControllerSet> FlowExecutor::controller_stage(
       auto extracted = extract_controllers(snap->g, out.plan);
       out.instances.resize(extracted.size());
       out.controllers.resize(extracted.size());
+      out.local_results.resize(extracted.size());
       auto synthesize_one = [&](std::size_t i) {
         ExtractedController c = std::move(extracted[i]);
+        ScopedSpan cspan(opts_.tracer, "controller:" + c.machine.name(),
+                         "controller");
         ControllerInstance inst;
-        if (script.has_local_step())
-          inst.shared_signals =
-              run_local_transforms(c, script.local_options()).shared_signals;
         ControllerMetrics m;
         m.name = c.machine.name();
+        m.states_extracted = c.machine.state_count();
+        m.transitions_extracted = c.machine.transition_count();
+        TransformResult local;
+        if (script.has_local_step()) {
+          LocalTransformResult lt = run_local_transforms(c, script.local_options());
+          inst.shared_signals = std::move(lt.shared_signals);
+          local = std::move(lt.stats);
+        }
         m.states = c.machine.state_count();
         m.transitions = c.machine.transition_count();
         auto logic = synthesize_logic(c);
         m.products = logic.product_count(true);
         m.literals = logic.literal_count(true);
         m.feasible = logic.feasible();
+        ADC_LOG_DEBUG("flow", "controller synthesized",
+                      {{"name", m.name},
+                       {"states", m.states},
+                       {"transitions", m.transitions},
+                       {"literals", m.literals}});
         inst.controller = std::move(c);
         out.instances[i] = std::move(inst);
         out.controllers[i] = std::move(m);
+        out.local_results[i] = std::move(local);
       };
       if (pool_ && opts_.fan_out_controllers && extracted.size() > 1) {
         std::vector<std::future<void>> subtasks;
@@ -152,9 +190,66 @@ std::shared_ptr<const ControllerSet> FlowExecutor::controller_stage(
       }
       return out;
     });
+    span.arg("cache", computed ? "miss" : "hit");
   }
   p.timings.push_back({"controllers", us, !computed});
   return set;
+}
+
+void FlowExecutor::sample_gauges() {
+  CacheStats cs = cache_.stats();
+  metrics_.gauge("cache.entries").set(static_cast<std::int64_t>(cs.entries));
+  metrics_.gauge("cache.bytes").set(static_cast<std::int64_t>(cs.bytes));
+  std::int64_t pending = pool_ ? static_cast<std::int64_t>(pool_->pending()) : 0;
+  metrics_.gauge("pool.pending").set(pending);
+  if (opts_.tracer) {
+    opts_.tracer->counter("cache.entries", static_cast<std::int64_t>(cs.entries));
+    opts_.tracer->counter("cache.bytes", static_cast<std::int64_t>(cs.bytes));
+    opts_.tracer->counter("pool.pending", pending);
+  }
+}
+
+std::shared_ptr<const ProvenanceReport> FlowExecutor::build_provenance(
+    const FlowPoint& p, const Cdfg& initial, const GlobalSnapshot& snap,
+    const ControllerSet& set) {
+  auto rep = std::make_shared<ProvenanceReport>();
+  rep->benchmark = p.benchmark;
+  rep->script = p.script;
+  rep->nodes_initial = initial.live_node_count();
+  rep->arcs_initial = initial.live_arc_count();
+  rep->nodes_final = snap.g.live_node_count();
+  rep->arcs_final = snap.g.live_arc_count();
+  rep->channels_final = set.plan.count_controller_channels();
+  // Without a gt5 step the plan is the unoptimized derivation itself.
+  rep->channels_unoptimized =
+      snap.have_plan ? snap.channels_unoptimized +
+                           static_cast<std::size_t>(snap.channels_merged_discarded)
+                     : rep->channels_final;
+  for (const auto& st : snap.res.stages) {
+    ProvenanceStage ps;
+    ps.name = st.name;
+    ps.arcs_removed = st.arcs_removed;
+    ps.arcs_added = st.arcs_added;
+    ps.nodes_merged = st.nodes_merged;
+    ps.channels_merged = st.channels_merged;
+    ps.decisions = st.decisions;
+    rep->global_stages.push_back(std::move(ps));
+  }
+  for (std::size_t i = 0; i < set.controllers.size(); ++i) {
+    const ControllerMetrics& m = set.controllers[i];
+    ControllerProvenance cp;
+    cp.name = m.name;
+    cp.states_extracted = m.states_extracted;
+    cp.transitions_extracted = m.transitions_extracted;
+    cp.states_final = m.states;
+    cp.transitions_final = m.transitions;
+    if (i < set.local_results.size()) cp.decisions = set.local_results[i].decisions;
+    rep->controllers.push_back(std::move(cp));
+  }
+  for (const auto& e : rep->reconcile())
+    ADC_LOG_WARN("provenance", "ledger mismatch",
+                 {{"benchmark", p.benchmark}, {"detail", e}});
+  return rep;
 }
 
 FlowPoint FlowExecutor::run(const FlowRequest& req) {
@@ -163,6 +258,10 @@ FlowPoint FlowExecutor::run(const FlowRequest& req) {
   p.script = req.script;  // replaced by the normalized form once parsed
   metrics_.counter("flow.runs").add();
   StageTimer total(&metrics_.histogram("flow.total"), &p.total_micros);
+  ScopedSpan span(opts_.tracer, "flow.run", "flow",
+                  {{"benchmark", req.benchmark}, {"script", req.script}});
+  ADC_LOG_INFO("flow", "run start",
+               {{"benchmark", req.benchmark}, {"script", req.script}});
   try {
     TransformScript script = TransformScript::parse(req.script);
     p.script = script.to_string();
@@ -171,6 +270,7 @@ FlowPoint FlowExecutor::run(const FlowRequest& req) {
     auto parsed = frontend_stage(req, key, p);
     auto snap = global_stage(req, script, parsed, key, p);
     auto set = controller_stage(script, snap, key, p);
+    p.graph = std::shared_ptr<const Cdfg>(snap, &snap->g);
 
     p.channels = set->plan.count_controller_channels();
     p.controllers = set->controllers;
@@ -183,19 +283,35 @@ FlowPoint FlowExecutor::run(const FlowRequest& req) {
       if (!m.feasible) p.ok = false;
     }
     p.artifacts = set;
+    if (req.provenance) p.provenance = build_provenance(p, *parsed, *snap, *set);
 
     if (req.simulate) {
       std::uint64_t us = 0;
       {
+        ScopedSpan sspan(opts_.tracer, "sim");
         StageTimer t(&metrics_.histogram("stage.sim"), &us);
         auto r = run_event_sim(snap->g, set->plan, set->instances, req.init, req.sim);
         p.latency = r.finish_time;
         p.sim_events = r.events;
         p.sim_operations = r.operations;
+        p.sim_registers = std::move(r.registers);
+        p.deadlocked = r.deadlocked;
         if (!r.completed) {
           p.ok = false;
           p.error = r.error;
+          if (r.deadlocked) {
+            metrics_.counter("flow.deadlocks").add();
+            ADC_LOG_WARN("flow", "event simulation deadlocked",
+                         {{"benchmark", p.benchmark},
+                          {"script", p.script},
+                          {"detail", r.error}});
+            if (opts_.tracer)
+              opts_.tracer->instant("deadlock", "sim",
+                                    {{"benchmark", p.benchmark},
+                                     {"script", p.script}});
+          }
         }
+        sspan.arg("ok", r.completed);
       }
       p.timings.push_back({"sim", us, false});
     }
@@ -203,7 +319,16 @@ FlowPoint FlowExecutor::run(const FlowRequest& req) {
     p.ok = false;
     p.error = e.what();
     metrics_.counter("flow.errors").add();
+    ADC_LOG_ERROR("flow", "run failed",
+                  {{"benchmark", p.benchmark}, {"error", p.error}});
   }
+  span.arg("ok", p.ok);
+  sample_gauges();
+  ADC_LOG_INFO("flow", "run done",
+               {{"benchmark", p.benchmark},
+                {"ok", p.ok},
+                {"channels", p.channels},
+                {"states", p.states}});
   return p;
 }
 
@@ -221,12 +346,15 @@ std::vector<FlowPoint> FlowExecutor::run_all(const std::vector<FlowRequest>& req
   return out;
 }
 
-void write_json(JsonWriter& w, const FlowPoint& p) {
+void write_json(JsonWriter& w, const FlowPoint& p,
+                const std::vector<std::pair<std::string, std::string>>& extra) {
   w.begin_object();
   w.kv("benchmark", p.benchmark);
   w.kv("script", p.script);
   w.kv("ok", p.ok);
+  w.kv("status", p.ok ? "ok" : p.deadlocked ? "deadlock" : "error");
   if (!p.error.empty()) w.kv("error", p.error);
+  for (const auto& [k, v] : extra) w.kv(k, v);
   w.kv("channels", p.channels);
   w.kv("states", p.states);
   w.kv("transitions", p.transitions);

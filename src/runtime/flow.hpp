@@ -36,9 +36,12 @@
 #include "runtime/metrics.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sim/event_sim.hpp"
+#include "trace/provenance.hpp"
 #include "transforms/script.hpp"
 
 namespace adc {
+
+class Tracer;
 
 // One synthesis job: a program, a transformation recipe and the
 // verification inputs.
@@ -57,12 +60,16 @@ struct FlowRequest {
   EventSimOptions sim;
   bool simulate = true;
   DelayModel delays = DelayModel::typical();
+  // Build the reconciled per-run ProvenanceReport (FlowPoint::provenance).
+  bool provenance = false;
 };
 
 struct ControllerMetrics {
   std::string name;
-  std::size_t states = 0;
-  std::size_t transitions = 0;
+  std::size_t states = 0;       // after local transforms
+  std::size_t transitions = 0;  // after local transforms
+  std::size_t states_extracted = 0;       // as extracted, before LT
+  std::size_t transitions_extracted = 0;  // as extracted, before LT
   std::size_t products = 0;  // shared-product counting (Figure 13)
   std::size_t literals = 0;
   bool feasible = true;
@@ -74,6 +81,9 @@ struct ControllerSet {
   ChannelPlan plan;
   std::vector<ControllerInstance> instances;
   std::vector<ControllerMetrics> controllers;
+  // Per-controller LT pipeline log (decisions included), index-aligned with
+  // `instances`; empty TransformResults when the script has no lt step.
+  std::vector<TransformResult> local_results;
 };
 
 struct StageTiming {
@@ -94,7 +104,10 @@ struct FlowPoint {
   std::int64_t latency = 0;
   std::int64_t sim_events = 0;
   std::int64_t sim_operations = 0;
+  // Final register file of the event simulation (empty when simulate=false).
+  std::map<std::string, std::int64_t> sim_registers;
   bool ok = false;
+  bool deadlocked = false;  // the event simulation stalled (E8 corners)
   std::string error;
   std::vector<ControllerMetrics> controllers;
   std::vector<StageTiming> timings;
@@ -102,17 +115,29 @@ struct FlowPoint {
   // The post-extraction artifacts this point was measured from (shared
   // with the cache; never mutate).
   std::shared_ptr<const ControllerSet> artifacts;
+  // The fully transformed graph (shares ownership with the cached global
+  // snapshot; never mutate).  Null when the flow failed before transforms.
+  std::shared_ptr<const Cdfg> graph;
+  // Reconciled decision log (only when FlowRequest::provenance was set).
+  std::shared_ptr<const ProvenanceReport> provenance;
 };
 
 // JSON serialization of one point / a batch report (uses report/json.hpp).
+// `extra` appends flat string members (e.g. {"vcd", "out.vcd"}) to the
+// point object.
 std::string to_json(const FlowPoint& p);
-void write_json(class JsonWriter& w, const FlowPoint& p);
+void write_json(class JsonWriter& w, const FlowPoint& p,
+                const std::vector<std::pair<std::string, std::string>>& extra = {});
 
 class FlowExecutor {
  public:
   struct Options {
     std::size_t cache_capacity = 1024;  // 0 disables stage caching
     bool fan_out_controllers = true;    // per-controller nested subtasks
+    // Optional span tracer (borrowed, not owned).  Every stage of every
+    // run records a span, annotated with its cache disposition; pool and
+    // cache gauges are sampled as counter tracks.  Null = tracing off.
+    Tracer* tracer = nullptr;
   };
 
   // `pool` may be null: everything runs on the calling thread.  The pool
@@ -143,6 +168,13 @@ class FlowExecutor {
   std::shared_ptr<const ControllerSet> controller_stage(
       const TransformScript& script, std::shared_ptr<const GlobalSnapshot> snap,
       const Fingerprint& key, FlowPoint& p);
+  std::shared_ptr<const ProvenanceReport> build_provenance(const FlowPoint& p,
+                                                           const Cdfg& initial,
+                                                           const GlobalSnapshot& snap,
+                                                           const ControllerSet& set);
+  // Samples pool/cache occupancy into the metrics gauges (and, when a
+  // tracer is attached, its counter tracks).
+  void sample_gauges();
 
   ThreadPool* pool_;
   Options opts_;

@@ -27,12 +27,20 @@ void Histogram::record_micros(std::uint64_t micros) {
 std::uint64_t Histogram::quantile_micros(double q) const {
   std::uint64_t total = count();
   if (total == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
   auto rank = static_cast<std::uint64_t>(q * static_cast<double>(total));
-  if (rank >= total) rank = total - 1;
+  if (rank >= total) rank = total - 1;  // q == 1: the maximum sample
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < kBuckets; ++i) {
     seen += bucket(i);
-    if (seen > rank) return std::uint64_t{1} << (i + 1);  // upper bucket bound
+    if (seen > rank) {
+      // Upper bucket bound, capped by the recorded maximum — the top
+      // bucket's bound can exceed any sample ever seen.
+      std::uint64_t bound = std::uint64_t{1} << (i + 1);
+      std::uint64_t mx = max_micros();
+      return mx != 0 && mx < bound ? mx : bound;
+    }
   }
   return max_micros();
 }
@@ -41,6 +49,13 @@ Counter& MetricsRegistry::counter(const std::string& name) {
   std::lock_guard<std::mutex> lk(mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
@@ -58,6 +73,13 @@ std::map<std::string, std::uint64_t> MetricsRegistry::counters() const {
   return out;
 }
 
+std::map<std::string, std::int64_t> MetricsRegistry::gauges() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::map<std::string, std::int64_t> out;
+  for (const auto& [name, g] : gauges_) out[name] = g->value();
+  return out;
+}
+
 std::map<std::string, MetricsRegistry::HistogramSnapshot> MetricsRegistry::histograms()
     const {
   std::lock_guard<std::mutex> lk(mu_);
@@ -68,6 +90,7 @@ std::map<std::string, MetricsRegistry::HistogramSnapshot> MetricsRegistry::histo
     s.sum_micros = h->sum_micros();
     s.max_micros = h->max_micros();
     s.p50_micros = h->quantile_micros(0.50);
+    s.p90_micros = h->quantile_micros(0.90);
     s.p99_micros = h->quantile_micros(0.99);
     out[name] = s;
   }
@@ -75,13 +98,23 @@ std::map<std::string, MetricsRegistry::HistogramSnapshot> MetricsRegistry::histo
 }
 
 std::string MetricsRegistry::to_json() const {
-  auto cs = counters();
-  auto hs = histograms();
   JsonWriter w;
+  write_json(w);
+  return w.str();
+}
+
+void MetricsRegistry::write_json(JsonWriter& w) const {
+  auto cs = counters();
+  auto gs = gauges();
+  auto hs = histograms();
   w.begin_object();
   w.key("counters");
   w.begin_object();
   for (const auto& [name, v] : cs) w.kv(name, v);
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, v] : gs) w.kv(name, v);
   w.end_object();
   w.key("histograms");
   w.begin_object();
@@ -94,13 +127,13 @@ std::string MetricsRegistry::to_json() const {
         s.count ? static_cast<double>(s.sum_micros) / static_cast<double>(s.count) : 0.0;
     w.kv("mean_us", mean);
     w.kv("p50_us", s.p50_micros);
+    w.kv("p90_us", s.p90_micros);
     w.kv("p99_us", s.p99_micros);
     w.kv("max_us", s.max_micros);
     w.end_object();
   }
   w.end_object();
   w.end_object();
-  return w.str();
 }
 
 StageTimer::StageTimer(Histogram* hist, std::uint64_t* out_micros)

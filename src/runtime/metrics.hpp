@@ -31,6 +31,20 @@ class Counter {
   std::atomic<std::uint64_t> value_{0};
 };
 
+// Last-write-wins instantaneous value (queue depth, cache occupancy).
+// Samplable into a trace as counter events; signed so deltas can go
+// negative transiently.
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void sub(std::int64_t n = 1) { value_.fetch_sub(n, std::memory_order_relaxed); }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
 class Histogram {
  public:
   static constexpr std::size_t kBuckets = 32;
@@ -57,6 +71,7 @@ class MetricsRegistry {
  public:
   // Returned references stay valid for the registry's lifetime.
   Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
 
   // Point-in-time snapshot (name -> value / aggregate).
@@ -65,17 +80,23 @@ class MetricsRegistry {
     std::uint64_t sum_micros = 0;
     std::uint64_t max_micros = 0;
     std::uint64_t p50_micros = 0;
+    std::uint64_t p90_micros = 0;
     std::uint64_t p99_micros = 0;
   };
   std::map<std::string, std::uint64_t> counters() const;
+  std::map<std::string, std::int64_t> gauges() const;
   std::map<std::string, HistogramSnapshot> histograms() const;
 
-  // {"counters": {...}, "histograms": {name: {count, sum_us, mean_us, ...}}}
+  // {"counters": {...}, "gauges": {...},
+  //  "histograms": {name: {count, sum_us, mean_us, ...}}}
   std::string to_json() const;
+  // Same object streamed into an enclosing report (adc_dse --json).
+  void write_json(class JsonWriter& w) const;
 
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 

@@ -77,6 +77,9 @@ class ThreadPool {
     return tasks_executed_.load(std::memory_order_relaxed);
   }
 
+  // Tasks submitted but not yet finished (instantaneous; gauge material).
+  std::size_t pending() const { return pending_.load(std::memory_order_relaxed); }
+
  private:
   using Task = std::function<void()>;
 

@@ -7,6 +7,7 @@
 #include <set>
 
 #include "sim/datapath.hpp"
+#include "trace/vcd.hpp"
 
 namespace adc {
 
@@ -45,6 +46,9 @@ struct Ctrl {
   std::int64_t fu_result = 0;
   std::map<std::string, Operand> route;  // register -> routed source
   std::map<std::string, bool> route_is_fu;
+  // waveform capture (unused when no VcdWriter is attached)
+  VcdWriter::VarId state_var = 0;
+  std::map<SignalId::underlying, VcdWriter::VarId> vcd_vars;
 };
 
 class EventSim {
@@ -82,6 +86,21 @@ class EventSim {
         }
       }
     }
+    if (opts_.vcd) {
+      for (std::size_t ch = 0; ch < plan.channels().size(); ++ch) {
+        const Channel& c = plan.channels()[ch];
+        std::string name = c.wire.empty() ? "ch" + std::to_string(ch) : c.wire;
+        ch_vars_.push_back(opts_.vcd->add_wire("channels", name, false));
+      }
+      for (Ctrl& c : ctrls_) {
+        const std::string& scope = c.ec->machine.name();
+        c.state_var =
+            opts_.vcd->add_string(scope, "state", c.ec->machine.state(c.state).name);
+        for (SignalId s : c.ec->machine.signal_ids())
+          c.vcd_vars[s.value()] =
+              opts_.vcd->add_wire(scope, c.ec->machine.signal(s).name, false);
+      }
+    }
   }
 
   EventSimResult run() {
@@ -112,6 +131,7 @@ class EventSim {
       if (all_done) {
         res_.completed = true;
       } else {
+        res_.deadlocked = true;
         res_.error = deadlock_report();
       }
     }
@@ -156,6 +176,7 @@ class EventSim {
         Wire& w = channels_[ev.channel];
         w.level = !w.level;
         ++w.count;
+        if (opts_.vcd) opts_.vcd->change(ch_vars_[ev.channel], ev.time, w.level);
         // Environment behaviour: once every done it expects is up, the
         // environment withdraws its requests (return-to-zero).
         if (env_sinks_.count(ev.channel) && w.level && !env_withdrawn_) {
@@ -179,6 +200,7 @@ class EventSim {
         if (w.level != ev.level) {
           w.level = ev.level;
           ++w.count;
+          if (opts_.vcd) opts_.vcd->change(c.vcd_vars[ev.sig.value()], ev.time, ev.level);
         }
         const XbmSignal& s = c.ec->machine.signal(ev.sig);
         if (s.kind == SignalKind::kOutput)
@@ -350,6 +372,8 @@ class EventSim {
         }
       }
       c.state = t.to;
+      if (opts_.vcd)
+        opts_.vcd->change_string(c.state_var, now, c.ec->machine.state(c.state).name);
       // Emit the output burst (alias fanout included).
       std::int64_t emit = now + draw(opts_.delays.micro_op);
       for (const auto& e : t.outputs) {
@@ -388,6 +412,7 @@ class EventSim {
   EventSimResult res_;
   RegisterFile regs_;
   std::vector<Wire> channels_;
+  std::vector<VcdWriter::VarId> ch_vars_;
   std::vector<Ctrl> ctrls_;
   std::set<std::size_t> env_sinks_;
   std::vector<bool> rtz_request_;

@@ -31,6 +31,8 @@
 
 namespace adc {
 
+class VcdWriter;
+
 struct ControllerInstance {
   ExtractedController controller;
   // LT5 aliases: (kept signal name, merged-away signal name).
@@ -43,10 +45,14 @@ struct EventSimOptions {
   bool randomize_delays = true;
   std::int64_t max_time = 50000000;
   std::int64_t max_events = 2000000;
+  // Optional waveform capture: channel wires under scope "channels", each
+  // controller's local wires and state under its own scope.  Not owned.
+  VcdWriter* vcd = nullptr;
 };
 
 struct EventSimResult {
   bool completed = false;
+  bool deadlocked = false;  // quiescent without every expected completion
   std::string error;
   std::map<std::string, std::int64_t> registers;
   std::int64_t finish_time = 0;

@@ -1,0 +1,93 @@
+#include "trace/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+
+namespace adc {
+
+namespace {
+
+std::atomic<int>& level_slot() {
+  static std::atomic<int> level{[] {
+    const char* env = std::getenv("ADC_LOG");
+    if (!env || !*env) return static_cast<int>(LogLevel::kWarn);
+    try {
+      return static_cast<int>(log_level_from_string(env));
+    } catch (const std::invalid_argument&) {
+      return static_cast<int>(LogLevel::kWarn);
+    }
+  }()};
+  return level;
+}
+
+std::mutex emit_mu;
+std::string* capture = nullptr;
+
+}  // namespace
+
+LogLevel log_level_from_string(const std::string& name) {
+  if (name == "off" || name == "none") return LogLevel::kOff;
+  if (name == "error") return LogLevel::kError;
+  if (name == "warn" || name == "warning") return LogLevel::kWarn;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "trace") return LogLevel::kTrace;
+  throw std::invalid_argument("unknown log level '" + name +
+                              "' (expected off|error|warn|info|debug|trace)");
+}
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kOff: return "off";
+    case LogLevel::kError: return "error";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kTrace: return "trace";
+  }
+  return "?";
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(level_slot().load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel level) {
+  level_slot().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void log_capture_to(std::string* sink) {
+  std::lock_guard<std::mutex> lk(emit_mu);
+  capture = sink;
+}
+
+void log_message(LogLevel level, const std::string& component, const std::string& message,
+                 std::vector<LogField> fields) {
+  if (!log_enabled(level)) return;
+  std::string line = "[";
+  line += to_string(level);
+  line.append(5 - std::string(to_string(level)).size(), ' ');  // align: "warn " etc.
+  line += "] " + component + ": " + message;
+  for (const auto& f : fields) {
+    line += ' ';
+    line += f.key;
+    line += '=';
+    // Quote values containing spaces so lines stay machine-splittable.
+    if (f.value.find(' ') != std::string::npos) {
+      line += '"' + f.value + '"';
+    } else {
+      line += f.value;
+    }
+  }
+  std::lock_guard<std::mutex> lk(emit_mu);
+  if (capture) {
+    *capture += line + "\n";
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+}  // namespace adc

@@ -1,0 +1,91 @@
+#pragma once
+// Leveled structured logging for the synthesis toolchain.
+//
+// Every message carries a severity, a component tag and an optional list of
+// key=value fields, and is rendered as one line:
+//
+//   [info ] flow: stage complete stage=global us=1423 cached=false
+//
+// The active level comes from the ADC_LOG environment variable (error,
+// warn, info, debug, trace; default warn) and can be overridden
+// programmatically (the CLIs expose --log-level).  Disabled levels cost one
+// relaxed atomic load — callers may log from hot paths and worker threads;
+// emission is serialized by a mutex so lines never interleave.
+//
+// This replaces the ad-hoc fprintf(stderr, ...) progress prints that used
+// to be scattered through the tools and runtime.
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace adc {
+
+enum class LogLevel : int {
+  kOff = 0,
+  kError = 1,
+  kWarn = 2,
+  kInfo = 3,
+  kDebug = 4,
+  kTrace = 5,
+};
+
+// "error" -> kError etc.; throws std::invalid_argument on unknown names.
+LogLevel log_level_from_string(const std::string& name);
+const char* to_string(LogLevel level);
+
+// Global level control.  The initial value is parsed from ADC_LOG once, on
+// first use (unknown values fall back to warn rather than throwing).
+LogLevel log_level();
+void set_log_level(LogLevel level);
+inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) <= static_cast<int>(log_level());
+}
+
+// One structured field.  Values are pre-rendered to strings; the Field
+// constructors cover the common scalar types.
+struct LogField {
+  std::string key;
+  std::string value;
+
+  LogField(std::string k, std::string v) : key(std::move(k)), value(std::move(v)) {}
+  LogField(std::string k, const char* v) : key(std::move(k)), value(v) {}
+  LogField(std::string k, bool v) : key(std::move(k)), value(v ? "true" : "false") {}
+  template <typename T,
+            typename = std::enable_if_t<std::is_arithmetic_v<T> && !std::is_same_v<T, bool>>>
+  LogField(std::string k, T v) : key(std::move(k)) {
+    std::ostringstream os;
+    os << v;
+    value = os.str();
+  }
+};
+
+// Emits one line to the log sink (stderr by default) if `level` is enabled.
+void log_message(LogLevel level, const std::string& component, const std::string& message,
+                 std::vector<LogField> fields = {});
+
+// Redirects emission into a string buffer (for tests); nullptr restores
+// stderr.  Not thread-safe with concurrent logging to a *dying* buffer —
+// callers scope the capture around the code under test.
+void log_capture_to(std::string* sink);
+
+#define ADC_LOG(level, component, message, ...)                         \
+  do {                                                                  \
+    if (::adc::log_enabled(level))                                      \
+      ::adc::log_message(level, component, message, ##__VA_ARGS__);     \
+  } while (0)
+
+#define ADC_LOG_ERROR(component, message, ...) \
+  ADC_LOG(::adc::LogLevel::kError, component, message, ##__VA_ARGS__)
+#define ADC_LOG_WARN(component, message, ...) \
+  ADC_LOG(::adc::LogLevel::kWarn, component, message, ##__VA_ARGS__)
+#define ADC_LOG_INFO(component, message, ...) \
+  ADC_LOG(::adc::LogLevel::kInfo, component, message, ##__VA_ARGS__)
+#define ADC_LOG_DEBUG(component, message, ...) \
+  ADC_LOG(::adc::LogLevel::kDebug, component, message, ##__VA_ARGS__)
+#define ADC_LOG_TRACE(component, message, ...) \
+  ADC_LOG(::adc::LogLevel::kTrace, component, message, ##__VA_ARGS__)
+
+}  // namespace adc

@@ -1,0 +1,207 @@
+#include "trace/provenance.hpp"
+
+#include <sstream>
+
+#include "report/json.hpp"
+
+namespace adc {
+
+std::map<std::string, std::size_t> ProvenanceReport::decision_counts() const {
+  std::map<std::string, std::size_t> out;
+  for (const auto& s : global_stages)
+    for (const auto& d : s.decisions) ++out[d.key()];
+  for (const auto& c : controllers)
+    for (const auto& d : c.decisions) ++out[d.key()];
+  return out;
+}
+
+int ProvenanceReport::total_arcs_removed() const {
+  int n = 0;
+  for (const auto& s : global_stages) n += s.arcs_removed;
+  return n;
+}
+
+int ProvenanceReport::total_arcs_added() const {
+  int n = 0;
+  for (const auto& s : global_stages) n += s.arcs_added;
+  return n;
+}
+
+int ProvenanceReport::total_channels_merged() const {
+  int n = 0;
+  for (const auto& s : global_stages) n += s.channels_merged;
+  return n;
+}
+
+std::size_t ProvenanceReport::total_states_final() const {
+  std::size_t n = 0;
+  for (const auto& c : controllers) n += c.states_final;
+  return n;
+}
+
+std::size_t ProvenanceReport::total_transitions_final() const {
+  std::size_t n = 0;
+  for (const auto& c : controllers) n += c.transitions_final;
+  return n;
+}
+
+std::vector<std::string> ProvenanceReport::reconcile() const {
+  std::vector<std::string> errors;
+  auto check = [&](bool ok, const std::string& what) {
+    if (!ok) errors.push_back(what);
+  };
+
+  for (const auto& s : global_stages) {
+    int removed = 0, added = 0, merged = 0, channels = 0;
+    for (const auto& d : s.decisions) {
+      removed += d.arcs_removed;
+      added += d.arcs_added;
+      merged += d.nodes_merged;
+      channels += d.channels_merged;
+    }
+    std::ostringstream os;
+    os << "stage '" << s.name << "': decisions account for " << removed << "-/" << added
+       << "+/" << merged << "m/" << channels << "c, counters say " << s.arcs_removed
+       << "-/" << s.arcs_added << "+/" << s.nodes_merged << "m/" << s.channels_merged
+       << "c";
+    check(removed == s.arcs_removed && added == s.arcs_added &&
+              merged == s.nodes_merged && channels == s.channels_merged,
+          os.str());
+  }
+
+  {
+    // Node merges delete one node and re-point its arcs; arc bookkeeping
+    // for merges is carried inside the removal/addition counters already,
+    // so the arc ledger is independent of nodes_merged.
+    long long expect = static_cast<long long>(arcs_initial) - total_arcs_removed() +
+                       total_arcs_added();
+    std::ostringstream os;
+    os << "arc ledger: " << arcs_initial << " initial - " << total_arcs_removed()
+       << " removed + " << total_arcs_added() << " added = " << expect << ", graph has "
+       << arcs_final;
+    check(expect == static_cast<long long>(arcs_final), os.str());
+  }
+
+  {
+    long long expect =
+        static_cast<long long>(channels_unoptimized) - total_channels_merged();
+    std::ostringstream os;
+    os << "channel ledger: " << channels_unoptimized << " unoptimized - "
+       << total_channels_merged() << " merged = " << expect << ", plan has "
+       << channels_final;
+    check(expect == static_cast<long long>(channels_final), os.str());
+  }
+
+  return errors;
+}
+
+namespace {
+
+void write_record(JsonWriter& w, const ProvenanceRecord& d) {
+  w.begin_object();
+  w.kv("pass", d.pass);
+  w.kv("kind", d.kind);
+  if (d.arcs_removed) w.kv("arcs_removed", d.arcs_removed);
+  if (d.arcs_added) w.kv("arcs_added", d.arcs_added);
+  if (d.nodes_merged) w.kv("nodes_merged", d.nodes_merged);
+  if (d.channels_merged) w.kv("channels_merged", d.channels_merged);
+  for (const auto& [k, v] : d.fields) w.kv(k, v);
+  w.end_object();
+}
+
+}  // namespace
+
+void ProvenanceReport::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.kv("benchmark", benchmark);
+  w.kv("script", script);
+  w.key("graph");
+  w.begin_object();
+  w.kv("nodes_initial", nodes_initial);
+  w.kv("nodes_final", nodes_final);
+  w.kv("arcs_initial", arcs_initial);
+  w.kv("arcs_final", arcs_final);
+  w.kv("channels_unoptimized", channels_unoptimized);
+  w.kv("channels_final", channels_final);
+  w.end_object();
+
+  w.key("stages");
+  w.begin_array();
+  for (const auto& s : global_stages) {
+    w.begin_object();
+    w.kv("name", s.name);
+    w.kv("arcs_removed", s.arcs_removed);
+    w.kv("arcs_added", s.arcs_added);
+    w.kv("nodes_merged", s.nodes_merged);
+    w.kv("channels_merged", s.channels_merged);
+    w.key("decisions");
+    w.begin_array();
+    for (const auto& d : s.decisions) write_record(w, d);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("controllers");
+  w.begin_array();
+  for (const auto& c : controllers) {
+    w.begin_object();
+    w.kv("name", c.name);
+    w.kv("states_extracted", c.states_extracted);
+    w.kv("transitions_extracted", c.transitions_extracted);
+    w.kv("states_final", c.states_final);
+    w.kv("transitions_final", c.transitions_final);
+    w.key("decisions");
+    w.begin_array();
+    for (const auto& d : c.decisions) write_record(w, d);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("decision_counts");
+  w.begin_object();
+  for (const auto& [key, n] : decision_counts()) w.kv(key, static_cast<std::uint64_t>(n));
+  w.end_object();
+
+  w.key("reconciliation");
+  w.begin_array();
+  for (const auto& e : reconcile()) w.value(e);
+  w.end_array();
+  w.end_object();
+}
+
+std::string ProvenanceReport::to_json(bool pretty) const {
+  JsonWriter w(pretty);
+  write_json(w);
+  return w.str();
+}
+
+std::string ProvenanceReport::summary() const {
+  std::ostringstream os;
+  os << "provenance for " << benchmark << " [" << script << "]\n";
+  os << "  graph: " << arcs_initial << " -> " << arcs_final << " arcs, channels "
+     << channels_unoptimized << " -> " << channels_final << "\n";
+  for (const auto& s : global_stages) {
+    os << "  " << s.name << ": " << s.arcs_removed << " arcs removed, " << s.arcs_added
+       << " added, " << s.nodes_merged << " nodes merged, " << s.channels_merged
+       << " channels merged (" << s.decisions.size() << " decisions)\n";
+  }
+  for (const auto& c : controllers) {
+    os << "  " << c.name << ": " << c.states_extracted << "s/"
+       << c.transitions_extracted << "t extracted -> " << c.states_final << "s/"
+       << c.transitions_final << "t after LT\n";
+  }
+  os << "  decisions:";
+  for (const auto& [key, n] : decision_counts()) os << ' ' << key << '=' << n;
+  os << '\n';
+  auto errs = reconcile();
+  if (errs.empty()) {
+    os << "  reconciliation: ok\n";
+  } else {
+    for (const auto& e : errs) os << "  reconciliation FAILED: " << e << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace adc

@@ -1,0 +1,123 @@
+#pragma once
+// Transform provenance — typed decision records and the per-run report.
+//
+// The paper's argument is quantitative: GT1–GT5 and LT1–LT5 earn their
+// keep through the Figure-12/13 deltas (channels, states, transitions,
+// literals).  A TransformResult's counters say *how much* changed; the
+// decision records here say *what*, one record per rewrite decision:
+//
+//   gt2.dominated_arc_removed  {src=.., dst=..}          arcs_removed=1
+//   gt3.rt_arc_removed         {src=.., dst=.., proof=..} arcs_removed=1
+//   gt5.channels_multiplexed   {wire=..}                  channels_merged=1
+//   lt5.signals_shared         {kept=.., dropped=..}
+//
+// Each record also carries its contribution to the aggregate counters
+// (arcs removed/added, nodes merged, channels merged), which is what makes
+// the report *reconcilable*: ProvenanceReport::reconcile() checks that the
+// per-decision deltas sum to each stage's totals and that the stage totals
+// explain the observed before/after graph and channel-plan statistics —
+// the same numbers the end-to-end tests assert against the paper.
+//
+// ProvenanceRecord itself is dependency-free so transforms/transform.hpp
+// can embed a vector of records in every TransformResult.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace adc {
+
+class JsonWriter;
+
+struct ProvenanceRecord {
+  std::string pass;  // "gt1" .. "gt5", "lt1" .. "lt5", "extract", ...
+  std::string kind;  // "dominated_arc_removed", "signals_shared", ...
+  // This decision's contribution to the stage's aggregate counters.
+  int arcs_removed = 0;
+  int arcs_added = 0;
+  int nodes_merged = 0;
+  int channels_merged = 0;
+  std::vector<std::pair<std::string, std::string>> fields;
+
+  ProvenanceRecord(std::string p, std::string k) : pass(std::move(p)), kind(std::move(k)) {}
+
+  ProvenanceRecord& field(std::string key, std::string value) {
+    fields.emplace_back(std::move(key), std::move(value));
+    return *this;
+  }
+  ProvenanceRecord& field(std::string key, std::int64_t value) {
+    return field(std::move(key), std::to_string(value));
+  }
+  ProvenanceRecord& removed(int n = 1) { arcs_removed += n; return *this; }
+  ProvenanceRecord& added(int n = 1) { arcs_added += n; return *this; }
+  ProvenanceRecord& merged_nodes(int n = 1) { nodes_merged += n; return *this; }
+  ProvenanceRecord& merged_channels(int n = 1) { channels_merged += n; return *this; }
+
+  std::string key() const { return pass + "." + kind; }
+};
+
+// One global-transform stage of a run (mirrors a TransformResult).
+struct ProvenanceStage {
+  std::string name;  // human name, e.g. "GT2 remove dominated constraints"
+  int arcs_removed = 0;
+  int arcs_added = 0;
+  int nodes_merged = 0;
+  int channels_merged = 0;
+  std::vector<ProvenanceRecord> decisions;
+};
+
+// One extracted controller: its specification size as extracted and after
+// the local transforms, plus the LT decisions that got it there.
+struct ControllerProvenance {
+  std::string name;
+  std::size_t states_extracted = 0;
+  std::size_t transitions_extracted = 0;
+  std::size_t states_final = 0;
+  std::size_t transitions_final = 0;
+  std::vector<ProvenanceRecord> decisions;
+};
+
+struct ProvenanceReport {
+  std::string benchmark;
+  std::string script;
+  // Graph statistics straddling the global transforms.
+  std::size_t arcs_initial = 0;
+  std::size_t arcs_final = 0;
+  std::size_t nodes_initial = 0;
+  std::size_t nodes_final = 0;
+  // Channel counts (Figure 12 column 1): the unoptimized one-wire-per-arc
+  // plan of the *transformed* graph vs the plan GT5 produced.
+  std::size_t channels_unoptimized = 0;
+  std::size_t channels_final = 0;
+
+  std::vector<ProvenanceStage> global_stages;
+  std::vector<ControllerProvenance> controllers;
+
+  // "pass.kind" -> number of decision records across the whole run.
+  std::map<std::string, std::size_t> decision_counts() const;
+
+  // Aggregates over the global stages.
+  int total_arcs_removed() const;
+  int total_arcs_added() const;
+  int total_channels_merged() const;
+
+  // Figure-12 style controller totals (after local transforms).
+  std::size_t total_states_final() const;
+  std::size_t total_transitions_final() const;
+
+  // Exact cross-checks; empty result = the books balance:
+  //  * per stage: decision deltas sum to the stage counters,
+  //  * arcs: initial - removed + added == final,
+  //  * channels: unoptimized - merged(GT5 stages) == final.
+  std::vector<std::string> reconcile() const;
+
+  void write_json(JsonWriter& w) const;
+  std::string to_json(bool pretty = true) const;
+  // Compact human-readable rendering (per-stage counters + decision tally).
+  std::string summary() const;
+};
+
+}  // namespace adc

@@ -1,0 +1,76 @@
+#pragma once
+// Value Change Dump (IEEE 1364) writer for the event simulator.
+//
+// The simulator registers every observable wire up front — global channel
+// wires grouped under scope "channels", each controller's local handshake
+// wires and its current-state variable under a scope named after the
+// controller — then streams value changes as simulation time advances.
+// The resulting file opens in GTKWave (or any VCD viewer), which is how
+// the E8 deadlock corners become visible: the stalled req with no matching
+// ack is right there in the waveform.
+//
+// Two variable kinds are supported: single-bit wires (req/ack/ready
+// levels) and string-valued state variables (GTKWave renders `$var string`
+// changes as text labels on the waveform row).
+//
+// Changes may arrive out of order within one timestamp but must not move
+// backwards in time (the event simulator's queue guarantees this); equal
+// timestamps share one `#time` section.  Redundant writes (same value as
+// the last emitted) are dropped so waveforms stay minimal.
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace adc {
+
+class VcdWriter {
+ public:
+  using VarId = std::size_t;
+
+  // `timescale` is the unit one simulator time step represents.
+  explicit VcdWriter(std::string timescale = "1ns");
+
+  // Declaration phase: register variables before the first change.
+  VarId add_wire(const std::string& scope, const std::string& name, bool initial = false);
+  VarId add_string(const std::string& scope, const std::string& name,
+                   std::string initial = {});
+
+  // Streaming phase.
+  void change(VarId var, std::int64_t time, bool value);
+  void change_string(VarId var, std::int64_t time, const std::string& value);
+
+  // Header + $dumpvars (initial values) + all buffered changes.  Complete
+  // file; call once, after the simulation.
+  void write(std::ostream& os) const;
+
+  std::size_t var_count() const { return vars_.size(); }
+
+ private:
+  struct Var {
+    std::string scope;
+    std::string name;
+    std::string code;     // short identifier code
+    bool is_string = false;
+    bool init_bit = false;
+    std::string init_str;
+    bool last_bit = false;
+    std::string last_str;
+    bool emitted = false;  // saw at least one change
+  };
+  struct Change {
+    std::int64_t time;
+    VarId var;
+    bool bit;
+    std::string str;
+  };
+
+  static std::string code_for(std::size_t index);
+
+  std::string timescale_;
+  std::vector<Var> vars_;
+  std::vector<Change> changes_;
+};
+
+}  // namespace adc

@@ -78,6 +78,10 @@ TransformResult transform_loop(Cdfg& g, BlockId body) {
     g.remove_arc(aid);
     ++res.arcs_removed;
     res.note("A: removed " + g.node(a.src).label() + " -> ENDLOOP");
+    res.decide("gt1", "sync_arc_removed")
+        .removed()
+        .field("src", g.node(a.src).label())
+        .field("dst", g.node(endloop).label());
   }
 
   // --- Step B: backward arcs for loop-body variables ---------------------
@@ -119,6 +123,11 @@ TransformResult transform_loop(Cdfg& g, BlockId body) {
         ++res.arcs_added;
         res.note("B: backward " + g.node(l).label() + " -> " + g.node(f).label() + " (" +
                  reg + ")");
+        res.decide("gt1", "backward_arc_added")
+            .added()
+            .field("src", g.node(l).label())
+            .field("dst", g.node(f).label())
+            .field("reg", reg);
       }
     }
   }
@@ -134,6 +143,10 @@ TransformResult transform_loop(Cdfg& g, BlockId body) {
       g.add_arc(*last_write, endloop, ArcRole::kControl, false, cond);
       ++res.arcs_added;
       res.note("C: " + g.node(*last_write).label() + " -> ENDLOOP");
+      res.decide("gt1", "loop_cond_arc_added")
+          .added()
+          .field("src", g.node(*last_write).label())
+          .field("reg", cond);
     }
   }
 
@@ -155,6 +168,9 @@ TransformResult transform_loop(Cdfg& g, BlockId body) {
       g.add_arc(node, endloop, ArcRole::kControl);
       ++res.arcs_added;
       res.note("D: " + g.node(node).label() + " -> ENDLOOP");
+      res.decide("gt1", "overlap_limit_arc_added")
+          .added()
+          .field("src", g.node(node).label());
     }
   }
   return res;

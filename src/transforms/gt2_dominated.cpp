@@ -15,6 +15,12 @@ TransformResult gt2_remove_dominated(Cdfg& g, const Gt2Options& opts) {
     if (!is_dominated(g, aid)) continue;
     res.note("removed " + g.node(a.src).label() + " -> " + g.node(a.dst).label() + " (" +
              to_string(a.roles) + (a.backward ? ", backward" : "") + ")");
+    res.decide("gt2", "dominated_arc_removed")
+        .removed()
+        .field("src", g.node(a.src).label())
+        .field("dst", g.node(a.dst).label())
+        .field("roles", to_string(a.roles))
+        .field("backward", a.backward ? "true" : "false");
     g.remove_arc(aid);
     ++res.arcs_removed;
   }

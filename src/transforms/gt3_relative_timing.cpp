@@ -93,11 +93,18 @@ TransformResult gt3_relative_timing(Cdfg& g, const DelayModel& delays,
       if (under_if(g, a.src) || under_if(g, a.dst)) continue;
 
       a.alive = false;  // hypothesize removal; prove on the relaxed system
-      bool safe = structurally_covered(g, a) || timing_covered(g, a, delays, opts);
+      bool structural = structurally_covered(g, a);
+      bool safe = structural || timing_covered(g, a, delays, opts);
       if (safe) {
         ++res.arcs_removed;
         res.note("removed " + g.node(a.src).label() + " -> " + g.node(a.dst).label() +
                  " (never the last arrival under the delay model)");
+        res.decide("gt3", "rt_arc_removed")
+            .removed()
+            .field("src", g.node(a.src).label())
+            .field("dst", g.node(a.dst).label())
+            .field("proof", structural ? "structural" : "timing")
+            .field("margin", static_cast<std::int64_t>(opts.margin));
         changed = true;
       } else {
         a.alive = true;

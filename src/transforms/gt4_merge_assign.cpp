@@ -86,8 +86,23 @@ TransformResult gt4_merge_assignments(Cdfg& g) {
 
           res.note("merged '" + v.label() + "' into '" + s.label() + "' on " +
                    g.fu(fu).name);
+          // merge_nodes drops the arcs between the pair (they would become
+          // self-arcs); count them so the arc ledger stays balanced.
+          int collapsed = 0;
+          for (ArcId aid : g.in_arcs(order[i]))
+            if (g.arc(aid).src == order[j]) ++collapsed;
+          for (ArcId aid : g.out_arcs(order[i]))
+            if (g.arc(aid).dst == order[j]) ++collapsed;
+          res.decide("gt4", "assignments_merged")
+              .merged_nodes()
+              .removed(collapsed)
+              .field("assign", v.label())
+              .field("host", s.label())
+              .field("fu", g.fu(fu).name)
+              .field("arcs_collapsed", static_cast<std::int64_t>(collapsed));
           g.merge_nodes(order[j], order[i]);
           ++res.nodes_merged;
+          res.arcs_removed += collapsed;
           changed = true;
           break;
         }

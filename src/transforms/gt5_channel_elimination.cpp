@@ -157,6 +157,13 @@ bool try_symmetrize(Cdfg& g, ChannelPlan& plan, std::size_t big, std::size_t sma
     stats->arcs_added += static_cast<int>(added.size());
     stats->note("GT5.3 symmetrized " + g.node(source).label() + " (+" +
                 std::to_string(added.size()) + " safe arcs)");
+    // The channel merge itself is counted by the driver; the record carries
+    // the delta so the provenance ledger reconciles per decision.
+    stats->decide("gt5", "channels_symmetrized")
+        .added(static_cast<int>(added.size()))
+        .merged_channels()
+        .field("source", g.node(source).label())
+        .field("safe_arcs", static_cast<std::int64_t>(added.size()));
   }
   return true;
 }
@@ -214,12 +221,21 @@ bool try_concurrency_reduction(Cdfg& g, ChannelPlan& plan, ArcId direct,
       if (host < plan.channels().size()) {
         Channel& hc = plan.channels()[host];
         hc.events = merged_events(g, hc, cand);
+        bool controller_channel = !plan.channels()[direct_idx].involves_environment();
         erase_channel(plan, direct_idx);
         if (stats) {
           ++stats->arcs_added;
           ++stats->arcs_removed;
+          if (controller_channel) ++stats->channels_merged;
           stats->note("GT5.2 rerouted " + g.node(a).label() + " -> " +
                       g.node(c).label() + " via " + g.node(b).label());
+          stats->decide("gt5", "constraint_rerouted")
+              .removed()
+              .added()
+              .merged_channels(controller_channel ? 1 : 0)
+              .field("src", g.node(a).label())
+              .field("dst", g.node(c).label())
+              .field("hub", g.node(b).label());
         }
         return true;
       }
@@ -257,6 +273,10 @@ Gt5Result gt5_channel_elimination(Cdfg& g, const Gt5Options& opts) {
       if (eliminated > 0) {
         res.stats.channels_merged += eliminated;
         res.stats.note("multi-way broadcast at " + g.node(n).label());
+        res.stats.decide("gt5", "broadcast_formed")
+            .merged_channels(eliminated)
+            .field("source", g.node(n).label())
+            .field("eliminated", static_cast<std::int64_t>(eliminated));
       }
     }
   }
@@ -266,11 +286,20 @@ Gt5Result gt5_channel_elimination(Cdfg& g, const Gt5Options& opts) {
   while (changed) {
     changed = false;
     if (opts.multiplex) {
+      // Controller channels only: environment handshakes are singular (the
+      // simulator's completion accounting expects one transition each), and
+      // keeping them out makes channels_merged reconcile exactly with the
+      // Figure-12 controller-channel count.
       for (std::size_t i = 0; i < res.plan.channels().size() && !changed; ++i)
         for (std::size_t j = i + 1; j < res.plan.channels().size() && !changed; ++j)
-          if (try_multiplex(g, res.plan, i, j)) {
+          if (!res.plan.channels()[i].involves_environment() &&
+              !res.plan.channels()[j].involves_environment() &&
+              try_multiplex(g, res.plan, i, j)) {
             ++res.stats.channels_merged;
             res.stats.note("GT5.1 multiplexed two channels");
+            res.stats.decide("gt5", "channels_multiplexed")
+                .merged_channels()
+                .field("host", describe(res.plan.channels()[i], g));
             changed = true;
           }
     }

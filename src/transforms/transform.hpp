@@ -2,9 +2,16 @@
 // Common result type for the global (CDFG-level) transformations GT1-GT5.
 // Every transform reports what it changed so pipelines and benches can
 // print per-stage statistics, mirroring the paper's experimental tables.
+//
+// Beyond the aggregate counters and free-form notes, every individual
+// rewrite decision is recorded as a typed ProvenanceRecord (trace/
+// provenance.hpp); the per-record deltas must sum to the counters, which
+// ProvenanceReport::reconcile() verifies against the Figure-12/13 stats.
 
 #include <string>
 #include <vector>
+
+#include "trace/provenance.hpp"
 
 namespace adc {
 
@@ -14,18 +21,25 @@ struct TransformResult {
   int arcs_added = 0;
   int nodes_merged = 0;
   int channels_merged = 0;
-  std::vector<std::string> notes;  // human-readable change log
+  std::vector<std::string> notes;              // human-readable change log
+  std::vector<ProvenanceRecord> decisions;     // typed, reconcilable log
 
   bool changed() const {
     return arcs_removed || arcs_added || nodes_merged || channels_merged;
   }
   void note(std::string n) { notes.push_back(std::move(n)); }
+  // Appends a typed decision record; set its deltas/fields on the result.
+  ProvenanceRecord& decide(std::string pass, std::string kind) {
+    decisions.emplace_back(std::move(pass), std::move(kind));
+    return decisions.back();
+  }
   void absorb(const TransformResult& other) {
     arcs_removed += other.arcs_removed;
     arcs_added += other.arcs_added;
     nodes_merged += other.nodes_merged;
     channels_merged += other.channels_merged;
     for (const auto& n : other.notes) notes.push_back(n);
+    for (const auto& d : other.decisions) decisions.push_back(d);
   }
 };
 

@@ -1,0 +1,92 @@
+// Metrics tests: histogram quantiles at the edges (empty, q=0, q=1, out-of-
+// range q), gauges, and the JSON snapshot consumed by adc_dse --json.
+
+#include "runtime/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "report/json_parse.hpp"
+
+namespace adc {
+namespace {
+
+TEST(Histogram, EmptyQuantilesAreZero) {
+  Histogram h;
+  EXPECT_EQ(h.quantile_micros(0.0), 0u);
+  EXPECT_EQ(h.quantile_micros(0.5), 0u);
+  EXPECT_EQ(h.quantile_micros(1.0), 0u);
+}
+
+TEST(Histogram, SingleSampleEveryQuantileIsTheSample) {
+  Histogram h;
+  h.record_micros(100);
+  // Bucket bounds are powers of two; the recorded maximum caps the answer
+  // so a lone 100µs sample never reports as 128µs.
+  for (double q : {0.0, 0.5, 0.9, 1.0}) EXPECT_EQ(h.quantile_micros(q), 100u) << q;
+}
+
+TEST(Histogram, QOneNeverExceedsTheMaximum) {
+  Histogram h;
+  for (std::uint64_t v : {3u, 5u, 9u, 1000u, 70000u}) h.record_micros(v);
+  EXPECT_EQ(h.quantile_micros(1.0), 70000u);
+  EXPECT_LE(h.quantile_micros(0.99), 70000u);
+}
+
+TEST(Histogram, OutOfRangeQIsClamped) {
+  Histogram h;
+  h.record_micros(10);
+  EXPECT_EQ(h.quantile_micros(-3.0), h.quantile_micros(0.0));
+  EXPECT_EQ(h.quantile_micros(7.0), h.quantile_micros(1.0));
+}
+
+TEST(Histogram, QuantilesAreOrdered) {
+  Histogram h;
+  for (std::uint64_t i = 1; i <= 1000; ++i) h.record_micros(i);
+  std::uint64_t p50 = h.quantile_micros(0.5);
+  std::uint64_t p90 = h.quantile_micros(0.9);
+  std::uint64_t p99 = h.quantile_micros(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, h.max_micros());
+  EXPECT_GE(p50, 256u);  // the true median (500) lives in bucket [256,512)
+}
+
+TEST(Gauge, SetAddSub) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0);
+  g.set(10);
+  g.add(5);
+  g.sub(2);
+  EXPECT_EQ(g.value(), 13);
+  g.sub(20);
+  EXPECT_EQ(g.value(), -7) << "gauges are signed";
+}
+
+TEST(MetricsRegistry, NamesAreStableAndShared) {
+  MetricsRegistry reg;
+  reg.counter("a").add(2);
+  reg.counter("a").add(3);
+  reg.gauge("q").set(4);
+  EXPECT_EQ(reg.counters().at("a"), 5u);
+  EXPECT_EQ(reg.gauges().at("q"), 4);
+}
+
+TEST(MetricsRegistry, JsonSnapshotCarriesQuantilesAndGauges) {
+  MetricsRegistry reg;
+  reg.counter("flow.runs").add(3);
+  reg.gauge("pool.pending").set(2);
+  for (std::uint64_t i = 1; i <= 100; ++i) reg.histogram("stage.sim").record_micros(i);
+
+  JsonValue doc = parse_json(reg.to_json());
+  EXPECT_EQ(doc.at("counters").at("flow.runs").number, 3.0);
+  EXPECT_EQ(doc.at("gauges").at("pool.pending").number, 2.0);
+  const JsonValue& h = doc.at("histograms").at("stage.sim");
+  EXPECT_EQ(h.at("count").number, 100.0);
+  for (const char* key : {"p50_us", "p90_us", "p99_us", "mean_us", "max_us"})
+    EXPECT_TRUE(h.find(key)) << key;
+  EXPECT_LE(h.at("p50_us").number, h.at("p99_us").number);
+  EXPECT_EQ(h.at("max_us").number, 100.0);
+}
+
+}  // namespace
+}  // namespace adc

@@ -1,0 +1,167 @@
+// Provenance tests: the per-run decision log must reconcile exactly — every
+// stage's decision records sum to its counters, the arc ledger explains the
+// before/after graph, and the channel ledger explains the Figure-12 channel
+// column the end-to-end tests assert (DIFFEQ: 5 controller channels).
+
+#include "trace/provenance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "report/json_parse.hpp"
+#include "runtime/flow.hpp"
+
+namespace adc {
+namespace {
+
+// --- unit: records and reconciliation -------------------------------------
+
+TEST(Provenance, RecordChainersAccumulate) {
+  ProvenanceRecord r("gt2", "dominated_arc_removed");
+  r.removed().field("src", "n1").field("dst", std::int64_t{7});
+  EXPECT_EQ(r.arcs_removed, 1);
+  EXPECT_EQ(r.key(), "gt2.dominated_arc_removed");
+  ASSERT_EQ(r.fields.size(), 2u);
+  EXPECT_EQ(r.fields[1].second, "7");
+}
+
+TEST(Provenance, ReconcileFlagsUnaccountedCounters) {
+  ProvenanceReport rep;
+  rep.arcs_initial = 10;
+  rep.arcs_final = 9;
+  ProvenanceStage s;
+  s.name = "GT2";
+  s.arcs_removed = 1;  // counter says 1, but no decision carries the delta
+  rep.global_stages.push_back(s);
+  auto errs = rep.reconcile();
+  ASSERT_EQ(errs.size(), 1u);
+  EXPECT_NE(errs[0].find("GT2"), std::string::npos);
+
+  rep.global_stages[0].decisions.push_back(
+      ProvenanceRecord("gt2", "dominated_arc_removed").removed());
+  EXPECT_TRUE(rep.reconcile().empty());
+}
+
+TEST(Provenance, ReconcileFlagsBrokenLedgers) {
+  ProvenanceReport rep;
+  rep.arcs_initial = 10;
+  rep.arcs_final = 10;  // nothing removed, yet final != initial - 2
+  ProvenanceStage s;
+  s.arcs_removed = 2;
+  s.decisions.push_back(ProvenanceRecord("gt2", "x").removed(2));
+  rep.global_stages.push_back(s);
+  rep.channels_unoptimized = 8;
+  rep.channels_final = 5;  // no merges recorded -> ledger off by 3
+  auto errs = rep.reconcile();
+  ASSERT_EQ(errs.size(), 2u);
+  EXPECT_NE(errs[0].find("arc ledger"), std::string::npos);
+  EXPECT_NE(errs[1].find("channel ledger"), std::string::npos);
+}
+
+// --- the full flow reconciles ---------------------------------------------
+
+FlowPoint provenance_point(const std::string& bench, const std::string& script) {
+  const BuiltinBenchmark* b = find_builtin(bench);
+  FlowRequest req = make_builtin_request(*b, script);
+  req.provenance = true;
+  FlowExecutor exec(nullptr);
+  FlowPoint p = exec.run(req);
+  EXPECT_TRUE(p.ok) << p.error;
+  return p;
+}
+
+TEST(Provenance, DiffeqFullRecipeReconcilesWithFigure12) {
+  FlowPoint p = provenance_point("diffeq", "gt1; gt2; gt3; gt4; gt2; gt5; lt");
+  ASSERT_TRUE(p.provenance);
+  const ProvenanceReport& rep = *p.provenance;
+  EXPECT_EQ(rep.reconcile(), std::vector<std::string>{}) << rep.summary();
+
+  // Figure-12 channel column (the delta test_end_to_end asserts): the full
+  // recipe leaves DIFFEQ with 5 controller channels.
+  EXPECT_EQ(rep.channels_final, 5u);
+  EXPECT_EQ(p.channels, 5u);
+  EXPECT_EQ(static_cast<long long>(rep.channels_unoptimized) -
+                rep.total_channels_merged(),
+            static_cast<long long>(rep.channels_final));
+  EXPECT_GT(rep.total_channels_merged(), 0);
+
+  // Arc ledger against the actual graphs.
+  EXPECT_EQ(static_cast<long long>(rep.arcs_initial) - rep.total_arcs_removed() +
+                rep.total_arcs_added(),
+            static_cast<long long>(rep.arcs_final));
+  EXPECT_LT(rep.arcs_final, rep.arcs_initial);
+
+  // Controller sizes straddle the local transforms and match the flow's own
+  // metrics (paper row 3: 28 states across 4 machines).
+  EXPECT_EQ(rep.total_states_final(), p.states);
+  EXPECT_EQ(rep.total_transitions_final(), p.transitions);
+  EXPECT_LE(rep.total_states_final(), 30u);
+
+  // The decision log names the passes that did the work.
+  auto counts = rep.decision_counts();
+  EXPECT_GT(counts["gt2.dominated_arc_removed"], 0u);
+  std::size_t lt_decisions = 0;
+  for (const auto& [key, n] : counts)
+    if (key.rfind("lt", 0) == 0) lt_decisions += n;
+  EXPECT_GT(lt_decisions, 0u) << "local transforms left no decision records";
+}
+
+TEST(Provenance, EveryGridPointReconciles) {
+  // The whole GT ablation grid must balance, not just the paper's recipe —
+  // including scripts with no gt5 (plan derived fresh) and no gt at all.
+  const BuiltinBenchmark* b = find_builtin("mac_reduce");
+  FlowExecutor exec(nullptr);
+  for (const auto& script : gt_ablation_grid(true)) {
+    FlowRequest req = make_builtin_request(*b, script);
+    req.provenance = true;
+    req.simulate = false;
+    FlowPoint p = exec.run(req);
+    ASSERT_TRUE(p.ok) << script << ": " << p.error;
+    ASSERT_TRUE(p.provenance) << script;
+    EXPECT_EQ(p.provenance->reconcile(), std::vector<std::string>{})
+        << script << "\n"
+        << p.provenance->summary();
+  }
+}
+
+TEST(Provenance, StageCountersMatchDecisionSums) {
+  FlowPoint p = provenance_point("gcd", "gt1; gt2; gt3; gt4; gt2; gt5; lt");
+  for (const auto& s : p.provenance->global_stages) {
+    int removed = 0;
+    for (const auto& d : s.decisions) removed += d.arcs_removed;
+    EXPECT_EQ(removed, s.arcs_removed) << s.name;
+  }
+}
+
+TEST(Provenance, JsonSerializationParsesAndCarriesTheLedger) {
+  FlowPoint p = provenance_point("diffeq", "gt1; gt2; gt3; gt4; gt2; gt5; lt");
+  JsonValue doc = parse_json(p.provenance->to_json());
+  EXPECT_EQ(doc.at("benchmark").string, "diffeq");
+  EXPECT_EQ(static_cast<std::size_t>(doc.at("graph").at("channels_final").number), 5u);
+  EXPECT_TRUE(doc.at("stages").is_array());
+  EXPECT_FALSE(doc.at("stages").array.empty());
+  EXPECT_TRUE(doc.at("reconciliation").array.empty())
+      << "serialized report does not reconcile";
+  // Stage decision records carry pass/kind plus their counter deltas.
+  const JsonValue& first_stage = doc.at("stages").array.front();
+  for (const JsonValue& d : first_stage.at("decisions").array) {
+    EXPECT_TRUE(d.at("pass").is_string());
+    EXPECT_TRUE(d.at("kind").is_string());
+  }
+}
+
+TEST(Provenance, CachedRerunProducesTheSameReport) {
+  // Provenance is rebuilt from cached snapshots: a second run (all stages
+  // cache hits) must serialize byte-identically.
+  const BuiltinBenchmark* b = find_builtin("diffeq");
+  FlowRequest req = make_builtin_request(*b, "gt1; gt2; gt3; gt4; gt2; gt5; lt");
+  req.provenance = true;
+  FlowExecutor exec(nullptr);
+  FlowPoint first = exec.run(req);
+  FlowPoint second = exec.run(req);
+  ASSERT_TRUE(first.provenance && second.provenance);
+  EXPECT_EQ(first.provenance->to_json(), second.provenance->to_json());
+  EXPECT_GT(exec.cache().stats().hits, 0u);
+}
+
+}  // namespace
+}  // namespace adc

@@ -24,7 +24,17 @@
 //   --no-sim                skip event-simulation (structure metrics only)
 //   --verify-serial         also evaluate the grid serially on one thread
 //                           and fail if any metric differs
-//   --metrics               dump runtime metrics JSON to stderr
+//   --metrics               dump runtime metrics JSON to stderr (the same
+//                           object --json embeds under "metrics")
+//   --trace-out FILE        Chrome trace_event JSON of the whole batch:
+//                           per-stage spans with cache hit/miss annotations
+//                           across every worker (open in Perfetto)
+//   --provenance DIR        write each point's reconciled transform
+//                           decision log to DIR/<bench>-pN.provenance.json
+//   --vcd DIR               re-run deadlocked points with waveform capture
+//                           and write DIR/<bench>-pN.vcd; the --json report
+//                           points at the file from the deadlock entry
+//   --log-level LEVEL       error|warn|info|debug|trace (default: ADC_LOG)
 //   --help
 
 #include <cstdio>
@@ -36,6 +46,9 @@
 #include "report/json.hpp"
 #include "report/table.hpp"
 #include "runtime/flow.hpp"
+#include "trace/log.hpp"
+#include "trace/tracer.hpp"
+#include "trace/vcd.hpp"
 
 using namespace adc;
 
@@ -46,7 +59,9 @@ int usage(int code) {
                "usage: adc_dse [--bench NAMES] [--recipes \"S1 | S2\"] "
                "[--grid gt|gt-nolt] [--jobs N] [--json FILE] "
                "[--init REG=VAL,...] [--seed N] [--randomize] [--no-sim] "
-               "[--verify-serial] [--metrics] [program.adc]...\n");
+               "[--verify-serial] [--metrics] [--trace-out FILE] "
+               "[--provenance DIR] [--vcd DIR] [--log-level LEVEL] "
+               "[program.adc]...\n");
   return code;
 }
 
@@ -83,6 +98,15 @@ bool same_point(const FlowPoint& a, const FlowPoint& b) {
          a.literals == b.literals && a.latency == b.latency;
 }
 
+// "<bench>-pN" file stem for per-point artifacts; path-hostile characters
+// in the benchmark name (it may be a .adc file path) become '_'.
+std::string point_stem(const FlowPoint& p, std::size_t index) {
+  std::string stem = p.benchmark;
+  for (char& c : stem)
+    if (c == '/' || c == '\\' || c == ' ') c = '_';
+  return stem + "-p" + std::to_string(index);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -92,6 +116,9 @@ int main(int argc, char** argv) {
   std::string grid;
   std::string json_path;
   std::string init_spec;
+  std::string trace_path;
+  std::string prov_dir;
+  std::string vcd_dir;
   std::size_t jobs = std::thread::hardware_concurrency();
   std::uint64_t seed = 1;
   bool randomize = false, simulate = true, verify_serial = false, dump_metrics = false;
@@ -117,6 +144,17 @@ int main(int argc, char** argv) {
     else if (arg == "--no-sim") simulate = false;
     else if (arg == "--verify-serial") verify_serial = true;
     else if (arg == "--metrics") dump_metrics = true;
+    else if (arg == "--trace-out") trace_path = next();
+    else if (arg == "--provenance") prov_dir = next();
+    else if (arg == "--vcd") vcd_dir = next();
+    else if (arg == "--log-level") {
+      try {
+        set_log_level(log_level_from_string(next()));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "adc_dse: %s\n", e.what());
+        return 2;
+      }
+    }
     else if (!arg.empty() && arg[0] == '-') return usage(2);
     else files.push_back(arg);
   }
@@ -143,6 +181,7 @@ int main(int argc, char** argv) {
         req.sim.seed = seed;
         req.sim.randomize_delays = randomize;
         req.simulate = simulate;
+        req.provenance = !prov_dir.empty();
         reqs.push_back(std::move(req));
       }
     }
@@ -162,6 +201,7 @@ int main(int argc, char** argv) {
         req.sim.seed = seed;
         req.sim.randomize_delays = randomize;
         req.simulate = simulate;
+        req.provenance = !prov_dir.empty();
         reqs.push_back(std::move(req));
       }
     }
@@ -169,12 +209,42 @@ int main(int argc, char** argv) {
     // Evaluate, parallel then (optionally) serial for cross-checking.
     std::unique_ptr<ThreadPool> pool;
     if (jobs > 0) pool = std::make_unique<ThreadPool>(jobs);
-    FlowExecutor exec(pool.get());
+    Tracer tracer;
+    FlowExecutor::Options opts;
+    if (!trace_path.empty()) opts.tracer = &tracer;
+    FlowExecutor exec(pool.get(), opts);
     auto t0 = std::chrono::steady_clock::now();
     std::vector<FlowPoint> points = exec.run_all(reqs);
     auto wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
                        std::chrono::steady_clock::now() - t0)
                        .count();
+
+    // Per-point artifacts: a provenance log per evaluated point, and for
+    // points whose simulation deadlocked a waveform of the stall — the
+    // synthesis stages are all cache hits by now, only the simulation
+    // re-runs with the VCD hooks attached.
+    std::vector<std::vector<std::pair<std::string, std::string>>> extras(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (!prov_dir.empty() && points[i].provenance) {
+        std::string path = prov_dir + "/" + point_stem(points[i], i) + ".provenance.json";
+        std::ofstream out(path);
+        out << points[i].provenance->to_json() << "\n";
+        if (!out) throw std::runtime_error("cannot write " + path);
+        extras[i].emplace_back("provenance", path);
+      }
+      if (!vcd_dir.empty() && points[i].deadlocked) {
+        std::string path = vcd_dir + "/" + point_stem(points[i], i) + ".vcd";
+        VcdWriter vcd;
+        FlowRequest rerun = reqs[i];
+        rerun.sim.vcd = &vcd;
+        rerun.provenance = false;
+        exec.run(rerun);
+        std::ofstream out(path);
+        vcd.write(out);
+        if (!out) throw std::runtime_error("cannot write " + path);
+        extras[i].emplace_back("vcd", path);
+      }
+    }
 
     int rc = 0;
     if (verify_serial) {
@@ -239,8 +309,11 @@ int main(int argc, char** argv) {
       w.end_object();
       w.key("points");
       w.begin_array();
-      for (const auto& p : points) write_json(w, p);
+      for (std::size_t i = 0; i < points.size(); ++i)
+        write_json(w, points[i], extras[i]);
       w.end_array();
+      w.key("metrics");
+      exec.metrics().write_json(w);
       w.end_object();
       if (json_path == "-") {
         std::printf("%s\n", w.str().c_str());
@@ -254,11 +327,20 @@ int main(int argc, char** argv) {
     }
     if (dump_metrics)
       std::fprintf(stderr, "%s\n", exec.metrics().to_json().c_str());
+    if (!trace_path.empty()) {
+      std::ofstream out(trace_path);
+      tracer.write_chrome_trace(out);
+      if (!out) throw std::runtime_error("cannot write " + trace_path);
+      std::fprintf(stderr, "adc_dse: wrote %s\n", trace_path.c_str());
+    }
 
-    for (const auto& p : points)
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const FlowPoint& p = points[i];
       if (!p.ok && !p.error.empty())
-        std::fprintf(stderr, "adc_dse: %s [%s]: %s\n", p.benchmark.c_str(),
-                     p.script.c_str(), p.error.c_str());
+        std::fprintf(stderr, "adc_dse: %s [%s]: %s%s\n", p.benchmark.c_str(),
+                     p.script.c_str(), p.deadlocked ? "DEADLOCK: " : "",
+                     p.error.c_str());
+    }
     return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "adc_dse: %s\n", e.what());

@@ -1,0 +1,188 @@
+// adc_obs_check — validates the observability artifacts the flow emits.
+//
+//   adc_obs_check [--trace FILE] [--provenance FILE] [--vcd FILE]
+//
+// Used by the CI smoke test: after `adc_synth --trace-out --provenance
+// --vcd` runs a benchmark, this tool proves the three artifacts are
+// well-formed without opening Perfetto/GTKWave —
+//
+//  * trace: Chrome trace_event JSON, every event carries name/ph/ts/pid/tid,
+//    B/E pairs balance per track and time never moves backwards on a track;
+//  * provenance: parses, names its benchmark/script, and its embedded
+//    "reconciliation" check list is empty (the ledgers balance);
+//  * vcd: declarations close with $enddefinitions, every value change
+//    references a declared identifier code, timestamps are non-decreasing,
+//    and at least one change was recorded.
+//
+// Exit 0 when every given artifact validates; 1 otherwise with one line per
+// problem.
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "report/json_parse.hpp"
+
+using namespace adc;
+
+namespace {
+
+int errors = 0;
+
+void fail(const std::string& what) {
+  std::fprintf(stderr, "adc_obs_check: %s\n", what.c_str());
+  ++errors;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void check_trace(const std::string& path) {
+  JsonValue doc = parse_json(slurp(path));
+  const JsonValue* events = doc.find("traceEvents");
+  if (!events || !events->is_array()) {
+    fail(path + ": no traceEvents array");
+    return;
+  }
+  if (events->array.empty()) fail(path + ": empty trace");
+  std::map<int, int> depth;
+  std::map<int, double> last_ts;
+  std::size_t spans = 0;
+  for (const JsonValue& ev : events->array) {
+    for (const char* key : {"name", "ph", "ts", "pid", "tid"})
+      if (!ev.find(key)) {
+        fail(path + ": event missing '" + key + "'");
+        return;
+      }
+    int tid = static_cast<int>(ev.at("tid").number);
+    double ts = ev.at("ts").number;
+    if (last_ts.count(tid) && ts < last_ts[tid])
+      fail(path + ": time moved backwards on track " + std::to_string(tid));
+    last_ts[tid] = ts;
+    const std::string& ph = ev.at("ph").string;
+    if (ph == "B") {
+      ++depth[tid];
+      ++spans;
+    } else if (ph == "E") {
+      if (--depth[tid] < 0) {
+        fail(path + ": end without begin on track " + std::to_string(tid));
+        return;
+      }
+    } else if (ph != "C" && ph != "i") {
+      fail(path + ": unexpected phase '" + ph + "'");
+    }
+  }
+  for (const auto& [tid, d] : depth)
+    if (d != 0) fail(path + ": " + std::to_string(d) + " unclosed span(s) on track " +
+                     std::to_string(tid));
+  if (spans == 0) fail(path + ": no spans recorded");
+}
+
+void check_provenance(const std::string& path) {
+  JsonValue doc = parse_json(slurp(path));
+  for (const char* key : {"benchmark", "script", "graph", "stages", "controllers"})
+    if (!doc.find(key)) fail(path + ": missing '" + key + "'");
+  const JsonValue* rec = doc.find("reconciliation");
+  if (!rec || !rec->is_array()) {
+    fail(path + ": missing reconciliation check list");
+  } else {
+    for (const JsonValue& e : rec->array)
+      fail(path + ": reconciliation: " + e.string);
+  }
+}
+
+void check_vcd(const std::string& path) {
+  std::istringstream is(slurp(path));
+  std::string line;
+  std::set<std::string> codes;
+  bool defs_closed = false;
+  bool in_dump = false;
+  long long now = 0, changes = 0;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (!defs_closed) {
+      std::istringstream ls(line);
+      std::string tok;
+      ls >> tok;
+      if (tok == "$var") {
+        std::string type, width, code;
+        ls >> type >> width >> code;
+        if (!codes.insert(code).second) fail(path + ": duplicate code " + code);
+      } else if (tok == "$enddefinitions") {
+        defs_closed = true;
+      }
+      continue;
+    }
+    if (line == "$dumpvars") {
+      in_dump = true;
+      continue;
+    }
+    if (line == "$end") {
+      in_dump = false;
+      continue;
+    }
+    if (line[0] == '#') {
+      long long t = std::stoll(line.substr(1));
+      if (t < now) fail(path + ": time moved backwards at #" + line.substr(1));
+      now = t;
+      continue;
+    }
+    std::string code;
+    if (line[0] == 's') {
+      code = line.substr(line.rfind(' ') + 1);
+    } else if (line[0] == '0' || line[0] == '1') {
+      code = line.substr(1);
+    } else {
+      fail(path + ": unparseable change line '" + line + "'");
+      continue;
+    }
+    if (!codes.count(code)) fail(path + ": change for undeclared code " + code);
+    if (!in_dump) ++changes;
+  }
+  if (!defs_closed) fail(path + ": missing $enddefinitions");
+  if (codes.empty()) fail(path + ": no variables declared");
+  if (changes == 0) fail(path + ": no value changes recorded");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path, prov_path, vcd_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "adc_obs_check: %s needs a file\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--trace") trace_path = next();
+    else if (arg == "--provenance") prov_path = next();
+    else if (arg == "--vcd") vcd_path = next();
+    else {
+      std::fprintf(stderr,
+                   "usage: adc_obs_check [--trace FILE] [--provenance FILE] "
+                   "[--vcd FILE]\n");
+      return arg == "--help" || arg == "-h" ? 0 : 2;
+    }
+  }
+  try {
+    if (!trace_path.empty()) check_trace(trace_path);
+    if (!prov_path.empty()) check_provenance(prov_path);
+    if (!vcd_path.empty()) check_vcd(vcd_path);
+  } catch (const std::exception& e) {
+    fail(e.what());
+  }
+  if (errors == 0) std::printf("adc_obs_check: all artifacts valid\n");
+  return errors == 0 ? 0 : 1;
+}

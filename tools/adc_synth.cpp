@@ -3,12 +3,16 @@
 //   adc_synth [options] [program.adc]
 //
 // Reads a scheduled CDFG program (the textual language of
-// frontend/parser.hpp) from a file or stdin, runs the transformation
-// pipeline, and writes the synthesis artifacts.
+// frontend/parser.hpp) from a file or stdin — or picks a builtin benchmark
+// with --bench — runs the transformation pipeline through the parallel
+// synthesis runtime's FlowExecutor, and writes the synthesis artifacts.
 //
 // Options:
 //   --script "gt1; gt2; ..."   transformation script (default: the paper's
 //                              full recipe "gt1; gt2; gt3; gt4; gt2; gt5; lt")
+//   --bench NAME               builtin benchmark (diffeq, gcd, fir4,
+//                              mac_reduce, ewf_lite, ewf) with its bundled
+//                              register file; implies simulation
 //   --out DIR                  artifact directory (default ".")
 //   --emit bms|verilog|eqn|dot (repeatable; default: all)
 //   --simulate REG=VAL,...     run the gate-level simulation with the given
@@ -17,6 +21,15 @@
 //   --json FILE                machine-readable report (stats + simulation
 //                              result; '-' writes to stdout) — the same
 //                              serialization path adc_dse uses
+//   --trace-out FILE           Chrome trace_event JSON of the run: nested
+//                              spans for every flow stage with cache
+//                              hit/miss annotations (open in Perfetto)
+//   --provenance FILE          reconciled transform decision log as JSON
+//                              ('-' writes to stdout)
+//   --vcd FILE                 VCD handshake waveforms of the event
+//                              simulation (open in GTKWave)
+//   --log-level LEVEL          error|warn|info|debug|trace (default: the
+//                              ADC_LOG environment variable, else warn)
 //   --help
 
 #include <cstdio>
@@ -28,16 +41,16 @@
 
 #include "cdfg/dot.hpp"
 #include "cdfg/validate.hpp"
-#include "extract/extract.hpp"
 #include "frontend/parser.hpp"
 #include "logic/minimize.hpp"
 #include "logic/netlist.hpp"
 #include "logic/stats.hpp"
-#include "ltrans/local.hpp"
 #include "report/json.hpp"
 #include "report/table.hpp"
-#include "sim/event_sim.hpp"
-#include "transforms/script.hpp"
+#include "runtime/flow.hpp"
+#include "trace/log.hpp"
+#include "trace/tracer.hpp"
+#include "trace/vcd.hpp"
 #include "xbm/print.hpp"
 
 using namespace adc;
@@ -46,8 +59,10 @@ namespace {
 
 int usage(int code) {
   std::fprintf(code ? stderr : stdout,
-               "usage: adc_synth [--script S] [--out DIR] [--emit KIND]... "
-               "[--simulate REG=VAL,...] [--report] [--json FILE] [program.adc]\n");
+               "usage: adc_synth [--script S] [--bench NAME] [--out DIR] "
+               "[--emit KIND]... [--simulate REG=VAL,...] [--report] "
+               "[--json FILE] [--trace-out FILE] [--provenance FILE] "
+               "[--vcd FILE] [--log-level LEVEL] [program.adc]\n");
   return code;
 }
 
@@ -64,15 +79,29 @@ std::map<std::string, std::int64_t> parse_init(const std::string& spec) {
   return init;
 }
 
+void write_file(const std::string& path, const std::string& text) {
+  if (path == "-") {
+    std::printf("%s\n", text.c_str());
+    return;
+  }
+  std::ofstream out(path);
+  out << text << "\n";
+  if (!out) throw std::runtime_error("cannot write " + path);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string script_text = "gt1; gt2; gt3; gt4; gt2; gt5; lt";
+  std::string bench_name;
   std::string out_dir = ".";
   std::string input_file;
   std::set<std::string> emit;
   std::string simulate;
   std::string json_path;
+  std::string trace_path;
+  std::string prov_path;
+  std::string vcd_path;
   bool report = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -86,96 +115,142 @@ int main(int argc, char** argv) {
     };
     if (arg == "--help" || arg == "-h") return usage(0);
     else if (arg == "--script") script_text = next();
+    else if (arg == "--bench") bench_name = next();
     else if (arg == "--out") out_dir = next();
     else if (arg == "--emit") emit.insert(next());
     else if (arg == "--simulate") simulate = next();
-    else if (arg == "--json") json_path = next();
     else if (arg == "--report") report = true;
+    else if (arg == "--json") json_path = next();
+    else if (arg == "--trace-out") trace_path = next();
+    else if (arg == "--provenance") prov_path = next();
+    else if (arg == "--vcd") vcd_path = next();
+    else if (arg == "--log-level") {
+      try {
+        set_log_level(log_level_from_string(next()));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "adc_synth: %s\n", e.what());
+        return 2;
+      }
+    }
     else if (!arg.empty() && arg[0] == '-') return usage(2);
     else input_file = arg;
   }
   if (emit.empty()) emit = {"bms", "verilog", "eqn", "dot"};
+  if (!bench_name.empty() && !input_file.empty()) {
+    std::fprintf(stderr, "adc_synth: --bench and a program file are exclusive\n");
+    return 2;
+  }
 
   try {
-    std::string source;
-    if (input_file.empty()) {
-      std::stringstream ss;
-      ss << std::cin.rdbuf();
-      source = ss.str();
+    // Assemble the flow request.
+    FlowRequest req;
+    if (!bench_name.empty()) {
+      const BuiltinBenchmark* b = find_builtin(bench_name);
+      if (!b) throw std::invalid_argument("unknown builtin benchmark '" + bench_name + "'");
+      req = make_builtin_request(*b, script_text);
     } else {
-      std::ifstream in(input_file);
-      if (!in) {
-        std::fprintf(stderr, "adc_synth: cannot open %s\n", input_file.c_str());
-        return 1;
+      std::string source;
+      if (input_file.empty()) {
+        std::stringstream ss;
+        ss << std::cin.rdbuf();
+        source = ss.str();
+      } else {
+        std::ifstream in(input_file);
+        if (!in) {
+          std::fprintf(stderr, "adc_synth: cannot open %s\n", input_file.c_str());
+          return 1;
+        }
+        std::stringstream ss;
+        ss << in.rdbuf();
+        source = ss.str();
       }
-      std::stringstream ss;
-      ss << in.rdbuf();
-      source = ss.str();
+      // Validate eagerly for a parse-located error message (the flow would
+      // reject the program too, but later and with less context).
+      Cdfg g = parse_program(source);
+      validate_or_throw(g, ValidateOptions{.allow_backward_arcs = false});
+      req.benchmark = g.name();
+      req.source = std::move(source);
+      req.script = script_text;
     }
+    if (!simulate.empty()) req.init = parse_init(simulate);
+    req.simulate = !simulate.empty() || !bench_name.empty() || !vcd_path.empty();
+    req.provenance = !prov_path.empty();
 
-    Cdfg g = parse_program(source);
-    validate_or_throw(g, ValidateOptions{.allow_backward_arcs = false});
-    // With --json - the report owns stdout; progress goes to stderr.
-    FILE* log = json_path == "-" ? stderr : stdout;
-    std::fprintf(log, "parsed '%s': %zu nodes, %zu arcs, %zu functional units\n",
-                 g.name().c_str(), g.live_node_count(), g.live_arc_count(), g.fu_count());
+    VcdWriter vcd;
+    if (!vcd_path.empty()) req.sim.vcd = &vcd;
+    Tracer tracer;
+    FlowExecutor::Options opts;
+    if (!trace_path.empty()) opts.tracer = &tracer;
 
-    TransformScript script = TransformScript::parse(script_text);
-    auto global = script.run(g);
-    std::fprintf(log, "script '%s': %zu controller channels\n",
-                 script.to_string().c_str(), global.plan.count_controller_channels());
+    // With --json - or --provenance - the report owns stdout.
+    FILE* log = json_path == "-" || prov_path == "-" ? stderr : stdout;
 
-    std::vector<ControllerInstance> instances;
-    struct ControllerReport {
-      std::string name;
-      std::size_t transitions;
-      GateStats stats;
-    };
-    std::vector<ControllerReport> reports;
-    Table t({"controller", "states", "transitions", "products", "literals",
-             "impl states"});
-    for (auto& c : extract_controllers(g, global.plan)) {
-      ControllerInstance inst;
-      if (script.has_local_step())
-        inst.shared_signals = run_local_transforms(c, script.local_options()).shared_signals;
-      if (c.machine.transition_ids().empty()) continue;
-
-      auto logic = synthesize_logic(c);
-      auto st = gate_stats(logic, c.machine.state_count());
-      reports.push_back({c.machine.name(), c.machine.transition_count(), st});
-      t.add_row({c.machine.name(), std::to_string(st.spec_states),
-                 std::to_string(c.machine.transition_count()),
-                 std::to_string(st.products_shared), std::to_string(st.literals_shared),
-                 std::to_string(st.impl_states)});
-
-      std::string base = out_dir + "/" + g.name() + "_" + c.machine.name();
-      if (emit.count("bms")) std::ofstream(base + ".bms") << to_text(c.machine);
-      if (emit.count("verilog"))
-        std::ofstream(base + ".v") << to_verilog(logic, g.name() + "_" + c.machine.name());
-      if (emit.count("eqn")) std::ofstream(base + ".eqn") << to_equations(logic);
-
-      inst.controller = std::move(c);
-      instances.push_back(std::move(inst));
+    FlowExecutor exec(nullptr, opts);
+    FlowPoint p = exec.run(req);
+    if (!p.artifacts) {  // failed before producing anything to emit
+      std::fprintf(stderr, "adc_synth: %s\n", p.error.c_str());
+      return 1;
     }
-    if (emit.count("dot"))
-      std::ofstream(out_dir + "/" + g.name() + ".dot") << to_dot(g);
+    const Cdfg& g = *p.graph;
+    std::fprintf(log, "flow '%s' [%s]: %zu nodes, %zu arcs, %zu controller channels\n",
+                 p.benchmark.c_str(), p.script.c_str(), g.live_node_count(),
+                 g.live_arc_count(), p.channels);
+
+    // Artifact emission from the flow's cached controller set.  Logic is
+    // re-synthesized per controller only when a netlist artifact was asked
+    // for (the flow keeps metrics, not netlists).
+    bool need_logic = emit.count("verilog") || emit.count("eqn");
+    Table t({"controller", "states", "transitions", "products", "literals", "feasible"});
+    for (std::size_t i = 0; i < p.artifacts->instances.size(); ++i) {
+      const ControllerInstance& inst = p.artifacts->instances[i];
+      const ControllerMetrics& m = p.artifacts->controllers[i];
+      if (inst.controller.machine.transition_ids().empty()) continue;
+      t.add_row({m.name, std::to_string(m.states), std::to_string(m.transitions),
+                 std::to_string(m.products), std::to_string(m.literals),
+                 m.feasible ? "yes" : "NO"});
+      std::string base = out_dir + "/" + g.name() + "_" + m.name;
+      if (emit.count("bms")) std::ofstream(base + ".bms") << to_text(inst.controller.machine);
+      if (need_logic) {
+        auto logic = synthesize_logic(inst.controller);
+        if (emit.count("verilog"))
+          std::ofstream(base + ".v") << to_verilog(logic, g.name() + "_" + m.name);
+        if (emit.count("eqn")) std::ofstream(base + ".eqn") << to_equations(logic);
+      }
+    }
+    if (emit.count("dot")) std::ofstream(out_dir + "/" + g.name() + ".dot") << to_dot(g);
     if (report) std::fprintf(log, "%s", t.to_string().c_str());
 
-    EventSimResult sim_result;
-    bool simulated = !simulate.empty();
-    if (simulated) {
-      auto init = parse_init(simulate);
-      sim_result = run_event_sim(g, global.plan, instances, init, EventSimOptions{});
-      if (!sim_result.completed) {
-        std::fprintf(log, "simulation FAILED: %s\n", sim_result.error.c_str());
-        if (json_path.empty()) return 1;
-      } else {
+    if (req.simulate) {
+      if (!p.ok && !p.error.empty()) {
+        std::fprintf(log, "simulation FAILED%s: %s\n",
+                     p.deadlocked ? " (deadlock)" : "", p.error.c_str());
+      } else if (p.ok) {
         std::fprintf(log, "simulation completed at t=%lld (%lld datapath operations)\n",
-                     static_cast<long long>(sim_result.finish_time),
-                     static_cast<long long>(sim_result.operations));
-        for (const auto& [reg, v] : sim_result.registers)
+                     static_cast<long long>(p.latency),
+                     static_cast<long long>(p.sim_operations));
+        for (const auto& [reg, v] : p.sim_registers)
           std::fprintf(log, "  %s = %lld\n", reg.c_str(), static_cast<long long>(v));
       }
+    }
+
+    // Observability artifacts.
+    std::vector<std::pair<std::string, std::string>> artifact_paths;
+    if (!trace_path.empty()) {
+      std::ofstream out(trace_path);
+      tracer.write_chrome_trace(out);
+      if (!out) throw std::runtime_error("cannot write " + trace_path);
+      artifact_paths.emplace_back("trace", trace_path);
+    }
+    if (!prov_path.empty() && p.provenance) {
+      write_file(prov_path, p.provenance->to_json());
+      if (prov_path != "-") artifact_paths.emplace_back("provenance", prov_path);
+      std::fprintf(log, "%s", p.provenance->summary().c_str());
+    }
+    if (!vcd_path.empty() && req.simulate) {
+      std::ofstream out(vcd_path);
+      vcd.write(out);
+      if (!out) throw std::runtime_error("cannot write " + vcd_path);
+      artifact_paths.emplace_back("vcd", vcd_path);
     }
 
     if (!json_path.empty()) {
@@ -183,54 +258,29 @@ int main(int argc, char** argv) {
       w.begin_object();
       w.kv("tool", "adc_synth");
       w.kv("program", g.name());
-      w.kv("script", script.to_string());
       w.kv("nodes", g.live_node_count());
       w.kv("arcs", g.live_arc_count());
-      w.kv("channels", global.plan.count_controller_channels());
-      w.key("controllers");
-      w.begin_array();
-      for (const auto& r : reports) {
-        w.begin_object();
-        w.kv("name", r.name);
-        w.kv("states", r.stats.spec_states);
-        w.kv("transitions", r.transitions);
-        w.kv("impl_states", r.stats.impl_states);
-        w.kv("state_bits", r.stats.state_bits);
-        w.kv("products", r.stats.products_shared);
-        w.kv("literals", r.stats.literals_shared);
-        w.kv("products_single", r.stats.products_single);
-        w.kv("literals_single", r.stats.literals_single);
-        w.kv("feasible", r.stats.feasible);
-        w.end_object();
-      }
-      w.end_array();
-      if (simulated) {
+      w.key("point");
+      write_json(w, p, artifact_paths);
+      if (req.simulate) {
         w.key("simulation");
         w.begin_object();
-        w.kv("completed", sim_result.completed);
-        if (!sim_result.error.empty()) w.kv("error", sim_result.error);
-        w.kv("finish_time", sim_result.finish_time);
-        w.kv("events", sim_result.events);
-        w.kv("operations", sim_result.operations);
+        w.kv("completed", p.ok);
+        if (!p.error.empty()) w.kv("error", p.error);
+        w.kv("deadlocked", p.deadlocked);
+        w.kv("finish_time", p.latency);
+        w.kv("events", p.sim_events);
+        w.kv("operations", p.sim_operations);
         w.key("registers");
         w.begin_object();
-        for (const auto& [reg, v] : sim_result.registers) w.kv(reg, v);
+        for (const auto& [reg, v] : p.sim_registers) w.kv(reg, v);
         w.end_object();
         w.end_object();
       }
       w.end_object();
-      if (json_path == "-") {
-        std::printf("%s\n", w.str().c_str());
-      } else {
-        std::ofstream out(json_path);
-        out << w.str() << "\n";
-        if (!out) {
-          std::fprintf(stderr, "adc_synth: cannot write %s\n", json_path.c_str());
-          return 1;
-        }
-      }
+      write_file(json_path, w.str());
     }
-    return simulated && !sim_result.completed ? 1 : 0;
+    return p.ok ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "adc_synth: %s\n", e.what());
     return 1;
