@@ -10,13 +10,20 @@
 //  * the content-addressed cache removes the recomputation recipes
 //    sharing script prefixes would otherwise repeat (machine-independent).
 //
-//   ./build/bench/perf_dse [--jobs 1,2,4,8] [--no-sim]
+//   ./build/bench/perf_dse [--jobs 1,2,4,8] [--no-sim] [--json FILE]
+//
+// --json emits the BENCH JSON schema (perf/record.hpp): one record per
+// (jobs, cache-mode) run with the measured batch wall time and the cache
+// hit rate / point counts as counters — the same record structure
+// adc_bench writes, so saved runs diff with `adc_bench --diff`.
 
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <sstream>
 
+#include "perf/measure.hpp"
 #include "report/table.hpp"
 #include "runtime/flow.hpp"
 
@@ -28,6 +35,7 @@ struct Run {
   std::size_t jobs;
   const char* mode;
   std::int64_t wall_ms = 0;
+  std::uint64_t cpu_us = 0;
   CacheStats cache;
   std::size_t ok_points = 0;
   std::size_t points = 0;
@@ -58,8 +66,13 @@ Run measure(const std::vector<FlowRequest>& reqs, std::size_t jobs, const char* 
   FlowExecutor::Options o;
   if (!std::strcmp(mode, "off")) o.cache_capacity = 0;
   FlowExecutor exec(pool.get(), o);
+  std::uint64_t c0 = perf::process_cpu_micros();
   r.wall_ms = timed_batch(exec, reqs, r);
-  if (!std::strcmp(mode, "warm")) r.wall_ms = timed_batch(exec, reqs, r);
+  if (!std::strcmp(mode, "warm")) {
+    c0 = perf::process_cpu_micros();
+    r.wall_ms = timed_batch(exec, reqs, r);
+  }
+  r.cpu_us = perf::process_cpu_micros() - c0;
   r.cache = exec.cache().stats();
   return r;
 }
@@ -69,6 +82,7 @@ Run measure(const std::vector<FlowRequest>& reqs, std::size_t jobs, const char* 
 int main(int argc, char** argv) {
   std::vector<std::size_t> jobs = {1, 2, 4, 8};
   bool simulate = true;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--no-sim")) simulate = false;
     else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc) {
@@ -77,6 +91,7 @@ int main(int argc, char** argv) {
       std::string item;
       while (std::getline(ss, item, ',')) jobs.push_back(std::stoul(item));
     }
+    else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) json_path = argv[++i];
   }
 
   const BuiltinBenchmark* diffeq_bench = find_builtin("diffeq");
@@ -115,5 +130,36 @@ int main(int argc, char** argv) {
       "recompute.  Points that are not ok deadlock in simulation: GT5\n"
       "without the GT2/GT3 cleanup yields unverifiable systems, a genuine\n"
       "property of those recipes that the flow's oracle reports.\n");
+
+  if (!json_path.empty()) {
+    perf::BenchReport rep;
+    rep.tool = "perf_dse";
+    rep.env = perf::capture_env();
+    rep.policy.warmup = 0;
+    rep.policy.repeats = 1;
+    rep.policy.trim_outliers = false;
+    for (const auto& r : runs) {
+      perf::BenchRecord rec;
+      rec.suite = "dse";
+      rec.name = "dse.grid_" + std::string(r.mode) + "_j" + std::to_string(r.jobs);
+      rec.repeats = 1;
+      rec.wall_us = perf::stat_from_samples(
+          {static_cast<double>(r.wall_ms) * 1000.0}, false);
+      rec.cpu_us =
+          perf::stat_from_samples({static_cast<double>(r.cpu_us)}, false);
+      rec.peak_rss_kb = perf::peak_rss_kb();
+      rec.counters["points"] = static_cast<double>(r.points);
+      rec.counters["ok_points"] = static_cast<double>(r.ok_points);
+      rec.counters["cache_hit_rate"] = r.cache.hit_rate();
+      rep.benchmarks.push_back(std::move(rec));
+    }
+    std::ofstream out(json_path);
+    out << perf::to_json(rep) << "\n";
+    if (!out) {
+      std::fprintf(stderr, "perf_dse: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "perf_dse: wrote %s\n", json_path.c_str());
+  }
   return 0;
 }

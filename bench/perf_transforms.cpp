@@ -1,18 +1,32 @@
-// Scalability of the transformation engine itself (google-benchmark): the
+// perf_transforms — scalability of the transformation engine itself: the
 // paper positions the transforms as primitives for scripted design-space
 // exploration, so their runtime on growing CDFGs matters.
+//
+// Runs on the in-tree perf harness (perf/measure.hpp) and emits the same
+// BENCH JSON schema as adc_bench, so a saved run diffs against any other
+// driver's baseline with `adc_bench --diff`.
+//
+//   ./build/bench/perf_transforms [--json FILE] [--quick] [--filter STR]
+//                                 [--repeats N] [--warmup N]
 
-#include <benchmark/benchmark.h>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
 
 #include "extract/extract.hpp"
 #include "frontend/benchmarks.hpp"
 #include "logic/minimize.hpp"
 #include "ltrans/local.hpp"
+#include "perf/measure.hpp"
 #include "runtime/flow.hpp"
 #include "sim/token_sim.hpp"
 #include "transforms/pipeline.hpp"
 
-namespace adc {
+using namespace adc;
+
 namespace {
 
 RandomProgramParams sized(int stmts) {
@@ -24,135 +38,177 @@ RandomProgramParams sized(int stmts) {
   return p;
 }
 
-void BM_FrontendArcGeneration(benchmark::State& state) {
-  auto p = sized(static_cast<int>(state.range(0)));
-  for (auto _ : state) {
-    Cdfg g = random_program(p, 42);
-    benchmark::DoNotOptimize(g.live_arc_count());
-  }
+void add(const char* suite, std::string name,
+         std::function<void(perf::BenchContext&)> fn) {
+  perf::BenchRegistry::instance().add({suite, std::move(name), std::move(fn)});
 }
-BENCHMARK(BM_FrontendArcGeneration)->Arg(10)->Arg(20)->Arg(40)->Arg(80);
 
-void BM_GlobalPipeline(benchmark::State& state) {
-  auto p = sized(static_cast<int>(state.range(0)));
-  for (auto _ : state) {
-    state.PauseTiming();
-    Cdfg g = random_program(p, 42);
-    state.ResumeTiming();
-    auto res = run_global_transforms(g);
-    benchmark::DoNotOptimize(res.plan.count_controller_channels());
-  }
-}
-BENCHMARK(BM_GlobalPipeline)->Arg(10)->Arg(20)->Arg(40);
+void register_benchmarks() {
+  for (int n : {10, 20, 40, 80})
+    add("frontend", "frontend.arcgen_n" + std::to_string(n),
+        [n](perf::BenchContext& ctx) {
+          Cdfg g = random_program(sized(n), 42);
+          ctx.counters["arcs"] = static_cast<double>(g.live_arc_count());
+        });
 
-void BM_Gt2DominatedOnly(benchmark::State& state) {
-  auto p = sized(static_cast<int>(state.range(0)));
-  for (auto _ : state) {
-    state.PauseTiming();
-    Cdfg g = random_program(p, 42);
-    state.ResumeTiming();
-    auto res = gt2_remove_dominated(g);
-    benchmark::DoNotOptimize(res.arcs_removed);
-  }
-}
-BENCHMARK(BM_Gt2DominatedOnly)->Arg(10)->Arg(20)->Arg(40)->Arg(80);
+  for (int n : {10, 20, 40})
+    add("gt", "gt.pipeline_n" + std::to_string(n), [n](perf::BenchContext& ctx) {
+      Cdfg g = random_program(sized(n), 42);
+      auto res = run_global_transforms(g);
+      ctx.counters["channels"] =
+          static_cast<double>(res.plan.count_controller_channels());
+    });
 
-void BM_ExtractionPlusLt(benchmark::State& state) {
-  auto p = sized(static_cast<int>(state.range(0)));
-  Cdfg g = random_program(p, 42);
-  auto res = run_global_transforms(g);
-  for (auto _ : state) {
-    auto controllers = extract_controllers(g, res.plan);
-    for (auto& c : controllers) run_local_transforms(c);
-    benchmark::DoNotOptimize(controllers.size());
-  }
-}
-BENCHMARK(BM_ExtractionPlusLt)->Arg(10)->Arg(20)->Arg(40);
+  for (int n : {10, 20, 40, 80})
+    add("gt", "gt.gt2_dominated_n" + std::to_string(n),
+        [n](perf::BenchContext& ctx) {
+          Cdfg g = random_program(sized(n), 42);
+          auto res = gt2_remove_dominated(g);
+          ctx.counters["arcs_removed"] = static_cast<double>(res.arcs_removed);
+        });
 
-void BM_LogicSynthesisDiffeq(benchmark::State& state) {
-  Cdfg g = diffeq();
-  auto res = run_global_transforms(g);
-  auto controllers = extract_controllers(g, res.plan);
-  for (auto& c : controllers) run_local_transforms(c);
-  for (auto _ : state) {
-    std::size_t lits = 0;
-    for (const auto& c : controllers) lits += synthesize_logic(c).literal_count(true);
-    benchmark::DoNotOptimize(lits);
-  }
-}
-BENCHMARK(BM_LogicSynthesisDiffeq);
+  // Extraction + LT on a pre-transformed graph (built lazily, during the
+  // warmup, and shared across repeats so only extraction itself is timed).
+  for (int n : {10, 20, 40})
+    add("lt", "lt.extract_plus_lt_n" + std::to_string(n),
+        [n, prepared = std::shared_ptr<std::pair<Cdfg, ChannelPlan>>()](
+            perf::BenchContext& ctx) mutable {
+          if (!prepared) {
+            Cdfg g = random_program(sized(n), 42);
+            auto res = run_global_transforms(g);
+            prepared = std::make_shared<std::pair<Cdfg, ChannelPlan>>(
+                std::move(g), std::move(res.plan));
+          }
+          auto controllers = extract_controllers(prepared->first, prepared->second);
+          for (auto& c : controllers) run_local_transforms(c);
+          ctx.counters["controllers"] = static_cast<double>(controllers.size());
+        });
 
-void BM_TokenSimulationDiffeq(benchmark::State& state) {
-  Cdfg g = diffeq();
-  run_global_transforms(g);
-  std::map<std::string, std::int64_t> init{{"X", 0}, {"a", state.range(0)}, {"dx", 1},
-                                           {"U", 3},  {"Y", 1}, {"X1", 0}, {"C", 1}};
-  for (auto _ : state) {
-    auto r = run_token_sim(g, init);
-    benchmark::DoNotOptimize(r.finish_time);
-  }
-}
-BENCHMARK(BM_TokenSimulationDiffeq)->Arg(8)->Arg(64);
+  add("logic", "logic.minimize_diffeq",
+      [prepared = std::shared_ptr<std::vector<ExtractedController>>()](
+          perf::BenchContext& ctx) mutable {
+        if (!prepared) {
+          Cdfg g = diffeq();
+          auto res = run_global_transforms(g);
+          auto controllers = extract_controllers(g, res.plan);
+          for (auto& c : controllers) run_local_transforms(c);
+          prepared = std::make_shared<std::vector<ExtractedController>>(
+              std::move(controllers));
+        }
+        std::size_t lits = 0;
+        for (const auto& c : *prepared) lits += synthesize_logic(c).literal_count(true);
+        ctx.counters["literals"] = static_cast<double>(lits);
+      });
 
-// --- parallel synthesis runtime ------------------------------------------
+  for (std::int64_t a : {std::int64_t{8}, std::int64_t{64}})
+    add("sim", "sim.token_diffeq_a" + std::to_string(a),
+        [a, prepared = std::shared_ptr<Cdfg>()](perf::BenchContext& ctx) mutable {
+          if (!prepared) {
+            prepared = std::make_shared<Cdfg>(diffeq());
+            run_global_transforms(*prepared);
+          }
+          std::map<std::string, std::int64_t> init{{"X", 0}, {"a", a},  {"dx", 1},
+                                                   {"U", 3}, {"Y", 1},  {"X1", 0},
+                                                   {"C", 1}};
+          auto r = run_token_sim(*prepared, init);
+          ctx.counters["finish_time"] = static_cast<double>(r.finish_time);
+        });
 
-void BM_FlowExecutorCold(benchmark::State& state) {
-  // Full flow (frontend -> transforms -> extract -> logic, no sim) with the
-  // stage cache disabled: the serial baseline cost of one design point.
-  FlowRequest req = make_builtin_request(*find_builtin("diffeq"),
-                                         "gt1; gt2; gt3; gt4; gt2; gt5; lt");
-  req.simulate = false;
-  for (auto _ : state) {
+  // --- parallel synthesis runtime ------------------------------------------
+
+  add("flow", "flow.cold_diffeq", [](perf::BenchContext& ctx) {
+    // Full flow (frontend -> transforms -> extract -> logic, no sim) with
+    // the stage cache disabled: the serial baseline cost of one point.
+    FlowRequest req = make_builtin_request(*find_builtin("diffeq"),
+                                           "gt1; gt2; gt3; gt4; gt2; gt5; lt");
+    req.simulate = false;
     FlowExecutor::Options o;
     o.cache_capacity = 0;
     FlowExecutor exec(nullptr, o);
     auto p = exec.run(req);
-    benchmark::DoNotOptimize(p.literals);
-  }
-}
-BENCHMARK(BM_FlowExecutorCold)->Unit(benchmark::kMillisecond);
+    ctx.counters["literals"] = static_cast<double>(p.literals);
+  });
 
-void BM_FlowExecutorWarm(benchmark::State& state) {
-  // The same point served from a warm stage cache — the steady-state cost
-  // of a repeated recipe in a DSE batch.
-  FlowRequest req = make_builtin_request(*find_builtin("diffeq"),
-                                         "gt1; gt2; gt3; gt4; gt2; gt5; lt");
-  req.simulate = false;
-  FlowExecutor exec(nullptr);
-  exec.run(req);  // prime
-  for (auto _ : state) {
-    auto p = exec.run(req);
-    benchmark::DoNotOptimize(p.literals);
-  }
-}
-BENCHMARK(BM_FlowExecutorWarm)->Unit(benchmark::kMicrosecond);
+  add("flow", "flow.warm_diffeq",
+      [exec = std::shared_ptr<FlowExecutor>()](perf::BenchContext& ctx) mutable {
+        // The same point served from a warm stage cache — the steady-state
+        // cost of a repeated recipe in a DSE batch.
+        FlowRequest req = make_builtin_request(*find_builtin("diffeq"),
+                                               "gt1; gt2; gt3; gt4; gt2; gt5; lt");
+        req.simulate = false;
+        if (!exec) {
+          exec = std::make_shared<FlowExecutor>(nullptr);
+          exec->run(req);  // prime
+        }
+        auto p = exec->run(req);
+        ctx.counters["literals"] = static_cast<double>(p.literals);
+      });
 
-void BM_ThreadPoolSubmitDrain(benchmark::State& state) {
-  // Raw pool overhead: submit N trivial tasks and drain them.
-  ThreadPool pool(2);
-  const int n = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    std::atomic<int> hits{0};
-    for (int i = 0; i < n; ++i)
-      pool.submit([&hits] { hits.fetch_add(1, std::memory_order_relaxed); });
-    pool.wait_idle();
-    benchmark::DoNotOptimize(hits.load());
-  }
-}
-BENCHMARK(BM_ThreadPoolSubmitDrain)->Arg(64)->Arg(512);
+  for (int n : {64, 512})
+    add("pool", "pool.submit_drain_n" + std::to_string(n),
+        [n, pool = std::shared_ptr<ThreadPool>()](perf::BenchContext& ctx) mutable {
+          // Raw pool overhead: submit N trivial tasks and drain them.
+          if (!pool) pool = std::make_shared<ThreadPool>(2);
+          std::atomic<int> hits{0};
+          for (int i = 0; i < n; ++i)
+            pool->submit([&hits] { hits.fetch_add(1, std::memory_order_relaxed); });
+          pool->wait_idle();
+          ctx.counters["tasks"] = hits.load();
+        });
 
-void BM_StageCacheHit(benchmark::State& state) {
-  StageCache cache;
-  Fingerprint key = FingerprintBuilder().add("bench-key").digest();
-  cache.get_or_compute<int>(key, [] { return 42; });
-  for (auto _ : state) {
-    auto v = cache.get_or_compute<int>(key, [] { return 42; });
-    benchmark::DoNotOptimize(*v);
-  }
+  add("cache", "cache.hit",
+      [cache = std::shared_ptr<StageCache>()](perf::BenchContext& ctx) mutable {
+        Fingerprint key = FingerprintBuilder().add("bench-key").digest();
+        if (!cache) {
+          cache = std::make_shared<StageCache>();
+          cache->get_or_compute<int>(key, [] { return 42; });
+        }
+        long long sink = 0;
+        for (int i = 0; i < 1000; ++i)
+          sink += *cache->get_or_compute<int>(key, [] { return 42; });
+        ctx.counters["lookups"] = 1000;
+        (void)sink;
+      });
 }
-BENCHMARK(BM_StageCacheHit);
 
 }  // namespace
-}  // namespace adc
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path, filter;
+  perf::MeasureOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "perf_transforms: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--json") json_path = next();
+    else if (arg == "--quick") opts = perf::MeasureOptions::quick_mode();
+    else if (arg == "--filter") filter = next();
+    else if (arg == "--repeats") opts.repeats = static_cast<unsigned>(std::stoul(next()));
+    else if (arg == "--warmup") opts.warmup = static_cast<unsigned>(std::stoul(next()));
+    else {
+      std::fprintf(stderr,
+                   "usage: perf_transforms [--json FILE] [--quick] "
+                   "[--filter STR] [--repeats N] [--warmup N]\n");
+      return arg == "--help" || arg == "-h" ? 0 : 2;
+    }
+  }
+
+  register_benchmarks();
+  perf::BenchReport rep = perf::run_registered({}, filter, opts, "perf_transforms");
+  std::printf("%s", perf::render_report(rep).c_str());
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << perf::to_json(rep) << "\n";
+    if (!out) {
+      std::fprintf(stderr, "perf_transforms: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "perf_transforms: wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,216 @@
+#include "perf/suites.hpp"
+
+#include <memory>
+#include <mutex>
+
+#include "extract/extract.hpp"
+#include "frontend/benchmarks.hpp"
+#include "frontend/parser.hpp"
+#include "logic/minimize.hpp"
+#include "ltrans/local.hpp"
+#include "perf/measure.hpp"
+#include "runtime/flow.hpp"
+#include "sim/event_sim.hpp"
+#include "sim/token_sim.hpp"
+#include "transforms/global.hpp"
+#include "transforms/pipeline.hpp"
+
+namespace adc {
+namespace perf {
+
+namespace {
+
+constexpr const char* kFullRecipe = "gt1; gt2; gt3; gt4; gt2; gt5; lt";
+
+RandomProgramParams sized(int stmts) {
+  RandomProgramParams p;
+  p.alus = 3;
+  p.mults = 2;
+  p.stmts = stmts;
+  p.regs = 8;
+  return p;
+}
+
+// Lazily-built shared inputs: the fully synthesized DIFFEQ system at the
+// paper's full recipe, reused by the lt/logic/sim suites so each suite
+// times only its own stage.
+struct DiffeqArtifacts {
+  Cdfg g{"empty"};
+  ChannelPlan plan;
+  std::vector<ControllerInstance> instances;
+};
+
+std::shared_ptr<const DiffeqArtifacts> diffeq_artifacts() {
+  static std::shared_ptr<const DiffeqArtifacts> cached = [] {
+    auto a = std::make_shared<DiffeqArtifacts>();
+    a->g = diffeq();
+    auto res = run_global_transforms(a->g);
+    a->plan = std::move(res.plan);
+    for (auto& c : extract_controllers(a->g, a->plan)) {
+      ControllerInstance inst;
+      inst.shared_signals = run_local_transforms(c).shared_signals;
+      inst.controller = std::move(c);
+      a->instances.push_back(std::move(inst));
+    }
+    return a;
+  }();
+  return cached;
+}
+
+std::map<std::string, std::int64_t> diffeq_init(std::int64_t a = 8) {
+  return {{"X", 0}, {"a", a}, {"dx", 1}, {"U", 3}, {"Y", 1}, {"X1", 0}, {"C", 1}};
+}
+
+void add(const char* suite, const char* name,
+         std::function<void(BenchContext&)> fn) {
+  BenchRegistry::instance().add({suite, name, std::move(fn)});
+}
+
+void register_frontend() {
+  add("frontend", "frontend.diffeq_build", [](BenchContext&) {
+    Cdfg g = diffeq();
+    volatile std::size_t sink = g.live_arc_count();
+    (void)sink;
+  });
+  add("frontend", "frontend.diffeq_parse", [](BenchContext&) {
+    Cdfg g = parse_program(diffeq_source());
+    volatile std::size_t sink = g.live_arc_count();
+    (void)sink;
+  });
+  add("frontend", "frontend.random_arcgen", [](BenchContext& ctx) {
+    Cdfg g = random_program(sized(ctx.quick ? 20 : 80), 42);
+    ctx.counters["arcs"] = static_cast<double>(g.live_arc_count());
+  });
+}
+
+void register_gt() {
+  add("gt", "gt.pipeline_diffeq", [](BenchContext& ctx) {
+    Cdfg g = diffeq();
+    auto res = run_global_transforms(g);
+    ctx.counters["channels"] =
+        static_cast<double>(res.plan.count_controller_channels());
+  });
+  add("gt", "gt.pipeline_random", [](BenchContext& ctx) {
+    Cdfg g = random_program(sized(ctx.quick ? 10 : 40), 42);
+    auto res = run_global_transforms(g);
+    ctx.counters["channels"] =
+        static_cast<double>(res.plan.count_controller_channels());
+  });
+  add("gt", "gt.gt2_random", [](BenchContext& ctx) {
+    Cdfg g = random_program(sized(ctx.quick ? 20 : 80), 42);
+    auto res = gt2_remove_dominated(g);
+    ctx.counters["arcs_removed"] = static_cast<double>(res.arcs_removed);
+  });
+}
+
+void register_lt() {
+  add("lt", "lt.extract_plus_lt_diffeq", [](BenchContext& ctx) {
+    auto a = diffeq_artifacts();
+    auto controllers = extract_controllers(a->g, a->plan);
+    std::size_t states = 0;
+    for (auto& c : controllers) {
+      run_local_transforms(c);
+      states += c.machine.state_count();
+    }
+    ctx.counters["states"] = static_cast<double>(states);
+  });
+}
+
+void register_logic() {
+  add("logic", "logic.minimize_diffeq", [](BenchContext& ctx) {
+    auto a = diffeq_artifacts();
+    std::size_t lits = 0;
+    for (const auto& inst : a->instances)
+      lits += synthesize_logic(inst.controller).literal_count(true);
+    ctx.counters["literals"] = static_cast<double>(lits);
+  });
+}
+
+void register_sim() {
+  add("sim", "sim.token_diffeq_gt", [](BenchContext& ctx) {
+    static const std::shared_ptr<const Cdfg> g = [] {
+      auto gp = std::make_shared<Cdfg>(diffeq());
+      run_global_transforms(*gp);
+      return gp;
+    }();
+    Cdfg run_g = *g;
+    TokenSimOptions o;
+    o.randomize_delays = false;
+    auto r = run_token_sim(run_g, diffeq_init(8), o);
+    ctx.counters["finish_time"] = static_cast<double>(r.finish_time);
+  });
+  add("sim", "sim.event_diffeq_full", [](BenchContext& ctx) {
+    auto a = diffeq_artifacts();
+    EventSimOptions o;
+    o.randomize_delays = false;
+    auto r = run_event_sim(a->g, a->plan, a->instances, diffeq_init(8), o);
+    ctx.counters["latency"] = static_cast<double>(r.finish_time);
+    ctx.counters["events"] = static_cast<double>(r.events);
+    ctx.counters["operations"] = static_cast<double>(r.operations);
+  });
+}
+
+void register_flow() {
+  add("flow", "flow.cold_diffeq", [](BenchContext& ctx) {
+    FlowRequest req = make_builtin_request(*find_builtin("diffeq"), kFullRecipe);
+    req.simulate = false;
+    FlowExecutor::Options o;
+    o.cache_capacity = 0;
+    FlowExecutor exec(nullptr, o);
+    FlowPoint p = exec.run(req);
+    ctx.counters["literals"] = static_cast<double>(p.literals);
+    for (const auto& t : p.timings)
+      ctx.stages.push_back({t.stage, t.micros, t.cpu_micros, t.cached});
+  });
+  add("flow", "flow.warm_diffeq", [](BenchContext& ctx) {
+    static const std::shared_ptr<FlowExecutor> exec = [] {
+      auto e = std::make_shared<FlowExecutor>(nullptr);
+      FlowRequest req = make_builtin_request(*find_builtin("diffeq"), kFullRecipe);
+      req.simulate = false;
+      e->run(req);  // prime the stage cache
+      return e;
+    }();
+    FlowRequest req = make_builtin_request(*find_builtin("diffeq"), kFullRecipe);
+    req.simulate = false;
+    FlowPoint p = exec->run(req);
+    ctx.counters["literals"] = static_cast<double>(p.literals);
+    for (const auto& t : p.timings)
+      ctx.stages.push_back({t.stage, t.micros, t.cpu_micros, t.cached});
+  });
+}
+
+void register_dse() {
+  add("dse", "dse.grid_cold_serial", [](BenchContext& ctx) {
+    auto grid = gt_ablation_grid(true);
+    if (ctx.quick) grid.resize(8);
+    std::vector<FlowRequest> reqs;
+    for (const auto& script : grid) {
+      FlowRequest req = make_builtin_request(*find_builtin("diffeq"), script);
+      req.simulate = false;
+      reqs.push_back(std::move(req));
+    }
+    FlowExecutor exec(nullptr);  // fresh cache every iteration
+    auto points = exec.run_all(reqs);
+    CacheStats cs = exec.cache().stats();
+    ctx.counters["points"] = static_cast<double>(points.size());
+    ctx.counters["cache_hit_rate"] = cs.hit_rate();
+  });
+}
+
+}  // namespace
+
+void register_default_suites() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    register_frontend();
+    register_gt();
+    register_lt();
+    register_logic();
+    register_sim();
+    register_flow();
+    register_dse();
+  });
+}
+
+}  // namespace perf
+}  // namespace adc

@@ -1,0 +1,23 @@
+#pragma once
+// The toolchain's registered benchmark suites — the `bench/perf_*` drivers
+// and `tools/adc_bench` run these through perf/measure.hpp:
+//
+//   frontend  graph construction and DSL parsing
+//   gt        the global-transform pipeline (and GT2 alone) on growing CDFGs
+//   lt        controller extraction + the local-transform pipeline
+//   logic     hazard-free two-level logic minimization
+//   sim       token- and gate-level event simulation of DIFFEQ
+//   flow      FlowExecutor end-to-end (cold and warm cache), with the
+//             executor's per-stage wall+CPU timings attached to the record
+//   dse       the batch GT ablation grid through the parallel runtime
+//
+// register_default_suites() is idempotent; quick mode (BenchContext::quick)
+// shrinks the random-program sizes and the DSE grid.
+
+namespace adc {
+namespace perf {
+
+void register_default_suites();
+
+}  // namespace perf
+}  // namespace adc

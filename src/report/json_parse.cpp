@@ -61,8 +61,13 @@ class Parser {
     return true;
   }
 
+  // Recursion guard: deeply nested documents must error, not smash the
+  // stack.  200 levels is far beyond any report this toolchain emits.
+  static constexpr int kMaxDepth = 200;
+
   JsonValue parse_value() {
     skip_ws();
+    if (depth_ >= kMaxDepth) fail("nesting too deep");
     switch (peek()) {
       case '{': return parse_object();
       case '[': return parse_array();
@@ -95,12 +100,14 @@ class Parser {
   }
 
   JsonValue parse_object() {
+    ++depth_;
     JsonValue v;
     v.kind = JsonValue::Kind::kObject;
     expect('{');
     skip_ws();
     if (peek() == '}') {
       ++pos_;
+      --depth_;
       return v;
     }
     while (true) {
@@ -115,17 +122,20 @@ class Parser {
         continue;
       }
       expect('}');
+      --depth_;
       return v;
     }
   }
 
   JsonValue parse_array() {
+    ++depth_;
     JsonValue v;
     v.kind = JsonValue::Kind::kArray;
     expect('[');
     skip_ws();
     if (peek() == ']') {
       ++pos_;
+      --depth_;
       return v;
     }
     while (true) {
@@ -136,6 +146,7 @@ class Parser {
         continue;
       }
       expect(']');
+      --depth_;
       return v;
     }
   }
@@ -209,6 +220,7 @@ class Parser {
 
   const std::string& s_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

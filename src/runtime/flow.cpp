@@ -54,11 +54,11 @@ std::shared_ptr<const Cdfg> FlowExecutor::frontend_stage(const FlowRequest& req,
   fb.add("frontend").add(req.benchmark).add(req.source);
   key = fb.digest();
   bool computed = false;
-  std::uint64_t us = 0;
+  std::uint64_t us = 0, cpu = 0;
   std::shared_ptr<const Cdfg> parsed;
   {
     ScopedSpan span(opts_.tracer, "frontend");
-    StageTimer t(&metrics_.histogram("stage.frontend"), &us);
+    StageTimer t(&metrics_.histogram("stage.frontend"), &us, &cpu);
     parsed = cache_.get_or_compute<Cdfg>(key, [&]() -> Cdfg {
       computed = true;
       if (!req.source.empty()) return parse_program(req.source);
@@ -68,7 +68,7 @@ std::shared_ptr<const Cdfg> FlowExecutor::frontend_stage(const FlowRequest& req,
     });
     span.arg("cache", computed ? "miss" : "hit");
   }
-  p.timings.push_back({"frontend", us, !computed});
+  p.timings.push_back({"frontend", us, cpu, !computed});
   return parsed;
 }
 
@@ -76,12 +76,12 @@ std::shared_ptr<const FlowExecutor::GlobalSnapshot> FlowExecutor::global_stage(
     const FlowRequest& req, const TransformScript& script,
     std::shared_ptr<const Cdfg> parsed, Fingerprint key, FlowPoint& p) {
   Fingerprint delays_fp = fingerprint_delays(req.delays);
-  std::uint64_t us = 0;
+  std::uint64_t us = 0, cpu = 0;
   std::size_t steps_run = 0, steps_total = 0;
   std::shared_ptr<const GlobalSnapshot> snap;
   {
     ScopedSpan gspan(opts_.tracer, "global");
-    StageTimer t(&metrics_.histogram("stage.global"), &us);
+    StageTimer t(&metrics_.histogram("stage.global"), &us, &cpu);
     for (std::size_t i = 0; i < script.step_count(); ++i) {
       std::string step = script.step_string(i);
       if (is_lt_step(step)) continue;  // no global action; keyed downstream
@@ -124,7 +124,7 @@ std::shared_ptr<const FlowExecutor::GlobalSnapshot> FlowExecutor::global_stage(
   }
   metrics_.counter("flow.gt_steps").add(steps_total);
   metrics_.counter("flow.gt_steps_cached").add(steps_total - steps_run);
-  p.timings.push_back({"global", us, steps_total > 0 && steps_run == 0});
+  p.timings.push_back({"global", us, cpu, steps_total > 0 && steps_run == 0});
   return snap;
 }
 
@@ -135,11 +135,11 @@ std::shared_ptr<const ControllerSet> FlowExecutor::controller_stage(
   fb.add(key).add("extract+lt").add(script.to_string());
   Fingerprint ckey = fb.digest();
   bool computed = false;
-  std::uint64_t us = 0;
+  std::uint64_t us = 0, cpu = 0;
   std::shared_ptr<const ControllerSet> set;
   {
     ScopedSpan span(opts_.tracer, "controllers");
-    StageTimer t(&metrics_.histogram("stage.controllers"), &us);
+    StageTimer t(&metrics_.histogram("stage.controllers"), &us, &cpu);
     set = cache_.get_or_compute<ControllerSet>(ckey, [&]() -> ControllerSet {
       computed = true;
       ControllerSet out;
@@ -192,7 +192,7 @@ std::shared_ptr<const ControllerSet> FlowExecutor::controller_stage(
     });
     span.arg("cache", computed ? "miss" : "hit");
   }
-  p.timings.push_back({"controllers", us, !computed});
+  p.timings.push_back({"controllers", us, cpu, !computed});
   return set;
 }
 
@@ -286,11 +286,19 @@ FlowPoint FlowExecutor::run(const FlowRequest& req) {
     if (req.provenance) p.provenance = build_provenance(p, *parsed, *snap, *set);
 
     if (req.simulate) {
-      std::uint64_t us = 0;
+      std::uint64_t us = 0, cpu = 0;
       {
         ScopedSpan sspan(opts_.tracer, "sim");
-        StageTimer t(&metrics_.histogram("stage.sim"), &us);
-        auto r = run_event_sim(snap->g, set->plan, set->instances, req.init, req.sim);
+        StageTimer t(&metrics_.histogram("stage.sim"), &us, &cpu);
+        EventSimOptions sim_opts = req.sim;
+        std::vector<SimEventRecord> event_log;
+        if (req.critical_path && !sim_opts.event_log)
+          sim_opts.event_log = &event_log;
+        auto r = run_event_sim(snap->g, set->plan, set->instances, req.init, sim_opts);
+        if (req.critical_path && sim_opts.event_log)
+          p.critical_path = std::make_shared<const CriticalPathResult>(
+              analyze_critical_path(*sim_opts.event_log, r.final_event,
+                                    r.finish_time));
         p.latency = r.finish_time;
         p.sim_events = r.events;
         p.sim_operations = r.operations;
@@ -313,7 +321,7 @@ FlowPoint FlowExecutor::run(const FlowRequest& req) {
         }
         sspan.arg("ok", r.completed);
       }
-      p.timings.push_back({"sim", us, false});
+      p.timings.push_back({"sim", us, cpu, false});
     }
   } catch (const std::exception& e) {
     p.ok = false;
@@ -383,10 +391,15 @@ void write_json(JsonWriter& w, const FlowPoint& p,
     w.begin_object();
     w.kv("stage", t.stage);
     w.kv("us", t.micros);
+    w.kv("cpu_us", t.cpu_micros);
     w.kv("cached", t.cached);
     w.end_object();
   }
   w.end_array();
+  if (p.critical_path) {
+    w.key("critical_path");
+    p.critical_path->write_json(w);
+  }
   w.end_object();
 }
 

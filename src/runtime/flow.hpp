@@ -62,6 +62,9 @@ struct FlowRequest {
   DelayModel delays = DelayModel::typical();
   // Build the reconciled per-run ProvenanceReport (FlowPoint::provenance).
   bool provenance = false;
+  // Record the simulator's causal event log and attribute the end-to-end
+  // latency (FlowPoint::critical_path).  Implies nothing unless simulate.
+  bool critical_path = false;
 };
 
 struct ControllerMetrics {
@@ -88,8 +91,9 @@ struct ControllerSet {
 
 struct StageTiming {
   std::string stage;
-  std::uint64_t micros = 0;
-  bool cached = false;  // served from the stage cache
+  std::uint64_t micros = 0;      // wall time
+  std::uint64_t cpu_micros = 0;  // executing thread's CPU time
+  bool cached = false;           // served from the stage cache
 };
 
 // Figure-12/13 style quality metrics of one evaluated design point.
@@ -120,6 +124,8 @@ struct FlowPoint {
   std::shared_ptr<const Cdfg> graph;
   // Reconciled decision log (only when FlowRequest::provenance was set).
   std::shared_ptr<const ProvenanceReport> provenance;
+  // Latency attribution (only when FlowRequest::critical_path + simulate).
+  std::shared_ptr<const CriticalPathResult> critical_path;
 };
 
 // JSON serialization of one point / a batch report (uses report/json.hpp).

@@ -1,5 +1,7 @@
 #include "runtime/metrics.hpp"
 
+#include <ctime>
+
 #include "report/json.hpp"
 
 namespace adc {
@@ -136,8 +138,24 @@ void MetricsRegistry::write_json(JsonWriter& w) const {
   w.end_object();
 }
 
-StageTimer::StageTimer(Histogram* hist, std::uint64_t* out_micros)
-    : hist_(hist), out_(out_micros), start_(std::chrono::steady_clock::now()) {}
+std::uint64_t thread_cpu_micros() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0)
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1000000u +
+           static_cast<std::uint64_t>(ts.tv_nsec) / 1000u;
+#endif
+  return static_cast<std::uint64_t>(
+      static_cast<double>(std::clock()) * 1e6 / CLOCKS_PER_SEC);
+}
+
+StageTimer::StageTimer(Histogram* hist, std::uint64_t* out_micros,
+                       std::uint64_t* out_cpu_micros)
+    : hist_(hist),
+      out_(out_micros),
+      out_cpu_(out_cpu_micros),
+      start_(std::chrono::steady_clock::now()),
+      cpu_start_(thread_cpu_micros()) {}
 
 std::uint64_t StageTimer::elapsed_micros() const {
   auto d = std::chrono::steady_clock::now() - start_;
@@ -145,10 +163,17 @@ std::uint64_t StageTimer::elapsed_micros() const {
       std::chrono::duration_cast<std::chrono::microseconds>(d).count());
 }
 
+std::uint64_t StageTimer::elapsed_cpu_micros() const {
+  std::uint64_t now = thread_cpu_micros();
+  return now > cpu_start_ ? now - cpu_start_ : 0;
+}
+
 StageTimer::~StageTimer() {
+  std::uint64_t cpu = elapsed_cpu_micros();
   std::uint64_t us = elapsed_micros();
   if (hist_) hist_->record_micros(us);
   if (out_) *out_ = us;
+  if (out_cpu_) *out_cpu_ = cpu;
 }
 
 }  // namespace adc

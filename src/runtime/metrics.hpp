@@ -100,21 +100,32 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
-// RAII stage timer: records elapsed wall time into a histogram (and an
-// optional per-run accumulator) on destruction.
+// Current thread's consumed CPU time in microseconds
+// (CLOCK_THREAD_CPUTIME_ID on POSIX; a process-wide std::clock fallback
+// elsewhere).  Monotonic per thread — subtract two samples for a span.
+std::uint64_t thread_cpu_micros();
+
+// RAII stage timer: records elapsed wall time into a histogram (and
+// optional per-run wall/CPU accumulators) on destruction.  CPU time is the
+// executing thread's, so cached stages show near-zero CPU while a wall
+// measurement still captures lock waits.
 class StageTimer {
  public:
-  explicit StageTimer(Histogram* hist, std::uint64_t* out_micros = nullptr);
+  explicit StageTimer(Histogram* hist, std::uint64_t* out_micros = nullptr,
+                      std::uint64_t* out_cpu_micros = nullptr);
   ~StageTimer();
   StageTimer(const StageTimer&) = delete;
   StageTimer& operator=(const StageTimer&) = delete;
 
   std::uint64_t elapsed_micros() const;
+  std::uint64_t elapsed_cpu_micros() const;
 
  private:
   Histogram* hist_;
   std::uint64_t* out_;
+  std::uint64_t* out_cpu_;
   std::chrono::steady_clock::time_point start_;
+  std::uint64_t cpu_start_;
 };
 
 }  // namespace adc

@@ -1,0 +1,103 @@
+#pragma once
+// Critical-path latency attribution for the gate-level event simulator.
+//
+// The simulator can record a causal event log: every scheduled event
+// remembers which event's application scheduled it (its parent — by
+// construction the *last-arriving* precondition, which is exactly the
+// critical one).  Walking parents back from the final applied event yields
+// the critical path of the whole run, and because consecutive event times
+// telescope, the segment durations sum to the end-to-end latency — the
+// analyzer attributes it to concrete channels, controllers and
+// micro-operation phases:
+//
+//   request-wait   a channel (global ready / environment) transition
+//   micro-op       a local controller<->datapath handshake wire
+//   op             a functional-unit computation
+//   register-write a latch commit into the register file
+//   done           a functional unit's completion wire
+//
+// The result answers the paper's §3.1 question quantitatively: *which*
+// handshake chains the GT/LT transforms must shorten next.  Exposed as
+// `adc_synth --critical-path` and per-point in `adc_dse --json`.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace adc {
+
+class JsonWriter;
+
+// Phase taxonomy of one simulator event.
+enum class SimPhase { kRequestWait, kMicroOp, kOp, kRegWrite, kDone };
+const char* to_string(SimPhase p);
+
+// One scheduled event, as recorded by the simulator (ids are dense and
+// increasing in schedule order).
+struct SimEventRecord {
+  std::int64_t id = 0;
+  std::int64_t parent = -1;  // scheduling event; -1 = environment root
+  std::int64_t time = 0;
+  SimPhase phase = SimPhase::kMicroOp;
+  std::string controller;  // owning controller; "" = channel fabric / env
+  std::string label;       // channel wire, signal, FU or register name
+  bool applied = false;    // popped and applied (vs. drained unapplied)
+};
+
+// One edge of the critical chain: the wait from the parent's time to this
+// event's time, attributed to the event's phase/controller/label.
+struct CriticalSegment {
+  std::int64_t start = 0;
+  std::int64_t end = 0;
+  SimPhase phase = SimPhase::kMicroOp;
+  std::string controller;
+  std::string label;
+  std::int64_t duration() const { return end - start; }
+};
+
+// A maximal run of consecutive critical segments with the same phase,
+// controller and label — "the path sat in MUL1's multiply for 160 ticks",
+// "the path crossed channel A2_done 3 times for 90 ticks".
+struct CriticalChain {
+  SimPhase phase = SimPhase::kMicroOp;
+  std::string controller;
+  std::string label;
+  std::int64_t start = 0;
+  std::int64_t end = 0;
+  std::int64_t duration = 0;  // sum of member segment durations
+  std::size_t events = 0;
+};
+
+struct CriticalPathResult {
+  std::int64_t total_latency = 0;  // the simulation's finish time
+  std::int64_t attributed = 0;     // sum of critical segment durations
+  double attributed_fraction() const {
+    return total_latency > 0
+               ? static_cast<double>(attributed) / static_cast<double>(total_latency)
+               : 0.0;
+  }
+
+  // Root-to-final order.
+  std::vector<CriticalSegment> segments;
+  // Aggregations over the critical path (keys: phase name / controller
+  // name with "" rendered as "(channels)" / channel label).
+  std::map<std::string, std::int64_t> by_phase;
+  std::map<std::string, std::int64_t> by_controller;
+  std::map<std::string, std::int64_t> by_channel;
+
+  // The k longest contiguous chains, longest first.
+  std::vector<CriticalChain> top_chains(std::size_t k) const;
+
+  std::string to_table(std::size_t top_k = 5) const;
+  void write_json(JsonWriter& w, std::size_t top_k = 5) const;
+};
+
+// Walks the causal log back from `final_event` (the applied event that
+// completed the run).  `total_latency` is the simulator's finish time; the
+// analyzer never attributes more than it observed.
+CriticalPathResult analyze_critical_path(const std::vector<SimEventRecord>& log,
+                                         std::int64_t final_event,
+                                         std::int64_t total_latency);
+
+}  // namespace adc

@@ -120,6 +120,14 @@ class EventSim {
         res_.error = "event budget exhausted (livelock?)";
         break;
       }
+      if (opts_.event_log && static_cast<std::size_t>(ev.seq) < opts_.event_log->size()) {
+        (*opts_.event_log)[static_cast<std::size_t>(ev.seq)].applied = true;
+        applying_ = ev.seq;
+        if (ev.time >= final_applied_time_) {
+          final_applied_time_ = ev.time;
+          res_.final_event = ev.seq;
+        }
+      }
       apply(ev);
       if (!res_.error.empty()) break;
     }
@@ -148,7 +156,53 @@ class EventSim {
 
   void schedule(Ev ev) {
     res_.finish_time = std::max(res_.finish_time, ev.time);
+    if (opts_.event_log) record(ev);
     events_.push(std::move(ev));
+  }
+
+  // Appends the scheduled event to the causal log, classified for
+  // critical-path attribution.  The parent is the event being applied
+  // right now — the last-arriving precondition of this one.
+  void record(const Ev& ev) {
+    SimEventRecord r;
+    r.id = ev.seq;
+    r.parent = applying_;
+    r.time = ev.time;
+    switch (ev.kind) {
+      case EvKind::kChannelToggle: {
+        r.phase = SimPhase::kRequestWait;
+        const Channel& c = plan_.channels()[ev.channel];
+        r.label = c.wire.empty() ? "ch" + std::to_string(ev.channel) : c.wire;
+        break;
+      }
+      case EvKind::kLocalSet: {
+        const Ctrl& c = ctrls_[static_cast<std::size_t>(ev.ctrl)];
+        r.controller = c.ec->machine.name();
+        r.label = c.ec->machine.signal(ev.sig).name;
+        const SignalBinding* b = binding(c, ev.sig);
+        r.phase = b && b->role == SignalRole::kFuDone ? SimPhase::kDone
+                                                      : SimPhase::kMicroOp;
+        break;
+      }
+      case EvKind::kFuCompute: {
+        const Ctrl& c = ctrls_[static_cast<std::size_t>(ev.ctrl)];
+        r.controller = c.ec->machine.name();
+        r.label = g_.fu(c.ec->fu).name;
+        r.phase = SimPhase::kOp;
+        break;
+      }
+      case EvKind::kRegWrite: {
+        const Ctrl& c = ctrls_[static_cast<std::size_t>(ev.ctrl)];
+        r.controller = c.ec->machine.name();
+        r.label = ev.reg;
+        r.phase = SimPhase::kRegWrite;
+        break;
+      }
+    }
+    auto& log = *opts_.event_log;
+    if (static_cast<std::size_t>(ev.seq) > log.size())
+      log.resize(static_cast<std::size_t>(ev.seq));  // defensive: keep ids dense
+    log.push_back(std::move(r));
   }
 
   Wire& local_wire(Ctrl& c, SignalId s) { return c.local[s.value()]; }
@@ -419,6 +473,10 @@ class EventSim {
   bool env_withdrawn_ = false;
   std::priority_queue<Ev, std::vector<Ev>, std::greater<Ev>> events_;
   std::int64_t seq_ = 0;
+  // Critical-path log state: the event currently being applied (-1 during
+  // initialization) and the time of the latest applied event.
+  std::int64_t applying_ = -1;
+  std::int64_t final_applied_time_ = -1;
 };
 
 }  // namespace

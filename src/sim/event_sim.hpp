@@ -28,6 +28,7 @@
 #include "cdfg/delay.hpp"
 #include "channel/channel.hpp"
 #include "extract/extract.hpp"
+#include "sim/critical_path.hpp"
 
 namespace adc {
 
@@ -48,6 +49,10 @@ struct EventSimOptions {
   // Optional waveform capture: channel wires under scope "channels", each
   // controller's local wires and state under its own scope.  Not owned.
   VcdWriter* vcd = nullptr;
+  // Optional causal event log for critical-path attribution (not owned):
+  // every scheduled event is appended with its scheduling parent; feed the
+  // log and EventSimResult::final_event to analyze_critical_path().
+  std::vector<SimEventRecord>* event_log = nullptr;
 };
 
 struct EventSimResult {
@@ -58,6 +63,9 @@ struct EventSimResult {
   std::int64_t finish_time = 0;
   std::int64_t events = 0;
   std::int64_t operations = 0;  // FU activations observed
+  // Id (into EventSimOptions::event_log) of the last applied event at the
+  // latest simulation time; -1 when no log was attached.
+  std::int64_t final_event = -1;
 };
 
 // Simulates the system until the environment has received every completion

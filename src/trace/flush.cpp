@@ -1,0 +1,90 @@
+#include "trace/flush.hpp"
+
+#include <csignal>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+namespace adc {
+
+namespace {
+
+struct Entry {
+  int token = 0;
+  std::string name;
+  std::function<void()> flush;
+  bool done = false;
+};
+
+std::mutex& registry_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::vector<Entry>& registry() {
+  static std::vector<Entry> entries;
+  return entries;
+}
+
+void run_all_locked_once() {
+  // Move the pending callbacks out under the lock, run them outside it:
+  // a flush callback may itself unregister (via the tool's normal path).
+  std::vector<Entry> pending;
+  {
+    std::lock_guard<std::mutex> lk(registry_mu());
+    for (Entry& e : registry()) {
+      if (e.done || !e.flush) continue;
+      e.done = true;
+      pending.push_back(std::move(e));
+    }
+  }
+  for (Entry& e : pending) {
+    try {
+      e.flush();
+    } catch (...) {
+      // Exit/signal path: swallow — the other artifacts still deserve a
+      // chance to flush.
+    }
+  }
+}
+
+extern "C" void flush_signal_handler(int sig) {
+  run_all_locked_once();
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+void atexit_hook() { run_all_locked_once(); }
+
+}  // namespace
+
+int register_artifact_flush(const std::string& name, std::function<void()> flush) {
+  install_flush_handlers();
+  std::lock_guard<std::mutex> lk(registry_mu());
+  static int next_token = 1;
+  Entry e;
+  e.token = next_token++;
+  e.name = name;
+  e.flush = std::move(flush);
+  registry().push_back(std::move(e));
+  return registry().back().token;
+}
+
+void unregister_artifact_flush(int token) {
+  std::lock_guard<std::mutex> lk(registry_mu());
+  for (Entry& e : registry())
+    if (e.token == token) e.done = true;
+}
+
+void flush_artifacts_now() { run_all_locked_once(); }
+
+void install_flush_handlers() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    std::atexit(atexit_hook);
+    std::signal(SIGINT, flush_signal_handler);
+    std::signal(SIGTERM, flush_signal_handler);
+  });
+}
+
+}  // namespace adc

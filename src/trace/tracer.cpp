@@ -115,6 +115,26 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
       std::lock_guard<std::mutex> lk(buf->mu);
       events = buf->events;
     }
+    // Close spans still in flight (an interrupted run flushing mid-stage):
+    // a synthetic end per unmatched begin keeps B/E balanced per track.
+    std::vector<const TraceEvent*> open;
+    std::uint64_t last_ts = 0;
+    for (const TraceEvent& ev : events) {
+      last_ts = std::max(last_ts, ev.ts_micros);
+      if (ev.phase == TraceEvent::Phase::kBegin) open.push_back(&ev);
+      else if (ev.phase == TraceEvent::Phase::kEnd && !open.empty()) open.pop_back();
+    }
+    std::vector<TraceEvent> synthetic;  // built first: pushing into
+    for (auto it = open.rbegin(); it != open.rend(); ++it) {  // `events`
+      TraceEvent end;                   // would invalidate the pointers
+      end.phase = TraceEvent::Phase::kEnd;
+      end.name = (*it)->name;
+      end.category = (*it)->category;
+      end.ts_micros = std::max(last_ts, now_micros());
+      end.args.emplace_back("flushed", "interrupted");
+      synthetic.push_back(std::move(end));
+    }
+    for (auto& end : synthetic) events.push_back(std::move(end));
     for (const TraceEvent& ev : events) {
       w.begin_object();
       w.kv("name", ev.name);

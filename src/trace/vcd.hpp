@@ -46,6 +46,7 @@ class VcdWriter {
   void write(std::ostream& os) const;
 
   std::size_t var_count() const { return vars_.size(); }
+  std::size_t change_count() const { return changes_.size(); }
 
  private:
   struct Var {

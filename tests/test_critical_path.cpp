@@ -1,0 +1,169 @@
+// Critical-path latency attribution: the analyzer on a hand-built causal
+// log, and end-to-end through the FlowExecutor on DIFFEQ — the acceptance
+// bar is that >= 95% of the simulated end-to-end latency is attributed to
+// concrete channels/controllers/phases, deterministically.
+
+#include "sim/critical_path.hpp"
+
+#include <gtest/gtest.h>
+
+#include "report/json.hpp"
+#include "report/json_parse.hpp"
+#include "runtime/flow.hpp"
+
+namespace adc {
+namespace {
+
+// --- analyzer unit ---------------------------------------------------------
+
+std::vector<SimEventRecord> hand_built_log() {
+  // go(env) -> ALU1 req wire -> ALU1 compute -> register write, plus one
+  // off-path distractor event that must not be attributed.
+  std::vector<SimEventRecord> log(5);
+  log[0] = {0, -1, 0, SimPhase::kRequestWait, "", "go", true};
+  log[1] = {1, 0, 5, SimPhase::kMicroOp, "ALU1", "r1", true};
+  log[2] = {2, 1, 35, SimPhase::kOp, "ALU1", "ALU1", true};
+  log[3] = {3, 2, 40, SimPhase::kRegWrite, "", "X", true};
+  log[4] = {4, 0, 3, SimPhase::kMicroOp, "ALU2", "r2", true};  // off-path
+  return log;
+}
+
+TEST(CriticalPath, HandBuiltLogTelescopesToFullAttribution) {
+  CriticalPathResult res = analyze_critical_path(hand_built_log(), 3, 40);
+  EXPECT_EQ(res.total_latency, 40);
+  EXPECT_EQ(res.attributed, 40);
+  EXPECT_DOUBLE_EQ(res.attributed_fraction(), 1.0);
+  // Root-to-final order, times telescoping.
+  ASSERT_EQ(res.segments.size(), 4u);
+  EXPECT_EQ(res.segments[0].label, "go");
+  EXPECT_EQ(res.segments[3].label, "X");
+  for (std::size_t i = 1; i < res.segments.size(); ++i)
+    EXPECT_EQ(res.segments[i].start, res.segments[i - 1].end);
+  EXPECT_EQ(res.by_phase.at("op"), 30);
+  EXPECT_EQ(res.by_phase.at("micro-op"), 5);
+  EXPECT_EQ(res.by_phase.at("register-write"), 5);
+  EXPECT_EQ(res.by_controller.at("ALU1"), 35);
+  EXPECT_EQ(res.by_controller.count("ALU2"), 0u);  // distractor is off-path
+  // by_channel only aggregates request-wait segments.
+  EXPECT_EQ(res.by_channel.size(), 1u);
+  EXPECT_EQ(res.by_channel.at("go"), 0);
+}
+
+TEST(CriticalPath, TopChainsMergeConsecutiveSegmentsAndSortByDuration) {
+  CriticalPathResult res = analyze_critical_path(hand_built_log(), 3, 40);
+  auto chains = res.top_chains(10);
+  ASSERT_GE(chains.size(), 2u);
+  EXPECT_EQ(chains[0].phase, SimPhase::kOp);
+  EXPECT_EQ(chains[0].controller, "ALU1");
+  EXPECT_EQ(chains[0].duration, 30);
+  EXPECT_EQ(chains[0].events, 1u);
+  for (std::size_t i = 1; i < chains.size(); ++i)
+    EXPECT_LE(chains[i].duration, chains[i - 1].duration);
+  EXPECT_EQ(res.top_chains(1).size(), 1u);
+}
+
+TEST(CriticalPath, DegenerateInputsAreSafe) {
+  std::vector<SimEventRecord> log = hand_built_log();
+  // Out-of-range or negative final event: empty result, no crash.
+  EXPECT_EQ(analyze_critical_path(log, -1, 40).segments.size(), 0u);
+  EXPECT_EQ(analyze_critical_path(log, 99, 40).segments.size(), 0u);
+  EXPECT_EQ(analyze_critical_path({}, 0, 0).attributed, 0);
+  // A corrupt parent pointing forward must terminate the walk.
+  log[2].parent = 4;
+  CriticalPathResult res = analyze_critical_path(log, 3, 40);
+  EXPECT_LE(res.attributed, 40);
+}
+
+// --- end-to-end through the flow ------------------------------------------
+
+FlowPoint run_diffeq_with_critical_path() {
+  FlowRequest req = make_builtin_request(*find_builtin("diffeq"),
+                                         "gt1; gt2; gt3; gt4; gt2; gt5; lt");
+  req.critical_path = true;
+  FlowExecutor exec(nullptr);
+  return exec.run(req);
+}
+
+TEST(CriticalPath, FlowAttributesAtLeast95PercentOfDiffeqLatency) {
+  FlowPoint p = run_diffeq_with_critical_path();
+  ASSERT_TRUE(p.ok) << p.error;
+  ASSERT_TRUE(p.critical_path);
+  const CriticalPathResult& cp = *p.critical_path;
+  EXPECT_EQ(cp.total_latency, p.latency);
+  EXPECT_GE(cp.attributed_fraction(), 0.95)
+      << cp.attributed << " of " << cp.total_latency;
+  ASSERT_FALSE(cp.segments.empty());
+  // Segment times telescope root-to-final and sum to `attributed`.
+  std::int64_t sum = 0;
+  for (std::size_t i = 0; i < cp.segments.size(); ++i) {
+    EXPECT_LE(cp.segments[i].start, cp.segments[i].end);
+    if (i > 0) {
+      EXPECT_EQ(cp.segments[i].start, cp.segments[i - 1].end);
+    }
+    sum += cp.segments[i].duration();
+  }
+  EXPECT_EQ(sum, cp.attributed);
+  // The by-phase aggregation partitions the attributed time.
+  std::int64_t phase_sum = 0;
+  for (const auto& [phase, ticks] : cp.by_phase) phase_sum += ticks;
+  EXPECT_EQ(phase_sum, cp.attributed);
+  // DIFFEQ's latency is compute-bound: op time dominates and the top chain
+  // is a functional-unit computation.
+  EXPECT_GT(cp.by_phase.at("op"), 0);
+  auto chains = cp.top_chains(1);
+  ASSERT_EQ(chains.size(), 1u);
+  EXPECT_EQ(chains[0].phase, SimPhase::kOp);
+}
+
+TEST(CriticalPath, AttributionIsDeterministicAcrossRuns) {
+  FlowPoint a = run_diffeq_with_critical_path();
+  FlowPoint b = run_diffeq_with_critical_path();
+  ASSERT_TRUE(a.ok && b.ok);
+  ASSERT_TRUE(a.critical_path && b.critical_path);
+  EXPECT_EQ(a.critical_path->attributed, b.critical_path->attributed);
+  EXPECT_EQ(a.critical_path->segments.size(), b.critical_path->segments.size());
+  auto ca = a.critical_path->top_chains(3);
+  auto cb = b.critical_path->top_chains(3);
+  ASSERT_EQ(ca.size(), cb.size());
+  for (std::size_t i = 0; i < ca.size(); ++i) {
+    EXPECT_EQ(ca[i].phase, cb[i].phase);
+    EXPECT_EQ(ca[i].controller, cb[i].controller);
+    EXPECT_EQ(ca[i].label, cb[i].label);
+    EXPECT_EQ(ca[i].duration, cb[i].duration);
+  }
+}
+
+TEST(CriticalPath, NotRequestedMeansNoLog) {
+  FlowRequest req = make_builtin_request(*find_builtin("diffeq"), "gt2; lt");
+  FlowExecutor exec(nullptr);
+  FlowPoint p = exec.run(req);
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_EQ(p.critical_path, nullptr);
+}
+
+TEST(CriticalPath, TableAndJsonRenderings) {
+  FlowPoint p = run_diffeq_with_critical_path();
+  ASSERT_TRUE(p.ok && p.critical_path);
+  std::string table = p.critical_path->to_table();
+  EXPECT_NE(table.find("critical path:"), std::string::npos);
+  EXPECT_NE(table.find("by phase:"), std::string::npos);
+  EXPECT_NE(table.find("top critical chains:"), std::string::npos);
+
+  JsonWriter w(true);
+  p.critical_path->write_json(w);
+  JsonValue doc = parse_json(w.str());
+  EXPECT_TRUE(doc.at("total_latency").is_number());
+  EXPECT_GE(doc.at("attributed_fraction").number, 0.95);
+  EXPECT_TRUE(doc.at("by_phase").is_object());
+  ASSERT_TRUE(doc.at("top_chains").is_array());
+  ASSERT_FALSE(doc.at("top_chains").array.empty());
+  EXPECT_TRUE(doc.at("top_chains").array[0].at("phase").is_string());
+
+  // The point's own JSON embeds the same block.
+  JsonValue point = parse_json(to_json(p));
+  EXPECT_TRUE(point.at("critical_path").is_object());
+  EXPECT_GE(point.at("critical_path").at("attributed_fraction").number, 0.95);
+}
+
+}  // namespace
+}  // namespace adc

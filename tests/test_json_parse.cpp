@@ -1,0 +1,118 @@
+// JSON parser error paths.  Every BENCH baseline, Chrome trace and
+// provenance log round-trips through report/json_parse.hpp, so malformed
+// input must fail loudly (with an offset) instead of yielding a garbage
+// document — and hostile nesting must error, not smash the stack.
+
+#include "report/json_parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace adc {
+namespace {
+
+// Expects parse_json to throw, with `what` somewhere in the message.
+void expect_error(const std::string& text, const std::string& what) {
+  try {
+    parse_json(text);
+    FAIL() << "expected a parse failure for: " << text;
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(what), std::string::npos)
+        << "wrong message for " << text << ": " << e.what();
+  }
+}
+
+TEST(JsonParse, TruncatedDocumentsFail) {
+  expect_error("", "unexpected end of input");
+  expect_error("{\"a\": 1", "unexpected end of input");
+  expect_error("[1, 2", "unexpected end of input");
+  expect_error("{\"a\":", "unexpected end of input");
+  expect_error("\"abc", "unterminated string");
+  expect_error("\"a\\", "unterminated escape");
+  expect_error("\"a\\u00", "truncated \\u escape");
+}
+
+TEST(JsonParse, BadEscapesFail) {
+  expect_error("\"\\x\"", "bad escape");
+  expect_error("\"\\u00gz\"", "bad \\u escape");
+  expect_error("\"a\nb\"", "raw control character");
+}
+
+TEST(JsonParse, BadLiteralsAndNumbersFail) {
+  expect_error("trux", "bad literal");
+  expect_error("falsy", "bad literal");
+  expect_error("nul", "bad literal");
+  expect_error("-", "bad number");
+  expect_error("{\"a\" 1}", "expected ':'");
+  expect_error("[1 2]", "expected");
+}
+
+TEST(JsonParse, TrailingGarbageFails) {
+  expect_error("{} extra", "trailing characters");
+  expect_error("1 1", "trailing characters");
+}
+
+TEST(JsonParse, ErrorsReportTheOffset) {
+  try {
+    parse_json("[1, 2, trux]");
+    FAIL() << "expected a parse failure";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("at offset"), std::string::npos);
+  }
+}
+
+TEST(JsonParse, DuplicateKeysFindFirst) {
+  JsonValue v = parse_json("{\"k\": 1, \"k\": 2}");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.object.size(), 2u);  // both members retained...
+  const JsonValue* k = v.find("k");
+  ASSERT_NE(k, nullptr);
+  EXPECT_EQ(k->number, 1.0);  // ...but lookup is find-first
+  EXPECT_EQ(v.at("k").number, 1.0);
+}
+
+TEST(JsonParse, MissingMemberThrows) {
+  JsonValue v = parse_json("{\"a\": 1}");
+  EXPECT_EQ(v.find("b"), nullptr);
+  EXPECT_THROW(v.at("b"), std::runtime_error);
+}
+
+TEST(JsonParse, DeepNestingWithinTheLimitParses) {
+  std::string doc;
+  for (int i = 0; i < 150; ++i) doc += '[';
+  doc += "0";
+  for (int i = 0; i < 150; ++i) doc += ']';
+  JsonValue v = parse_json(doc);
+  EXPECT_TRUE(v.is_array());
+}
+
+TEST(JsonParse, HostileNestingFailsInsteadOfOverflowing) {
+  std::string arrays(400, '[');
+  expect_error(arrays, "nesting too deep");
+  // Mixed object/array nesting counts against the same budget.
+  std::string mixed;
+  for (int i = 0; i < 200; ++i) mixed += "{\"a\":[";
+  expect_error(mixed, "nesting too deep");
+}
+
+TEST(JsonParse, UnicodeEscapesDecodeToUtf8) {
+  EXPECT_EQ(parse_json("\"\\u0041\"").string, "A");
+  EXPECT_EQ(parse_json("\"\\u00e9\"").string, "\xc3\xa9");    // 2-byte
+  EXPECT_EQ(parse_json("\"\\u20ac\"").string, "\xe2\x82\xac");  // 3-byte
+  EXPECT_EQ(parse_json("\"\\\"\\\\\\n\\t\"").string, "\"\\\n\t");
+}
+
+TEST(JsonParse, ScalarsRoundTrip) {
+  EXPECT_EQ(parse_json("3.5e2").number, 350.0);
+  EXPECT_EQ(parse_json("-0.25").number, -0.25);
+  EXPECT_TRUE(parse_json("true").boolean);
+  EXPECT_FALSE(parse_json("false").boolean);
+  EXPECT_EQ(parse_json("null").kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(parse_json("  [ ]  ").array.size(), 0u);
+  EXPECT_EQ(parse_json("{ }").object.size(), 0u);
+}
+
+}  // namespace
+}  // namespace adc

@@ -10,9 +10,11 @@
 
 #include <map>
 #include <sstream>
+#include <stdexcept>
 
 #include "report/json_parse.hpp"
 #include "runtime/flow.hpp"
+#include "trace/flush.hpp"
 #include "trace/log.hpp"
 
 namespace adc {
@@ -186,6 +188,48 @@ TEST(Log, LevelNamesRoundTrip) {
   EXPECT_EQ(log_level_from_string("error"), LogLevel::kError);
   EXPECT_THROW(log_level_from_string("loud"), std::invalid_argument);
   EXPECT_STREQ(to_string(LogLevel::kInfo), "info");
+}
+
+// --- artifact flush registry ----------------------------------------------
+
+TEST(Flush, CallbacksRunOnceAndAreConsumed) {
+  int runs = 0;
+  register_artifact_flush("test-artifact", [&runs] { ++runs; });
+  flush_artifacts_now();
+  EXPECT_EQ(runs, 1);
+  flush_artifacts_now();  // already consumed
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(Flush, UnregisteredCallbackDoesNotRun) {
+  int runs = 0;
+  int token = register_artifact_flush("written-normally", [&runs] { ++runs; });
+  unregister_artifact_flush(token);
+  flush_artifacts_now();
+  EXPECT_EQ(runs, 0);
+}
+
+TEST(Flush, MultipleArtifactsFlushIndependently) {
+  int a = 0, b = 0;
+  register_artifact_flush("a", [&a] { ++a; });
+  int tb = register_artifact_flush("b", [&b] { ++b; });
+  unregister_artifact_flush(tb);
+  flush_artifacts_now();
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 0);
+}
+
+TEST(Flush, ThrowingCallbackIsContained) {
+  int after = 0;
+  register_artifact_flush("bad", [] { throw std::runtime_error("disk full"); });
+  register_artifact_flush("good", [&after] { ++after; });
+  EXPECT_NO_THROW(flush_artifacts_now());
+  EXPECT_EQ(after, 1);
+}
+
+TEST(Flush, InstallHandlersIsIdempotent) {
+  install_flush_handlers();
+  install_flush_handlers();  // must not double-register atexit work
 }
 
 }  // namespace

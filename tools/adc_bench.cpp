@@ -1,0 +1,177 @@
+// adc_bench — the toolchain's performance regression harness.
+//
+//   adc_bench --suite all --out BENCH_local.json
+//   adc_bench --suite gt,sim --filter diffeq --quick
+//   adc_bench --baseline BENCH_main.json --check --threshold 10
+//   adc_bench --diff BENCH_old.json BENCH_new.json --check
+//
+// Runs the registered benchmark suites (frontend parsing, the GT pipeline,
+// extraction + local transforms, two-level logic minimization, both
+// simulators, the flow executor hot/cold and the DSE ablation grid) under
+// the warmup/repeat/outlier policy of perf/measure.hpp and emits one BENCH
+// JSON document (perf/record.hpp, kind "adc-bench" v1): per-benchmark
+// p50/p90/p99 wall and CPU microseconds, peak RSS, free-form counters
+// (cache hit rates, simulated latencies) and per-stage flow timings.
+//
+// Options:
+//   --suite all|S1,S2,...   suites to run (default: all registered)
+//   --filter STR            only benchmarks whose name contains STR
+//   --list                  list registered benchmarks and exit
+//   --quick                 1 warmup + 3 repeats and smaller grids (CI)
+//   --repeats N / --warmup N  override the measurement policy
+//   --out FILE              write the BENCH JSON ('-' = stdout)
+//   --baseline FILE         compare this run against a saved report
+//   --diff OLD NEW          compare two saved reports; nothing is re-run
+//   --threshold PCT         p50 wall growth counted as a regression (10)
+//   --min-time-us US        ignore benchmarks faster than this floor (50)
+//   --check                 exit 1 when the comparison found a regression
+//   --help
+//
+// A vanished benchmark is always a regression; a new one never is.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "perf/measure.hpp"
+#include "perf/record.hpp"
+#include "perf/suites.hpp"
+
+using namespace adc;
+
+namespace {
+
+int usage(int code) {
+  std::fprintf(code ? stderr : stdout,
+               "usage: adc_bench [--suite all|S1,S2,...] [--filter STR] [--list] "
+               "[--quick] [--repeats N] [--warmup N] [--out FILE] "
+               "[--baseline FILE] [--diff OLD NEW] [--threshold PCT] "
+               "[--min-time-us US] [--check]\n");
+  return code;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ','))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> suites;
+  std::string filter;
+  std::string out_path;
+  std::string baseline_path;
+  std::string diff_old, diff_new;
+  perf::MeasureOptions mopts;
+  perf::CompareOptions copts;
+  bool list = false, check = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        usage(2);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") return usage(0);
+    else if (arg == "--suite") {
+      std::string v = next();
+      if (v != "all") suites = split_csv(v);
+    }
+    else if (arg == "--filter") filter = next();
+    else if (arg == "--list") list = true;
+    else if (arg == "--quick") {
+      bool trim = mopts.trim_outliers;
+      mopts = perf::MeasureOptions::quick_mode();
+      mopts.trim_outliers = trim;
+    }
+    else if (arg == "--repeats") mopts.repeats = static_cast<unsigned>(std::stoul(next()));
+    else if (arg == "--warmup") mopts.warmup = static_cast<unsigned>(std::stoul(next()));
+    else if (arg == "--out") out_path = next();
+    else if (arg == "--baseline") baseline_path = next();
+    else if (arg == "--diff") {
+      diff_old = next();
+      diff_new = next();
+    }
+    else if (arg == "--threshold") copts.threshold_pct = std::stod(next());
+    else if (arg == "--min-time-us") copts.min_us = std::stod(next());
+    else if (arg == "--check") check = true;
+    else return usage(2);
+  }
+
+  try {
+    // File-pair diff: no benchmarks run, just the comparison.
+    if (!diff_old.empty()) {
+      perf::BenchReport oldr = perf::parse_bench_report(slurp(diff_old));
+      perf::BenchReport newr = perf::parse_bench_report(slurp(diff_new));
+      auto deltas = perf::compare_reports(oldr, newr, copts);
+      std::printf("%s", perf::render_deltas(deltas, copts).c_str());
+      if (oldr.env.git_sha != newr.env.git_sha)
+        std::printf("note: baselines span commits %s -> %s\n",
+                    oldr.env.git_sha.c_str(), newr.env.git_sha.c_str());
+      return perf::has_regression(deltas) ? 1 : 0;
+    }
+
+    perf::register_default_suites();
+
+    if (list) {
+      for (const auto& b : perf::BenchRegistry::instance().all())
+        std::printf("%-10s %s\n", b.suite.c_str(), b.name.c_str());
+      return 0;
+    }
+
+    // With --out - the JSON owns stdout.
+    FILE* log = out_path == "-" ? stderr : stdout;
+    perf::BenchReport rep = perf::run_registered(suites, filter, mopts);
+    if (rep.benchmarks.empty()) {
+      std::fprintf(stderr, "adc_bench: no benchmarks matched\n");
+      return 2;
+    }
+    std::fprintf(log, "%s", perf::render_report(rep).c_str());
+
+    if (!out_path.empty()) {
+      std::string text = perf::to_json(rep);
+      if (out_path == "-") {
+        std::printf("%s\n", text.c_str());
+      } else {
+        std::ofstream out(out_path);
+        out << text << "\n";
+        if (!out) throw std::runtime_error("cannot write " + out_path);
+        std::fprintf(log, "adc_bench: wrote %s (%zu benchmarks)\n",
+                     out_path.c_str(), rep.benchmarks.size());
+      }
+    }
+
+    if (!baseline_path.empty()) {
+      perf::BenchReport base = perf::parse_bench_report(slurp(baseline_path));
+      auto deltas = perf::compare_reports(base, rep, copts);
+      std::fprintf(log, "\nvs %s:\n%s", baseline_path.c_str(),
+                   perf::render_deltas(deltas, copts).c_str());
+      if (base.env.git_sha != rep.env.git_sha)
+        std::fprintf(log, "note: baseline is commit %s, this run is %s\n",
+                     base.env.git_sha.c_str(), rep.env.git_sha.c_str());
+      if (check && perf::has_regression(deltas)) return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "adc_bench: %s\n", e.what());
+    return 2;
+  }
+}

@@ -34,6 +34,9 @@
 //   --vcd DIR               re-run deadlocked points with waveform capture
 //                           and write DIR/<bench>-pN.vcd; the --json report
 //                           points at the file from the deadlock entry
+//   --critical-path         attribute each point's simulated latency to
+//                           channels/controllers/phases; each --json point
+//                           gains a "critical_path" object
 //   --log-level LEVEL       error|warn|info|debug|trace (default: ADC_LOG)
 //   --help
 
@@ -43,9 +46,12 @@
 #include <iostream>
 #include <sstream>
 
+#include <memory>
+
 #include "report/json.hpp"
 #include "report/table.hpp"
 #include "runtime/flow.hpp"
+#include "trace/flush.hpp"
 #include "trace/log.hpp"
 #include "trace/tracer.hpp"
 #include "trace/vcd.hpp"
@@ -60,8 +66,8 @@ int usage(int code) {
                "[--grid gt|gt-nolt] [--jobs N] [--json FILE] "
                "[--init REG=VAL,...] [--seed N] [--randomize] [--no-sim] "
                "[--verify-serial] [--metrics] [--trace-out FILE] "
-               "[--provenance DIR] [--vcd DIR] [--log-level LEVEL] "
-               "[program.adc]...\n");
+               "[--provenance DIR] [--vcd DIR] [--critical-path] "
+               "[--log-level LEVEL] [program.adc]...\n");
   return code;
 }
 
@@ -122,6 +128,7 @@ int main(int argc, char** argv) {
   std::size_t jobs = std::thread::hardware_concurrency();
   std::uint64_t seed = 1;
   bool randomize = false, simulate = true, verify_serial = false, dump_metrics = false;
+  bool critical_path = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -147,6 +154,7 @@ int main(int argc, char** argv) {
     else if (arg == "--trace-out") trace_path = next();
     else if (arg == "--provenance") prov_dir = next();
     else if (arg == "--vcd") vcd_dir = next();
+    else if (arg == "--critical-path") critical_path = true;
     else if (arg == "--log-level") {
       try {
         set_log_level(log_level_from_string(next()));
@@ -182,6 +190,7 @@ int main(int argc, char** argv) {
         req.sim.randomize_delays = randomize;
         req.simulate = simulate;
         req.provenance = !prov_dir.empty();
+        req.critical_path = critical_path;
         reqs.push_back(std::move(req));
       }
     }
@@ -202,6 +211,7 @@ int main(int argc, char** argv) {
         req.sim.randomize_delays = randomize;
         req.simulate = simulate;
         req.provenance = !prov_dir.empty();
+        req.critical_path = critical_path;
         reqs.push_back(std::move(req));
       }
     }
@@ -209,9 +219,16 @@ int main(int argc, char** argv) {
     // Evaluate, parallel then (optionally) serial for cross-checking.
     std::unique_ptr<ThreadPool> pool;
     if (jobs > 0) pool = std::make_unique<ThreadPool>(jobs);
-    Tracer tracer;
+    auto tracer = std::make_shared<Tracer>();
     FlowExecutor::Options opts;
-    if (!trace_path.empty()) opts.tracer = &tracer;
+    if (!trace_path.empty()) opts.tracer = tracer.get();
+    // Interrupted batches still flush a balanced partial trace.
+    int trace_token = -1;
+    if (!trace_path.empty())
+      trace_token = register_artifact_flush(trace_path, [tracer, trace_path] {
+        std::ofstream out(trace_path);
+        tracer->write_chrome_trace(out);
+      });
     FlowExecutor exec(pool.get(), opts);
     auto t0 = std::chrono::steady_clock::now();
     std::vector<FlowPoint> points = exec.run_all(reqs);
@@ -328,8 +345,9 @@ int main(int argc, char** argv) {
     if (dump_metrics)
       std::fprintf(stderr, "%s\n", exec.metrics().to_json().c_str());
     if (!trace_path.empty()) {
+      unregister_artifact_flush(trace_token);
       std::ofstream out(trace_path);
-      tracer.write_chrome_trace(out);
+      tracer->write_chrome_trace(out);
       if (!out) throw std::runtime_error("cannot write " + trace_path);
       std::fprintf(stderr, "adc_dse: wrote %s\n", trace_path.c_str());
     }

@@ -1,6 +1,7 @@
 // adc_obs_check — validates the observability artifacts the flow emits.
 //
 //   adc_obs_check [--trace FILE] [--provenance FILE] [--vcd FILE]
+//                 [--bench FILE]
 //
 // Used by the CI smoke test: after `adc_synth --trace-out --provenance
 // --vcd` runs a benchmark, this tool proves the three artifacts are
@@ -12,7 +13,10 @@
 //    "reconciliation" check list is empty (the ledgers balance);
 //  * vcd: declarations close with $enddefinitions, every value change
 //    references a declared identifier code, timestamps are non-decreasing,
-//    and at least one change was recorded.
+//    and at least one change was recorded;
+//  * bench: a BENCH JSON report (kind "adc-bench" v1) with a complete
+//    environment fingerprint, unique benchmark names and internally
+//    consistent statistics (p50 <= p90 <= p99, min <= p50, p99 <= max).
 //
 // Exit 0 when every given artifact validates; 1 otherwise with one line per
 // problem.
@@ -25,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "perf/record.hpp"
 #include "report/json_parse.hpp"
 
 using namespace adc;
@@ -153,10 +158,16 @@ void check_vcd(const std::string& path) {
   if (changes == 0) fail(path + ": no value changes recorded");
 }
 
+void check_bench(const std::string& path) {
+  JsonValue doc = parse_json(slurp(path));
+  for (const std::string& problem : perf::validate_bench_json(doc))
+    fail(path + ": " + problem);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string trace_path, prov_path, vcd_path;
+  std::string trace_path, prov_path, vcd_path, bench_path;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> std::string {
@@ -169,10 +180,11 @@ int main(int argc, char** argv) {
     if (arg == "--trace") trace_path = next();
     else if (arg == "--provenance") prov_path = next();
     else if (arg == "--vcd") vcd_path = next();
+    else if (arg == "--bench") bench_path = next();
     else {
       std::fprintf(stderr,
                    "usage: adc_obs_check [--trace FILE] [--provenance FILE] "
-                   "[--vcd FILE]\n");
+                   "[--vcd FILE] [--bench FILE]\n");
       return arg == "--help" || arg == "-h" ? 0 : 2;
     }
   }
@@ -180,6 +192,7 @@ int main(int argc, char** argv) {
     if (!trace_path.empty()) check_trace(trace_path);
     if (!prov_path.empty()) check_provenance(prov_path);
     if (!vcd_path.empty()) check_vcd(vcd_path);
+    if (!bench_path.empty()) check_bench(bench_path);
   } catch (const std::exception& e) {
     fail(e.what());
   }

@@ -28,14 +28,23 @@
 //                              ('-' writes to stdout)
 //   --vcd FILE                 VCD handshake waveforms of the event
 //                              simulation (open in GTKWave)
+//   --critical-path            attribute the simulated end-to-end latency to
+//                              channels / controllers / micro-operation
+//                              phases (implies simulation; human table on
+//                              the report stream, JSON under "critical_path")
 //   --log-level LEVEL          error|warn|info|debug|trace (default: the
 //                              ADC_LOG environment variable, else warn)
 //   --help
+//
+// Observability artifacts (--trace-out, --provenance, --vcd) are registered
+// with the artifact flush registry: an interrupted run (SIGINT/SIGTERM) or
+// an early exit still writes complete, adc_obs_check-valid files.
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <set>
 #include <sstream>
 
@@ -48,6 +57,7 @@
 #include "report/json.hpp"
 #include "report/table.hpp"
 #include "runtime/flow.hpp"
+#include "trace/flush.hpp"
 #include "trace/log.hpp"
 #include "trace/tracer.hpp"
 #include "trace/vcd.hpp"
@@ -62,7 +72,8 @@ int usage(int code) {
                "usage: adc_synth [--script S] [--bench NAME] [--out DIR] "
                "[--emit KIND]... [--simulate REG=VAL,...] [--report] "
                "[--json FILE] [--trace-out FILE] [--provenance FILE] "
-               "[--vcd FILE] [--log-level LEVEL] [program.adc]\n");
+               "[--vcd FILE] [--critical-path] [--log-level LEVEL] "
+               "[program.adc]\n");
   return code;
 }
 
@@ -103,6 +114,7 @@ int main(int argc, char** argv) {
   std::string prov_path;
   std::string vcd_path;
   bool report = false;
+  bool critical_path = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -124,6 +136,7 @@ int main(int argc, char** argv) {
     else if (arg == "--trace-out") trace_path = next();
     else if (arg == "--provenance") prov_path = next();
     else if (arg == "--vcd") vcd_path = next();
+    else if (arg == "--critical-path") critical_path = true;
     else if (arg == "--log-level") {
       try {
         set_log_level(log_level_from_string(next()));
@@ -173,20 +186,58 @@ int main(int argc, char** argv) {
       req.script = script_text;
     }
     if (!simulate.empty()) req.init = parse_init(simulate);
-    req.simulate = !simulate.empty() || !bench_name.empty() || !vcd_path.empty();
+    req.simulate = !simulate.empty() || !bench_name.empty() || !vcd_path.empty() ||
+                   critical_path;
     req.provenance = !prov_path.empty();
+    req.critical_path = critical_path;
 
-    VcdWriter vcd;
-    if (!vcd_path.empty()) req.sim.vcd = &vcd;
-    Tracer tracer;
+    // The observability sinks are shared with the flush registry so an
+    // interrupted run still writes complete artifacts (the tracer only
+    // buffers finished spans; the VCD writer always emits a full file).
+    auto vcd = std::make_shared<VcdWriter>();
+    if (!vcd_path.empty()) req.sim.vcd = vcd.get();
+    auto tracer = std::make_shared<Tracer>();
     FlowExecutor::Options opts;
-    if (!trace_path.empty()) opts.tracer = &tracer;
+    if (!trace_path.empty()) opts.tracer = tracer.get();
+
+    int trace_token = -1, vcd_token = -1, prov_token = -1;
+    if (!trace_path.empty() && trace_path != "-")
+      trace_token = register_artifact_flush(trace_path, [tracer, trace_path] {
+        std::ofstream out(trace_path);
+        tracer->write_chrome_trace(out);
+      });
+    if (!vcd_path.empty() && vcd_path != "-")
+      vcd_token = register_artifact_flush(vcd_path, [vcd, vcd_path] {
+        if (vcd->var_count() == 0 || vcd->change_count() == 0)
+          return;  // nothing simulated yet: no partial waveform to save
+        std::ofstream out(vcd_path);
+        vcd->write(out);
+      });
+    // The real report only exists after the flow finishes; until then the
+    // flush falls back to an empty (trivially reconciled) stub.
+    auto prov_holder =
+        std::make_shared<std::shared_ptr<const ProvenanceReport>>();
+    if (!prov_path.empty() && prov_path != "-") {
+      std::string bench_label = !bench_name.empty() ? bench_name : input_file;
+      prov_token = register_artifact_flush(
+          prov_path, [prov_holder, prov_path, bench_label, script_text] {
+            std::shared_ptr<const ProvenanceReport> rep = *prov_holder;
+            if (!rep) {
+              auto stub = std::make_shared<ProvenanceReport>();
+              stub->benchmark = bench_label;
+              stub->script = script_text;
+              rep = stub;
+            }
+            std::ofstream(prov_path) << rep->to_json() << "\n";
+          });
+    }
 
     // With --json - or --provenance - the report owns stdout.
     FILE* log = json_path == "-" || prov_path == "-" ? stderr : stdout;
 
     FlowExecutor exec(nullptr, opts);
     FlowPoint p = exec.run(req);
+    *prov_holder = p.provenance;
     if (!p.artifacts) {  // failed before producing anything to emit
       std::fprintf(stderr, "adc_synth: %s\n", p.error.c_str());
       return 1;
@@ -231,24 +282,30 @@ int main(int argc, char** argv) {
         for (const auto& [reg, v] : p.sim_registers)
           std::fprintf(log, "  %s = %lld\n", reg.c_str(), static_cast<long long>(v));
       }
+      if (critical_path && p.critical_path)
+        std::fprintf(log, "\n%s", p.critical_path->to_table().c_str());
     }
 
-    // Observability artifacts.
+    // Observability artifacts (written here on the normal path; the flush
+    // registration above covers interrupted runs).
     std::vector<std::pair<std::string, std::string>> artifact_paths;
     if (!trace_path.empty()) {
+      unregister_artifact_flush(trace_token);
       std::ofstream out(trace_path);
-      tracer.write_chrome_trace(out);
+      tracer->write_chrome_trace(out);
       if (!out) throw std::runtime_error("cannot write " + trace_path);
       artifact_paths.emplace_back("trace", trace_path);
     }
     if (!prov_path.empty() && p.provenance) {
+      unregister_artifact_flush(prov_token);
       write_file(prov_path, p.provenance->to_json());
       if (prov_path != "-") artifact_paths.emplace_back("provenance", prov_path);
       std::fprintf(log, "%s", p.provenance->summary().c_str());
     }
     if (!vcd_path.empty() && req.simulate) {
+      unregister_artifact_flush(vcd_token);
       std::ofstream out(vcd_path);
-      vcd.write(out);
+      vcd->write(out);
       if (!out) throw std::runtime_error("cannot write " + vcd_path);
       artifact_paths.emplace_back("vcd", vcd_path);
     }
