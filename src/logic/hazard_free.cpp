@@ -54,7 +54,8 @@ Cube expand(const FunctionSpec& f, Cube seed, const std::vector<std::size_t>& or
 
 }  // namespace
 
-std::vector<Cube> candidate_implicants(const FunctionSpec& f) {
+std::vector<Cube> candidate_implicants(const FunctionSpec& f,
+                                       const CancelToken* cancel) {
   std::set<Cube> pool;
   std::vector<std::size_t> ascending(f.vars), descending(f.vars);
   for (std::size_t i = 0; i < f.vars; ++i) {
@@ -62,6 +63,7 @@ std::vector<Cube> candidate_implicants(const FunctionSpec& f) {
     descending[i] = f.vars - 1 - i;
   }
   for (const auto& r : f.required) {
+    if (cancel) cancel->throw_if_cancelled();
     auto seed = grow_to_valid(f, r);
     if (!seed) continue;  // unrealizable; reported by the covering step
     pool.insert(expand(f, *seed, ascending));
@@ -81,7 +83,9 @@ namespace {
 // Exact minimum unate covering by branch and bound (small instances).
 void exact_cover(const std::vector<std::vector<std::size_t>>& covers_of, std::size_t n_req,
                  std::vector<std::size_t>& chosen, std::set<std::size_t>& covered,
-                 std::vector<std::size_t>& best, int depth_limit) {
+                 std::vector<std::size_t>& best, int depth_limit,
+                 const CancelToken* cancel) {
+  if (cancel) cancel->throw_if_cancelled();
   if (!best.empty() && chosen.size() >= best.size()) return;
   if (covered.size() == n_req) {
     best = chosen;
@@ -98,7 +102,7 @@ void exact_cover(const std::vector<std::vector<std::size_t>>& covers_of, std::si
     for (std::size_t rr : covers_of[c])
       if (covered.insert(rr).second) added.push_back(rr);
     chosen.push_back(c);
-    exact_cover(covers_of, n_req, chosen, covered, best, depth_limit);
+    exact_cover(covers_of, n_req, chosen, covered, best, depth_limit, cancel);
     chosen.pop_back();
     for (std::size_t rr : added) covered.erase(rr);
   }
@@ -133,7 +137,7 @@ CoverResult minimize_hazard_free(const FunctionSpec& f, const CoverOptions& opts
   reduced.erase(std::unique(reduced.begin(), reduced.end()), reduced.end());
   if (reduced.empty()) return res;  // constant-0 (or fully unrealizable)
 
-  auto candidates = candidate_implicants(f);
+  auto candidates = candidate_implicants(f, opts.cancel);
   std::vector<std::vector<std::size_t>> covers_of(candidates.size());
   for (std::size_t c = 0; c < candidates.size(); ++c)
     for (std::size_t r = 0; r < reduced.size(); ++r)
@@ -143,7 +147,7 @@ CoverResult minimize_hazard_free(const FunctionSpec& f, const CoverOptions& opts
     std::vector<std::size_t> chosen, best;
     std::set<std::size_t> covered;
     exact_cover(covers_of, reduced.size(), chosen, covered, best,
-                static_cast<int>(reduced.size()) + 1);
+                static_cast<int>(reduced.size()) + 1, opts.cancel);
     if (!best.empty()) {
       for (std::size_t c : best) res.products.push_back(candidates[c]);
       return res;
@@ -153,6 +157,7 @@ CoverResult minimize_hazard_free(const FunctionSpec& f, const CoverOptions& opts
   // Greedy covering: most new requirements per pick, fewest literals on tie.
   std::set<std::size_t> covered;
   while (covered.size() < reduced.size()) {
+    if (opts.cancel) opts.cancel->throw_if_cancelled();
     std::size_t best_c = candidates.size();
     std::size_t best_gain = 0;
     std::size_t best_lits = std::numeric_limits<std::size_t>::max();

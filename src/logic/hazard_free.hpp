@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "logic/cube.hpp"
+#include "runtime/cancel.hpp"
 
 namespace adc {
 
@@ -56,12 +57,17 @@ struct CoverResult {
 struct CoverOptions {
   bool exact = false;        // branch-and-bound when the instance is small
   int exact_limit = 18;      // max required cubes for the exact search
+  // Cooperative cancellation: checked in the candidate-growth loop, the
+  // exact branch-and-bound and the greedy covering loop; a tripped token
+  // unwinds with CancelledError.  Not owned; null = never cancelled.
+  const CancelToken* cancel = nullptr;
 };
 
 CoverResult minimize_hazard_free(const FunctionSpec& f, const CoverOptions& opts = {});
 
 // Maximal dhf implicants grown from the required cubes (the candidate pool
 // of the covering step; exposed for tests).
-std::vector<Cube> candidate_implicants(const FunctionSpec& f);
+std::vector<Cube> candidate_implicants(const FunctionSpec& f,
+                                       const CancelToken* cancel = nullptr);
 
 }  // namespace adc

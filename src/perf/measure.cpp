@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>
+#include <memory>
+#include <mutex>
 #include <set>
 #include <thread>
 
@@ -123,32 +126,95 @@ std::vector<std::string> BenchRegistry::suites() const {
   return out;
 }
 
+namespace {
+
+// Everything the measurement thread touches, shared_ptr-owned so an
+// abandoned (detached) thread after a timeout never writes freed memory.
+struct MeasureShared {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  BenchContext ctx;
+  std::vector<double> wall, cpu;
+  bool failed = false;
+  std::string error;
+};
+
+}  // namespace
+
 BenchRecord measure(const Benchmark& b, const MeasureOptions& opts) {
   BenchRecord rec;
   rec.suite = b.suite;
   rec.name = b.name;
-  BenchContext ctx;
-  ctx.quick = opts.quick;
-  for (unsigned i = 0; i < opts.warmup; ++i) b.run(ctx);
-  std::vector<double> wall, cpu;
   unsigned repeats = std::max(1u, opts.repeats);
-  wall.reserve(repeats);
-  cpu.reserve(repeats);
-  for (unsigned i = 0; i < repeats; ++i) {
-    ctx.counters.clear();
-    ctx.stages.clear();
-    std::uint64_t c0 = process_cpu_micros();
-    std::uint64_t w0 = wall_now_micros();
-    b.run(ctx);
-    wall.push_back(static_cast<double>(wall_now_micros() - w0));
-    cpu.push_back(static_cast<double>(process_cpu_micros() - c0));
+
+  auto sh = std::make_shared<MeasureShared>();
+  sh->ctx.quick = opts.quick;
+  // The body runs on its own thread (copying the Benchmark — a detached
+  // thread must not reference the caller's frame) so the harness can
+  // abandon it when the deadline fires.
+  Benchmark job = b;
+  std::thread worker([sh, job, opts, repeats] {
+    try {
+      for (unsigned i = 0; i < opts.warmup; ++i) job.run(sh->ctx);
+      sh->wall.reserve(repeats);
+      sh->cpu.reserve(repeats);
+      for (unsigned i = 0; i < repeats; ++i) {
+        sh->ctx.counters.clear();
+        sh->ctx.stages.clear();
+        std::uint64_t c0 = process_cpu_micros();
+        std::uint64_t w0 = wall_now_micros();
+        job.run(sh->ctx);
+        sh->wall.push_back(static_cast<double>(wall_now_micros() - w0));
+        sh->cpu.push_back(static_cast<double>(process_cpu_micros() - c0));
+      }
+    } catch (const std::exception& e) {
+      sh->failed = true;
+      sh->error = e.what();
+    } catch (...) {
+      sh->failed = true;
+      sh->error = "unknown exception";
+    }
+    std::lock_guard<std::mutex> lk(sh->mu);
+    sh->done = true;
+    sh->cv.notify_all();
+  });
+
+  bool finished = true;
+  {
+    std::unique_lock<std::mutex> lk(sh->mu);
+    if (opts.deadline_ms == 0) {
+      sh->cv.wait(lk, [&] { return sh->done; });
+    } else {
+      finished = sh->cv.wait_for(lk, std::chrono::milliseconds(opts.deadline_ms),
+                                 [&] { return sh->done; });
+    }
+  }
+  if (finished) {
+    worker.join();
+  } else {
+    // Hung benchmark: leave the thread behind (it owns `sh`) and report a
+    // structured timeout.  The zeroed stats satisfy the schema invariants.
+    worker.detach();
+    rec.repeats = 1;
+    rec.status = "timeout";
+    rec.error = "deadline exceeded after " + std::to_string(opts.deadline_ms) + " ms";
+    rec.peak_rss_kb = peak_rss_kb();
+    return rec;
+  }
+  if (sh->failed) {
+    rec.repeats = 1;
+    rec.status = "error";
+    rec.error = sh->error;
+    rec.peak_rss_kb = peak_rss_kb();
+    return rec;
   }
   rec.repeats = repeats;
-  rec.wall_us = stat_from_samples(std::move(wall), opts.trim_outliers);
-  rec.cpu_us = stat_from_samples(std::move(cpu), opts.trim_outliers);
+  rec.wall_us = stat_from_samples(std::move(sh->wall), opts.trim_outliers);
+  rec.cpu_us = stat_from_samples(std::move(sh->cpu), opts.trim_outliers);
   rec.peak_rss_kb = peak_rss_kb();
-  rec.counters = std::move(ctx.counters);
-  rec.stages = std::move(ctx.stages);
+  rec.counters = std::move(sh->ctx.counters);
+  rec.stages = std::move(sh->ctx.stages);
   return rec;
 }
 

@@ -73,6 +73,11 @@ struct MeasureOptions {
   unsigned repeats = 9;
   bool trim_outliers = true;
   bool quick = false;  // forwarded into BenchContext
+  // Wall budget for one benchmark (warmup + all repeats together); 0 =
+  // unlimited.  A benchmark that overruns is abandoned on a detached
+  // thread and recorded with status="timeout" and zeroed statistics, so a
+  // hung suite cannot wedge the harness — the remaining suites still run.
+  std::uint64_t deadline_ms = 600000;
 
   static MeasureOptions quick_mode() {
     MeasureOptions o;

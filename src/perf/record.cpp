@@ -70,6 +70,10 @@ void write_json(JsonWriter& w, const BenchRecord& r) {
   w.key("cpu_us");
   write_json(w, r.cpu_us);
   w.kv("peak_rss_kb", r.peak_rss_kb);
+  if (r.status != "ok") {
+    w.kv("status", r.status);
+    if (!r.error.empty()) w.kv("error", r.error);
+  }
   w.key("counters");
   w.begin_object();
   for (const auto& [k, v] : r.counters) w.kv(k, v);
@@ -186,6 +190,10 @@ BenchReport parse_bench_report(const JsonValue& doc) {
     r.wall_us = parse_stat(b.at("wall_us"));
     r.cpu_us = parse_stat(b.at("cpu_us"));
     r.peak_rss_kb = static_cast<std::int64_t>(num(b, "peak_rss_kb"));
+    if (const JsonValue* s = b.find("status"); s && s->is_string())
+      r.status = s->string;
+    if (const JsonValue* e = b.find("error"); e && e->is_string())
+      r.error = e->string;
     if (const JsonValue* c = b.find("counters"); c && c->is_object())
       for (const auto& [k, v] : c->object) r.counters[k] = v.number;
     if (const JsonValue* st = b.find("stages"); st && st->is_array())
@@ -273,6 +281,11 @@ std::vector<std::string> validate_bench_json(const JsonValue& doc) {
     if (const JsonValue* rss = b.find("peak_rss_kb");
         !rss || !rss->is_number() || rss->number < 0)
       bad(label + ": peak_rss_kb missing or negative");
+    if (const JsonValue* st = b.find("status")) {
+      if (!st->is_string() ||
+          (st->string != "ok" && st->string != "timeout" && st->string != "error"))
+        bad(label + ": status is not ok/timeout/error");
+    }
   }
   return problems;
 }
@@ -293,6 +306,14 @@ std::vector<BenchDelta> compare_reports(const BenchReport& baseline,
       continue;
     }
     d.current_p50 = cur->wall_us.p50;
+    if (cur->status != "ok") {
+      // A benchmark that timed out or crashed has no meaningful timing;
+      // it gates the check exactly like a vanished one.
+      d.errored = true;
+      d.regressed = true;
+      out.push_back(std::move(d));
+      continue;
+    }
     if (d.baseline_p50 > 0.0)
       d.pct = (d.current_p50 - d.baseline_p50) / d.baseline_p50 * 100.0;
     bool above_floor = d.baseline_p50 >= opts.min_us || d.current_p50 >= opts.min_us;
@@ -325,6 +346,7 @@ std::string render_deltas(const std::vector<BenchDelta>& deltas,
     std::snprintf(p50b, sizeof p50b, "%.1f", d.current_p50);
     std::snprintf(pct, sizeof pct, "%+.1f%%", d.pct);
     const char* verdict = d.only_in_baseline ? "MISSING"
+                          : d.errored         ? "ERRORED"
                           : d.only_in_current ? "new"
                           : d.regressed       ? "REGRESSED"
                                               : "ok";

@@ -70,6 +70,12 @@ struct BenchRecord {
   std::map<std::string, double> counters;
   // Per-stage breakdown of the last repetition (FlowExecutor timings).
   std::vector<BenchStage> stages;
+  // Lifecycle of the measurement itself: "ok", "timeout" (the per-suite
+  // deadline fired; stats are zeroed) or "error" (the body threw; `error`
+  // carries the message).  Emitted to JSON only when != "ok" so clean
+  // reports are byte-identical to schema v1 fixtures.
+  std::string status = "ok";
+  std::string error;
 };
 
 // The things that make two reports comparable (or explain why they are
@@ -134,6 +140,7 @@ struct BenchDelta {
   bool regressed = false;
   bool only_in_baseline = false;  // benchmark disappeared
   bool only_in_current = false;   // new benchmark (never a regression)
+  bool errored = false;  // current record's status != "ok" (always regressed)
 };
 
 std::vector<BenchDelta> compare_reports(const BenchReport& baseline,

@@ -28,6 +28,8 @@
 #include <mutex>
 #include <string>
 
+#include "runtime/fault.hpp"
+
 namespace adc {
 
 // 128-bit FNV-1a style fingerprint; two independent 64-bit lanes keep the
@@ -90,6 +92,9 @@ class StageCache {
       return std::static_pointer_cast<const T>(erased.second.get());
     }
     try {
+      // Injection site: a compute that dies after claiming the slot must
+      // abandon it so joined waiters rethrow and later callers retry.
+      fault().maybe_fail_or_stall("cache.compute", key.hex());
       auto value = std::make_shared<const T>(compute());
       fulfill(key, value, sizeof(T));
       return value;

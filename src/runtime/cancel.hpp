@@ -1,0 +1,70 @@
+#pragma once
+// Cooperative cancellation.
+//
+// A CancelToken is a cheap, copyable handle onto a shared cancellation
+// flag.  Producers (deadline watchdogs, signal handlers, a user pressing
+// ^C in a driver) call request(); consumers poll cancelled() at loop
+// boundaries — the event simulator's main loop, the minimizer's covering
+// loop, every FlowExecutor stage boundary — and unwind by throwing
+// CancelledError.  The token records the *first* request's reason so the
+// unwound outcome can distinguish "deadline exceeded" from "user abort".
+//
+// Header-only on purpose: adc_sim and adc_logic can honour tokens without
+// growing a link dependency on the runtime library.
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace adc {
+
+// Thrown by cancellation checkpoints; carries the token's reason.
+class CancelledError : public std::runtime_error {
+ public:
+  explicit CancelledError(const std::string& reason)
+      : std::runtime_error(reason.empty() ? "cancelled" : reason) {}
+};
+
+class CancelToken {
+ public:
+  CancelToken() : state_(std::make_shared<State>()) {}
+
+  // Trips the token.  Only the first reason sticks; later requests are
+  // no-ops so a watchdog firing after a user abort doesn't relabel it.
+  void request(const std::string& reason = "cancelled") const {
+    if (state_->flag.exchange(true, std::memory_order_acq_rel)) return;
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->reason = reason;
+  }
+
+  bool cancelled() const {
+    return state_->flag.load(std::memory_order_acquire);
+  }
+
+  std::string reason() const {
+    if (!cancelled()) return {};
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->reason;
+  }
+
+  // Checkpoint: throws CancelledError when the token has been tripped.
+  void throw_if_cancelled() const {
+    if (cancelled()) throw CancelledError(reason());
+  }
+
+  // Tokens compare equal when they share the same flag.
+  bool same(const CancelToken& other) const { return state_ == other.state_; }
+
+ private:
+  struct State {
+    std::atomic<bool> flag{false};
+    mutable std::mutex mu;
+    std::string reason;
+  };
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace adc

@@ -1,0 +1,278 @@
+#include "runtime/fault.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+namespace adc {
+
+namespace {
+
+// splitmix64 — tiny, seedable, good enough for fire/skip decisions.
+std::uint64_t next_rand(std::uint64_t& s) {
+  s += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\n");
+  if (b == std::string::npos) return {};
+  std::size_t e = s.find_last_not_of(" \t\n");
+  return s.substr(b, e - b + 1);
+}
+
+// Splits on `sep` at bracket depth zero, so "flow.x[a; b]=fail;y=stall"
+// yields two entries.
+std::vector<std::string> split_outside_brackets(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  int depth = 0;
+  for (char c : s) {
+    if (c == '[') ++depth;
+    else if (c == ']' && depth > 0) --depth;
+    if (c == sep && depth == 0) {
+      if (!trim(cur).empty()) out.push_back(trim(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!trim(cur).empty()) out.push_back(trim(cur));
+  return out;
+}
+
+FaultAction parse_action(const std::string& name) {
+  if (name == "fail") return FaultAction::kFail;
+  if (name == "stall") return FaultAction::kStall;
+  if (name == "corrupt") return FaultAction::kCorrupt;
+  if (name == "truncate") return FaultAction::kTruncate;
+  if (name == "shortwrite") return FaultAction::kShortWrite;
+  if (name == "drop") return FaultAction::kDrop;
+  throw std::invalid_argument("unknown fault action '" + name + "'");
+}
+
+std::uint64_t parse_u64(const std::string& s, const char* what) {
+  try {
+    std::size_t pos = 0;
+    std::uint64_t v = std::stoull(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string("bad fault ") + what + " '" + s + "'");
+  }
+}
+
+}  // namespace
+
+const char* to_string(FaultAction a) {
+  switch (a) {
+    case FaultAction::kNone: return "none";
+    case FaultAction::kFail: return "fail";
+    case FaultAction::kStall: return "stall";
+    case FaultAction::kCorrupt: return "corrupt";
+    case FaultAction::kTruncate: return "truncate";
+    case FaultAction::kShortWrite: return "shortwrite";
+    case FaultAction::kDrop: return "drop";
+  }
+  return "none";
+}
+
+FaultInjector::Entry FaultInjector::parse_entry(const std::string& text) {
+  // site[filter]=action(arg):count@after%pct — filter/arg/count/after/pct
+  // all optional.
+  std::size_t eq = std::string::npos;
+  int depth = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '[') ++depth;
+    else if (text[i] == ']' && depth > 0) --depth;
+    else if (text[i] == '=' && depth == 0) { eq = i; break; }
+  }
+  if (eq == std::string::npos)
+    throw std::invalid_argument("fault entry '" + text + "' has no '='");
+
+  Entry e;
+  std::string lhs = trim(text.substr(0, eq));
+  std::string rhs = trim(text.substr(eq + 1));
+  if (lhs.empty() || rhs.empty())
+    throw std::invalid_argument("fault entry '" + text + "' is incomplete");
+
+  std::size_t br = lhs.find('[');
+  if (br != std::string::npos) {
+    if (lhs.back() != ']')
+      throw std::invalid_argument("fault entry '" + text + "': unclosed filter");
+    e.filter = lhs.substr(br + 1, lhs.size() - br - 2);
+    lhs = trim(lhs.substr(0, br));
+  }
+  e.site = lhs;
+
+  // Peel the modifiers off the right end of rhs: %pct, @after, :count.
+  auto peel = [&](char mark) -> std::string {
+    std::size_t p = rhs.rfind(mark);
+    if (p == std::string::npos || rhs.find(')', p) != std::string::npos)
+      return {};
+    std::string v = trim(rhs.substr(p + 1));
+    rhs = trim(rhs.substr(0, p));
+    return v;
+  };
+  if (std::string v = peel('%'); !v.empty()) {
+    std::uint64_t pct = parse_u64(v, "percentage");
+    if (pct > 100) throw std::invalid_argument("fault percentage > 100");
+    e.pct = static_cast<unsigned>(pct);
+  }
+  if (std::string v = peel('@'); !v.empty()) e.after = parse_u64(v, "offset");
+  if (std::string v = peel(':'); !v.empty()) e.count = parse_u64(v, "count");
+
+  std::size_t paren = rhs.find('(');
+  if (paren != std::string::npos) {
+    if (rhs.back() != ')')
+      throw std::invalid_argument("fault entry '" + text + "': unclosed arg");
+    e.arg_ms = parse_u64(rhs.substr(paren + 1, rhs.size() - paren - 2), "argument");
+    rhs = trim(rhs.substr(0, paren));
+  }
+  e.action = parse_action(rhs);
+  return e;
+}
+
+void FaultInjector::configure(const std::string& spec) {
+  std::vector<Entry> parsed;
+  std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+  for (const std::string& part : split_outside_brackets(spec, ';')) {
+    if (part.rfind("seed=", 0) == 0) {
+      seed = parse_u64(part.substr(5), "seed");
+      continue;
+    }
+    parsed.push_back(parse_entry(part));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_ = std::move(parsed);
+  fired_.clear();
+  rng_ = seed;
+  total_fired_ = 0;
+}
+
+void FaultInjector::configure_from_env() {
+  const char* env = std::getenv("ADC_FAULT");
+  if (env && *env) configure(env);
+}
+
+void FaultInjector::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  fired_.clear();
+  total_fired_ = 0;
+  rng_ = 0x9e3779b97f4a7c15ull;
+}
+
+bool FaultInjector::armed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !entries_.empty();
+}
+
+FaultAction FaultInjector::check(const std::string& site,
+                                 const std::string& detail,
+                                 std::uint64_t* arg_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.empty()) return FaultAction::kNone;
+  for (Entry& e : entries_) {
+    if (e.site != site) continue;
+    if (!e.filter.empty() && detail.find(e.filter) == std::string::npos)
+      continue;
+    std::uint64_t hit = e.hits++;
+    if (hit < e.after) continue;
+    if (e.count == 0) continue;
+    if (e.pct < 100 && next_rand(rng_) % 100 >= e.pct) continue;
+    if (e.count != UINT64_MAX) --e.count;
+    ++total_fired_;
+    bool counted = false;
+    for (Fired& f : fired_)
+      if (f.site == site) { ++f.n; counted = true; break; }
+    if (!counted) fired_.push_back(Fired{site, 1});
+    if (arg_ms) *arg_ms = e.arg_ms;
+    return e.action;
+  }
+  return FaultAction::kNone;
+}
+
+void FaultInjector::maybe_fail_or_stall(const std::string& site,
+                                        const std::string& detail,
+                                        const CancelToken* cancel) {
+  std::uint64_t arg_ms = 0;
+  FaultAction a = check(site, detail, &arg_ms);
+  if (a == FaultAction::kNone) return;
+  if (a == FaultAction::kFail) throw FaultInjectedError(site);
+  if (a == FaultAction::kStall) {
+    // Sleep in small slices so an armed watchdog can cut the stall short
+    // through the token — exactly how a real hung stage is reclaimed.
+    auto until = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(arg_ms);
+    while (std::chrono::steady_clock::now() < until) {
+      if (cancel && cancel->cancelled()) cancel->throw_if_cancelled();
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  // Payload actions are meaningless at plain code sites; ignore.
+}
+
+FaultAction FaultInjector::mutate_payload(const std::string& site,
+                                          std::string& payload,
+                                          const std::string& detail,
+                                          const CancelToken* cancel) {
+  std::uint64_t arg_ms = 0;
+  FaultAction a = check(site, detail, &arg_ms);
+  switch (a) {
+    case FaultAction::kNone:
+    case FaultAction::kDrop:
+      break;
+    case FaultAction::kFail:
+      throw FaultInjectedError(site);
+    case FaultAction::kStall: {
+      auto until = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(arg_ms);
+      while (std::chrono::steady_clock::now() < until) {
+        if (cancel && cancel->cancelled()) cancel->throw_if_cancelled();
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+      break;
+    }
+    case FaultAction::kCorrupt:
+      // Flip a bit near the middle and one near the end — enough to defeat
+      // any checksum without changing the length.
+      if (!payload.empty()) {
+        payload[payload.size() / 2] ^= 0x40;
+        payload[payload.size() - 1] ^= 0x01;
+      }
+      break;
+    case FaultAction::kTruncate:
+      payload.resize(payload.size() / 2);
+      break;
+    case FaultAction::kShortWrite:
+      // As if the process died after the first few bytes hit the disk.
+      payload.resize(std::min<std::size_t>(payload.size(), 7));
+      break;
+  }
+  return a;
+}
+
+std::uint64_t FaultInjector::injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_fired_;
+}
+
+std::uint64_t FaultInjector::injected_at(const std::string& site_prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t n = 0;
+  for (const Fired& f : fired_)
+    if (f.site.rfind(site_prefix, 0) == 0) n += f.n;
+  return n;
+}
+
+FaultInjector& fault() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+}  // namespace adc

@@ -8,6 +8,9 @@
 #include "logic/minimize.hpp"
 #include "ltrans/local.hpp"
 #include "report/json.hpp"
+#include "report/json_parse.hpp"
+#include "runtime/fault.hpp"
+#include "runtime/watchdog.hpp"
 #include "trace/log.hpp"
 #include "trace/tracer.hpp"
 
@@ -29,7 +32,41 @@ bool is_lt_step(const std::string& step_text) {
   return step_text.rfind("lt", 0) == 0;
 }
 
+// Everything that determines a point's metrics, for the disk tier's
+// whole-point key.  The benchmark name stands in for the graph factory
+// when there is no source text (FlowRequest documents that contract).
+Fingerprint fingerprint_point(const FlowRequest& req, const std::string& script) {
+  FingerprintBuilder fb;
+  fb.add("point").add(req.benchmark).add(req.source).add(script);
+  fb.add(fingerprint_delays(req.delays));
+  for (const auto& [name, value] : req.init) fb.add(name).add(value);
+  fb.add(req.simulate);
+  fb.add(req.sim.seed).add(req.sim.randomize_delays);
+  fb.add(req.sim.max_time).add(req.sim.max_events);
+  return fb.digest();
+}
+
+// A point is disk-cacheable only when its value is fully captured by the
+// JSON rendering: no live artifact sinks, no provenance/critical-path
+// reconstruction that would silently come back empty on a warm hit.
+bool disk_eligible(const FlowRequest& req) {
+  return !req.provenance && !req.critical_path && !req.sim.vcd &&
+         !req.sim.event_log;
+}
+
 }  // namespace
+
+const char* to_string(FlowStatus s) {
+  switch (s) {
+    case FlowStatus::kOk: return "ok";
+    case FlowStatus::kDeadlock: return "deadlock";
+    case FlowStatus::kTimeout: return "timeout";
+    case FlowStatus::kCancelled: return "cancelled";
+    case FlowStatus::kFault: return "fault";
+    case FlowStatus::kError: return "error";
+  }
+  return "error";
+}
 
 // Graph + accumulated pipeline log after a script prefix.
 struct FlowExecutor::GlobalSnapshot {
@@ -46,7 +83,11 @@ struct FlowExecutor::GlobalSnapshot {
 FlowExecutor::FlowExecutor(ThreadPool* pool) : FlowExecutor(pool, Options{}) {}
 
 FlowExecutor::FlowExecutor(ThreadPool* pool, Options opts)
-    : pool_(pool), opts_(opts), cache_(opts.cache_capacity) {}
+    : pool_(pool), opts_(opts), cache_(opts.cache_capacity) {
+  if (!opts_.disk_cache_dir.empty())
+    disk_ = std::make_unique<DiskCache>(opts_.disk_cache_dir,
+                                        opts_.disk_cache_bytes);
+}
 
 std::shared_ptr<const Cdfg> FlowExecutor::frontend_stage(const FlowRequest& req,
                                                          Fingerprint& key, FlowPoint& p) {
@@ -130,7 +171,7 @@ std::shared_ptr<const FlowExecutor::GlobalSnapshot> FlowExecutor::global_stage(
 
 std::shared_ptr<const ControllerSet> FlowExecutor::controller_stage(
     const TransformScript& script, std::shared_ptr<const GlobalSnapshot> snap,
-    const Fingerprint& key, FlowPoint& p) {
+    const Fingerprint& key, FlowPoint& p, const CancelToken& cancel) {
   FingerprintBuilder fb;
   fb.add(key).add("extract+lt").add(script.to_string());
   Fingerprint ckey = fb.digest();
@@ -149,6 +190,7 @@ std::shared_ptr<const ControllerSet> FlowExecutor::controller_stage(
       out.controllers.resize(extracted.size());
       out.local_results.resize(extracted.size());
       auto synthesize_one = [&](std::size_t i) {
+        cancel.throw_if_cancelled();
         ExtractedController c = std::move(extracted[i]);
         ScopedSpan cspan(opts_.tracer, "controller:" + c.machine.name(),
                          "controller");
@@ -165,7 +207,11 @@ std::shared_ptr<const ControllerSet> FlowExecutor::controller_stage(
         }
         m.states = c.machine.state_count();
         m.transitions = c.machine.transition_count();
-        auto logic = synthesize_logic(c);
+        // The covering loops are the long-running part of this stage;
+        // they poll the job token so a deadline can unwind them.
+        SynthesisOptions sopts;
+        sopts.cover.cancel = &cancel;
+        auto logic = synthesize_logic(c, sopts);
         m.products = logic.product_count(true);
         m.literals = logic.literal_count(true);
         m.feasible = logic.feasible();
@@ -180,11 +226,17 @@ std::shared_ptr<const ControllerSet> FlowExecutor::controller_stage(
         out.local_results[i] = std::move(local);
       };
       if (pool_ && opts_.fan_out_controllers && extracted.size() > 1) {
-        std::vector<std::future<void>> subtasks;
-        subtasks.reserve(extracted.size());
+        // Scoped join: TaskGroup::wait() runs only this point's subtasks
+        // on this thread (idle workers still steal them).  A helping
+        // ThreadPool::wait() here would execute *other queued points*
+        // nested inside this stage, billing their wall time to it — and
+        // tripping this point's stage deadline on their behalf.  It also
+        // drains every subtask before rethrowing, so the by-reference
+        // captures above never outlive their scope.
+        TaskGroup group(*pool_);
         for (std::size_t i = 0; i < extracted.size(); ++i)
-          subtasks.push_back(pool_->submit([&, i] { synthesize_one(i); }));
-        for (auto& f : subtasks) pool_->wait(f);
+          group.submit([&, i] { synthesize_one(i); });
+        group.wait();
       } else {
         for (std::size_t i = 0; i < extracted.size(); ++i) synthesize_one(i);
       }
@@ -262,14 +314,77 @@ FlowPoint FlowExecutor::run(const FlowRequest& req) {
                   {{"benchmark", req.benchmark}, {"script", req.script}});
   ADC_LOG_INFO("flow", "run start",
                {{"benchmark", req.benchmark}, {"script", req.script}});
+
+  // Whole-job budget: when it fires the token trips and the next stage
+  // checkpoint (or in-loop poll) unwinds with status=timeout.
+  WatchdogGuard job_guard(req.cancel, req.deadline_ms,
+                          "flow job deadline exceeded");
+  // Stage boundary: poll the token, give the fault plan its shot at this
+  // site (detail = normalized script, so plans can target recipes), and
+  // arm the per-stage budget for the scope of the returned guard.
+  auto checkpoint = [&](const char* stage) -> WatchdogGuard {
+    std::string site = std::string("flow.") + stage;
+    WatchdogGuard guard(req.cancel, req.stage_deadline_ms,
+                        site + " stage deadline exceeded");
+    req.cancel.throw_if_cancelled();
+    fault().maybe_fail_or_stall(site, p.script, &req.cancel);
+    return guard;
+  };
+
+  bool disk_ok = false;
+  Fingerprint point_key;
   try {
     TransformScript script = TransformScript::parse(req.script);
     p.script = script.to_string();
 
+    // Disk tier: a completed point whose whole value round-trips through
+    // JSON is replayed from the persistent cache across process restarts.
+    disk_ok = disk_ && disk_->enabled() && disk_eligible(req);
+    if (disk_ok) {
+      point_key = fingerprint_point(req, p.script);
+      std::uint64_t us = 0, cpu = 0;
+      std::optional<std::string> hit;
+      {
+        StageTimer t(&metrics_.histogram("stage.disk"), &us, &cpu);
+        hit = disk_->get(point_key.hex());
+      }
+      if (hit) {
+        try {
+          FlowPoint warm = parse_flow_point(*hit);
+          if (warm.benchmark == p.benchmark && warm.script == p.script) {
+            warm.from_disk_cache = true;
+            warm.timings.push_back({"disk", us, cpu, true});
+            warm.total_micros = us;  // what the replay actually cost
+            metrics_.counter("flow.disk_hits").add();
+            span.arg("disk", "hit");
+            ADC_LOG_INFO("flow", "run served from disk cache",
+                         {{"benchmark", p.benchmark}, {"script", p.script}});
+            sample_gauges();
+            return warm;
+          }
+        } catch (const std::exception&) {
+          // Decodable file, undecodable payload (schema drift): treat as
+          // a miss and overwrite below.
+        }
+      }
+    }
+
     Fingerprint key;
-    auto parsed = frontend_stage(req, key, p);
-    auto snap = global_stage(req, script, parsed, key, p);
-    auto set = controller_stage(script, snap, key, p);
+    std::shared_ptr<const Cdfg> parsed;
+    {
+      auto stage_guard = checkpoint("frontend");
+      parsed = frontend_stage(req, key, p);
+    }
+    std::shared_ptr<const GlobalSnapshot> snap;
+    {
+      auto stage_guard = checkpoint("global");
+      snap = global_stage(req, script, parsed, key, p);
+    }
+    std::shared_ptr<const ControllerSet> set;
+    {
+      auto stage_guard = checkpoint("controllers");
+      set = controller_stage(script, snap, key, p, req.cancel);
+    }
     p.graph = std::shared_ptr<const Cdfg>(snap, &snap->g);
 
     p.channels = set->plan.count_controller_channels();
@@ -288,13 +403,16 @@ FlowPoint FlowExecutor::run(const FlowRequest& req) {
     if (req.simulate) {
       std::uint64_t us = 0, cpu = 0;
       {
+        auto stage_guard = checkpoint("sim");
         ScopedSpan sspan(opts_.tracer, "sim");
         StageTimer t(&metrics_.histogram("stage.sim"), &us, &cpu);
         EventSimOptions sim_opts = req.sim;
+        sim_opts.cancel = &req.cancel;
         std::vector<SimEventRecord> event_log;
         if (req.critical_path && !sim_opts.event_log)
           sim_opts.event_log = &event_log;
         auto r = run_event_sim(snap->g, set->plan, set->instances, req.init, sim_opts);
+        if (r.cancelled) throw CancelledError(r.error);
         if (req.critical_path && sim_opts.event_log)
           p.critical_path = std::make_shared<const CriticalPathResult>(
               analyze_critical_path(*sim_opts.event_log, r.final_event,
@@ -323,18 +441,60 @@ FlowPoint FlowExecutor::run(const FlowRequest& req) {
       }
       p.timings.push_back({"sim", us, cpu, false});
     }
+    p.status = p.ok ? FlowStatus::kOk
+                    : p.deadlocked ? FlowStatus::kDeadlock : FlowStatus::kError;
+  } catch (const FaultInjectedError& e) {
+    p.ok = false;
+    p.status = FlowStatus::kFault;
+    p.error = e.what();
+    metrics_.counter("flow.faults").add();
+    ADC_LOG_ERROR("flow", "run hit injected fault",
+                  {{"benchmark", p.benchmark},
+                   {"script", p.script},
+                   {"error", p.error}});
+  } catch (const CancelledError& e) {
+    p.ok = false;
+    p.error = e.what();
+    // A watchdog labels its trips with "deadline"; anything else is an
+    // external abort.
+    p.status = p.error.find("deadline") != std::string::npos
+                   ? FlowStatus::kTimeout
+                   : FlowStatus::kCancelled;
+    metrics_.counter(p.status == FlowStatus::kTimeout ? "flow.timeouts"
+                                                      : "flow.cancelled")
+        .add();
+    ADC_LOG_WARN("flow", "run cancelled",
+                 {{"benchmark", p.benchmark},
+                  {"script", p.script},
+                  {"status", std::string(to_string(p.status))},
+                  {"error", p.error}});
   } catch (const std::exception& e) {
     p.ok = false;
+    p.status = FlowStatus::kError;
     p.error = e.what();
     metrics_.counter("flow.errors").add();
     ADC_LOG_ERROR("flow", "run failed",
                   {{"benchmark", p.benchmark}, {"error", p.error}});
   }
   span.arg("ok", p.ok);
+  span.arg("status", to_string(p.status));
+  // Stamp the cost before the return: the early disk-hit return above
+  // keeps this function from being NRVO'd, so the StageTimer destructor
+  // would write into a dead local, not the returned point.
+  p.total_micros = total.elapsed_micros();
+  // Persist completed outcomes (ok and the legitimate deadlock corners —
+  // both are deterministic verdicts worth replaying; transient failures
+  // are not).
+  if (disk_ok &&
+      (p.status == FlowStatus::kOk || p.status == FlowStatus::kDeadlock)) {
+    if (disk_->put(point_key.hex(), to_json(p)))
+      metrics_.counter("flow.disk_stores").add();
+  }
   sample_gauges();
   ADC_LOG_INFO("flow", "run done",
                {{"benchmark", p.benchmark},
                 {"ok", p.ok},
+                {"status", std::string(to_string(p.status))},
                 {"channels", p.channels},
                 {"states", p.states}});
   return p;
@@ -360,7 +520,13 @@ void write_json(JsonWriter& w, const FlowPoint& p,
   w.kv("benchmark", p.benchmark);
   w.kv("script", p.script);
   w.kv("ok", p.ok);
-  w.kv("status", p.ok ? "ok" : p.deadlocked ? "deadlock" : "error");
+  // Hand-built points may carry only the legacy booleans; derive then.
+  FlowStatus s = p.status;
+  if (s == FlowStatus::kOk && !p.ok)
+    s = p.deadlocked ? FlowStatus::kDeadlock : FlowStatus::kError;
+  w.kv("status", to_string(s));
+  if (p.attempts != 1) w.kv("attempts", static_cast<std::int64_t>(p.attempts));
+  if (p.from_disk_cache) w.kv("from_disk_cache", true);
   if (!p.error.empty()) w.kv("error", p.error);
   for (const auto& [k, v] : extra) w.kv(k, v);
   w.kv("channels", p.channels);
@@ -372,6 +538,12 @@ void write_json(JsonWriter& w, const FlowPoint& p,
   w.kv("sim_events", p.sim_events);
   w.kv("sim_operations", p.sim_operations);
   w.kv("total_us", p.total_micros);
+  if (!p.sim_registers.empty()) {
+    w.key("registers");
+    w.begin_object();
+    for (const auto& [name, value] : p.sim_registers) w.kv(name, value);
+    w.end_object();
+  }
   w.key("controllers");
   w.begin_array();
   for (const auto& c : p.controllers) {
@@ -407,6 +579,63 @@ std::string to_json(const FlowPoint& p) {
   JsonWriter w;
   write_json(w, p);
   return w.str();
+}
+
+FlowPoint parse_flow_point(const std::string& json) {
+  JsonValue doc = parse_json(json);
+  if (!doc.is_object()) throw std::runtime_error("flow point: not an object");
+  auto num = [&](const JsonValue& o, const char* k) -> double {
+    const JsonValue* v = o.find(k);
+    return v && v->is_number() ? v->number : 0.0;
+  };
+  FlowPoint p;
+  p.benchmark = doc.at("benchmark").string;
+  p.script = doc.at("script").string;
+  p.ok = doc.at("ok").boolean;
+  std::string status = doc.at("status").string;
+  if (status == "ok") p.status = FlowStatus::kOk;
+  else if (status == "deadlock") p.status = FlowStatus::kDeadlock;
+  else if (status == "timeout") p.status = FlowStatus::kTimeout;
+  else if (status == "cancelled") p.status = FlowStatus::kCancelled;
+  else if (status == "fault") p.status = FlowStatus::kFault;
+  else p.status = FlowStatus::kError;
+  p.deadlocked = p.status == FlowStatus::kDeadlock;
+  if (const JsonValue* v = doc.find("attempts"))
+    p.attempts = static_cast<unsigned>(v->number);
+  if (const JsonValue* v = doc.find("error")) p.error = v->string;
+  p.channels = static_cast<std::size_t>(num(doc, "channels"));
+  p.states = static_cast<std::size_t>(num(doc, "states"));
+  p.transitions = static_cast<std::size_t>(num(doc, "transitions"));
+  p.products = static_cast<std::size_t>(num(doc, "products"));
+  p.literals = static_cast<std::size_t>(num(doc, "literals"));
+  p.latency = static_cast<std::int64_t>(num(doc, "latency"));
+  p.sim_events = static_cast<std::int64_t>(num(doc, "sim_events"));
+  p.sim_operations = static_cast<std::int64_t>(num(doc, "sim_operations"));
+  p.total_micros = static_cast<std::uint64_t>(num(doc, "total_us"));
+  if (const JsonValue* regs = doc.find("registers"); regs && regs->is_object())
+    for (const auto& [name, value] : regs->object)
+      p.sim_registers[name] = static_cast<std::int64_t>(value.number);
+  if (const JsonValue* ctrls = doc.find("controllers"); ctrls && ctrls->is_array())
+    for (const JsonValue& c : ctrls->array) {
+      ControllerMetrics m;
+      if (const JsonValue* v = c.find("name")) m.name = v->string;
+      m.states = static_cast<std::size_t>(num(c, "states"));
+      m.transitions = static_cast<std::size_t>(num(c, "transitions"));
+      m.products = static_cast<std::size_t>(num(c, "products"));
+      m.literals = static_cast<std::size_t>(num(c, "literals"));
+      if (const JsonValue* v = c.find("feasible")) m.feasible = v->boolean;
+      p.controllers.push_back(std::move(m));
+    }
+  if (const JsonValue* stages = doc.find("stages"); stages && stages->is_array())
+    for (const JsonValue& t : stages->array) {
+      StageTiming st;
+      if (const JsonValue* v = t.find("stage")) st.stage = v->string;
+      st.micros = static_cast<std::uint64_t>(num(t, "us"));
+      st.cpu_micros = static_cast<std::uint64_t>(num(t, "cpu_us"));
+      if (const JsonValue* v = t.find("cached")) st.cached = v->boolean;
+      p.timings.push_back(std::move(st));
+    }
+  return p;
 }
 
 const std::vector<BuiltinBenchmark>& builtin_benchmarks() {

@@ -33,6 +33,8 @@
 
 #include "cdfg/cdfg.hpp"
 #include "runtime/cache.hpp"
+#include "runtime/cancel.hpp"
+#include "runtime/disk_cache.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sim/event_sim.hpp"
@@ -42,6 +44,18 @@
 namespace adc {
 
 class Tracer;
+
+// Structured outcome of one flow run (the scheduler-grade job lifecycle:
+// a failing point is *classified*, never just "not ok").
+enum class FlowStatus {
+  kOk,         // completed, every controller feasible, sim (if any) passed
+  kDeadlock,   // the event simulation stalled (the E8 corners)
+  kTimeout,    // a stage/job deadline fired and the run unwound
+  kCancelled,  // an external CancelToken stopped the run
+  kFault,      // an injected fault fired (fault.hpp test plans)
+  kError,      // any other failure (infeasible logic, bad input, ...)
+};
+const char* to_string(FlowStatus s);
 
 // One synthesis job: a program, a transformation recipe and the
 // verification inputs.
@@ -65,6 +79,13 @@ struct FlowRequest {
   // Record the simulator's causal event log and attribute the end-to-end
   // latency (FlowPoint::critical_path).  Implies nothing unless simulate.
   bool critical_path = false;
+  // Robustness budgets (0 = unlimited).  When a deadline fires the job's
+  // CancelToken trips, the stages unwind cooperatively and the point is
+  // reported with status=timeout instead of wedging its worker.
+  std::uint64_t stage_deadline_ms = 0;  // per-stage wall budget
+  std::uint64_t deadline_ms = 0;        // whole-job wall budget
+  // External cancellation; shared with the deadline watchdog.
+  CancelToken cancel;
 };
 
 struct ControllerMetrics {
@@ -112,6 +133,14 @@ struct FlowPoint {
   std::map<std::string, std::int64_t> sim_registers;
   bool ok = false;
   bool deadlocked = false;  // the event simulation stalled (E8 corners)
+  // Structured outcome; run() always sets it.  Defaults to kOk so that
+  // hand-built points JSON-render from the ok/deadlocked booleans alone.
+  FlowStatus status = FlowStatus::kOk;
+  // Evaluation attempts a retrying driver (adc_dse) spent on this point.
+  unsigned attempts = 1;
+  // Served from the persistent disk tier (artifacts/graph are not
+  // rehydrated — metrics, registers and timings are).
+  bool from_disk_cache = false;
   std::string error;
   std::vector<ControllerMetrics> controllers;
   std::vector<StageTiming> timings;
@@ -135,6 +164,11 @@ std::string to_json(const FlowPoint& p);
 void write_json(class JsonWriter& w, const FlowPoint& p,
                 const std::vector<std::pair<std::string, std::string>>& extra = {});
 
+// Inverse of to_json for the disk-tier cache: rebuilds the metric fields
+// of a FlowPoint (artifacts/graph/provenance stay null).  Throws
+// std::runtime_error on malformed input.
+FlowPoint parse_flow_point(const std::string& json);
+
 class FlowExecutor {
  public:
   struct Options {
@@ -144,6 +178,11 @@ class FlowExecutor {
     // run records a span, annotated with its cache disposition; pool and
     // cache gauges are sampled as counter tracks.  Null = tracing off.
     Tracer* tracer = nullptr;
+    // Persistent disk tier: completed ok/deadlock points are stored as
+    // checksummed JSON under this directory and replayed on the next run
+    // (runtime/disk_cache.hpp).  Empty = disabled.
+    std::string disk_cache_dir;
+    std::uint64_t disk_cache_bytes = 256ull << 20;  // LRU cap; 0 = unlimited
   };
 
   // `pool` may be null: everything runs on the calling thread.  The pool
@@ -160,6 +199,8 @@ class FlowExecutor {
 
   MetricsRegistry& metrics() { return metrics_; }
   const StageCache& cache() const { return cache_; }
+  // Null unless Options::disk_cache_dir was set.
+  DiskCache* disk_cache() { return disk_.get(); }
   ThreadPool* pool() const { return pool_; }
 
  private:
@@ -173,7 +214,7 @@ class FlowExecutor {
                                                      Fingerprint key, FlowPoint& p);
   std::shared_ptr<const ControllerSet> controller_stage(
       const TransformScript& script, std::shared_ptr<const GlobalSnapshot> snap,
-      const Fingerprint& key, FlowPoint& p);
+      const Fingerprint& key, FlowPoint& p, const CancelToken& cancel);
   std::shared_ptr<const ProvenanceReport> build_provenance(const FlowPoint& p,
                                                            const Cdfg& initial,
                                                            const GlobalSnapshot& snap,
@@ -185,6 +226,7 @@ class FlowExecutor {
   ThreadPool* pool_;
   Options opts_;
   StageCache cache_;
+  std::unique_ptr<DiskCache> disk_;
   MetricsRegistry metrics_;
 };
 

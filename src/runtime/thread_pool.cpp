@@ -127,6 +127,43 @@ void ThreadPool::help_while(const std::function<bool()>& busy) {
   }
 }
 
+void TaskGroup::run_item(State& state, Item& item) {
+  try {
+    item.fn();
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (!state.first_error) state.first_error = std::current_exception();
+  }
+  item.fn = nullptr;  // release captured references promptly
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (--state.outstanding == 0) state.cv.notify_all();
+}
+
+void TaskGroup::wait() {
+  for (;;) {
+    std::shared_ptr<Item> item;
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      if (!state_->unclaimed.empty()) {
+        item = std::move(state_->unclaimed.front());
+        state_->unclaimed.pop_front();
+      }
+    }
+    if (!item) break;
+    if (!item->claimed.exchange(true, std::memory_order_acq_rel))
+      run_item(*state_, *item);
+  }
+  // Everything left is already executing on a worker; a blocking wait here
+  // cannot deadlock even on a saturated pool.
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [&] { return state_->outstanding == 0; });
+  if (state_->first_error) {
+    std::exception_ptr e = state_->first_error;
+    state_->first_error = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
 void ThreadPool::wait_idle() {
   while (pending_.load(std::memory_order_acquire) > 0) {
     if (!run_one()) {

@@ -27,6 +27,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "runtime/cancel.hpp"
+
 namespace adc {
 
 class ThreadPool {
@@ -67,6 +69,20 @@ class ThreadPool {
   template <typename R>
   R wait(std::future<R>&& fut) {
     return wait(fut);
+  }
+
+  // Cancel-aware helping wait: like wait(), but stops helping once the
+  // token trips.  Returns true when the future became ready (call
+  // fut.get()); false when cancellation won the race — the task itself is
+  // expected to observe the same token and unwind shortly, cancellation
+  // here never abandons running work non-cooperatively.
+  template <typename R>
+  bool wait_ready(std::future<R>& fut, const CancelToken* cancel) {
+    help_while([&] {
+      if (cancel && cancel->cancelled()) return false;
+      return fut.wait_for(std::chrono::seconds(0)) != std::future_status::ready;
+    });
+    return fut.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
   }
 
   // Blocks (helping) until every submitted task has finished.
@@ -110,6 +126,72 @@ class ThreadPool {
   std::atomic<std::size_t> pending_{0};  // submitted but not yet finished
   std::atomic<std::uint64_t> tasks_executed_{0};
   std::atomic<std::size_t> steal_seed_{0};
+};
+
+// Scoped fan-out: subtasks whose completion the submitting thread awaits.
+//
+// ThreadPool::wait() helps with *any* queued work, which is what keeps a
+// full pool from deadlocking — but it also means a stage that fans out
+// and joins can end up executing unrelated queued jobs nested inside its
+// own scope, billing their wall time (and any armed watchdog deadline) to
+// the waiting stage.  TaskGroup::wait() instead runs only this group's
+// tasks on the calling thread and blocks solely for tasks a pool worker
+// already claimed, so the join's duration is bounded by the group's own
+// work.  Every task is still visible to the pool: whichever side claims
+// it first runs it, the other side sees a no-op.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool)
+      : pool_(&pool), state_(std::make_shared<State>()) {}
+  // Safety net: never leaves subtasks running past the group's scope
+  // (their closures typically capture the caller's locals by reference).
+  ~TaskGroup() {
+    try {
+      wait();
+    } catch (...) {
+    }
+  }
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  template <typename Fn>
+  void submit(Fn&& fn) {
+    auto item = std::make_shared<Item>(std::function<void()>(std::forward<Fn>(fn)));
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      state_->unclaimed.push_back(item);
+      ++state_->outstanding;
+    }
+    auto state = state_;
+    pool_->submit([state, item] {
+      if (!item->claimed.exchange(true, std::memory_order_acq_rel))
+        run_item(*state, *item);
+    });
+  }
+
+  // Runs every not-yet-claimed group task inline, waits for the ones pool
+  // workers claimed, then rethrows the first subtask exception (all
+  // siblings are complete by then).  Idempotent.
+  void wait();
+
+ private:
+  struct Item {
+    explicit Item(std::function<void()> f) : fn(std::move(f)) {}
+    std::atomic<bool> claimed{false};
+    std::function<void()> fn;
+  };
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::shared_ptr<Item>> unclaimed;
+    std::size_t outstanding = 0;
+    std::exception_ptr first_error;
+  };
+  // Static + shared state so a queued pool wrapper can outlive the group.
+  static void run_item(State& state, Item& item);
+
+  ThreadPool* pool_;
+  std::shared_ptr<State> state_;
 };
 
 }  // namespace adc

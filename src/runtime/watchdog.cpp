@@ -1,0 +1,69 @@
+#include "runtime/watchdog.hpp"
+
+namespace adc {
+
+Watchdog& Watchdog::global() {
+  // Leaked on purpose; see header.
+  static Watchdog* instance = new Watchdog();
+  return *instance;
+}
+
+std::uint64_t Watchdog::arm(const CancelToken& token, std::uint64_t delay_ms,
+                            const std::string& reason) {
+  std::unique_lock<std::mutex> lock(mu_);
+  ensure_thread();
+  std::uint64_t id = next_id_++;
+  entries_[id] = Entry{token,
+                       Clock::now() + std::chrono::milliseconds(delay_ms),
+                       reason};
+  lock.unlock();
+  cv_.notify_one();
+  return id;
+}
+
+void Watchdog::disarm(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.erase(id);
+}
+
+std::size_t Watchdog::armed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void Watchdog::ensure_thread() {
+  if (thread_started_) return;
+  thread_started_ = true;
+  std::thread([this] { run(); }).detach();
+}
+
+void Watchdog::run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (entries_.empty()) {
+      cv_.wait_for(lock, std::chrono::seconds(1));
+      continue;
+    }
+    // Earliest deadline across the armed set.
+    auto soonest = Clock::time_point::max();
+    for (const auto& [id, e] : entries_)
+      if (e.deadline < soonest) soonest = e.deadline;
+    if (Clock::now() < soonest) {
+      cv_.wait_until(lock, soonest);
+      continue;
+    }
+    // Fire everything that expired; request() outside the lock is not
+    // needed — token trips are lock-free and reasons use their own mutex.
+    auto now = Clock::now();
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (it->second.deadline <= now) {
+        it->second.token.request(it->second.reason);
+        it = entries_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+}  // namespace adc

@@ -1,0 +1,98 @@
+#pragma once
+// Deadline watchdog: converts a hung stage into a structured timeout.
+//
+// One lazily started background thread sleeps until the earliest armed
+// deadline and trips the associated CancelToken with the caller's reason.
+// Stages arm a deadline on entry and disarm on exit (see WatchdogGuard);
+// a stage that never returns is cancelled cooperatively — the event-sim
+// loop and the covering loop observe the token and unwind — so the job
+// reports `status=timeout` instead of wedging its worker forever.
+//
+// The watchdog never cancels anything by force; it only requests.  A
+// stage stuck in code without checkpoints (a pathological third-party
+// call) will still hold its thread, but the *job's* outcome is recorded
+// and the rest of the batch proceeds.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "runtime/cancel.hpp"
+
+namespace adc {
+
+class Watchdog {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  // Process-wide instance (the background thread is started on first use
+  // and intentionally leaked: it must outlive static destructors of
+  // arbitrary translation units).
+  static Watchdog& global();
+
+  // Arms a deadline `delay_ms` from now; when it expires the token is
+  // tripped with `reason`.  Returns an id for disarm().
+  std::uint64_t arm(const CancelToken& token, std::uint64_t delay_ms,
+                    const std::string& reason);
+
+  // Cancels a pending deadline.  Safe to call after expiry (no-op).
+  void disarm(std::uint64_t id);
+
+  // Number of currently armed deadlines (for tests / metrics).
+  std::size_t armed() const;
+
+ private:
+  Watchdog() = default;
+  void ensure_thread();
+  void run();
+
+  struct Entry {
+    CancelToken token;
+    Clock::time_point deadline;
+    std::string reason;
+  };
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::uint64_t, Entry> entries_;
+  std::uint64_t next_id_ = 1;
+  bool thread_started_ = false;
+};
+
+// RAII deadline: arms on construction (when delay_ms > 0), disarms on
+// destruction.  A zero delay is "no deadline" so call sites can thread an
+// optional budget through unconditionally.
+class WatchdogGuard {
+ public:
+  WatchdogGuard() = default;
+  WatchdogGuard(const CancelToken& token, std::uint64_t delay_ms,
+                const std::string& reason) {
+    if (delay_ms > 0) id_ = Watchdog::global().arm(token, delay_ms, reason);
+  }
+  ~WatchdogGuard() { disarm(); }
+  WatchdogGuard(const WatchdogGuard&) = delete;
+  WatchdogGuard& operator=(const WatchdogGuard&) = delete;
+  WatchdogGuard(WatchdogGuard&& o) noexcept : id_(o.id_) { o.id_ = 0; }
+  WatchdogGuard& operator=(WatchdogGuard&& o) noexcept {
+    if (this != &o) {
+      disarm();
+      id_ = o.id_;
+      o.id_ = 0;
+    }
+    return *this;
+  }
+
+  void disarm() {
+    if (id_ != 0) Watchdog::global().disarm(id_);
+    id_ = 0;
+  }
+
+ private:
+  std::uint64_t id_ = 0;
+};
+
+}  // namespace adc

@@ -120,6 +120,12 @@ class EventSim {
         res_.error = "event budget exhausted (livelock?)";
         break;
       }
+      if (opts_.cancel && (res_.events & 0xff) == 0 && opts_.cancel->cancelled()) {
+        res_.cancelled = true;
+        res_.error = opts_.cancel->reason();
+        if (res_.error.empty()) res_.error = "cancelled";
+        break;
+      }
       if (opts_.event_log && static_cast<std::size_t>(ev.seq) < opts_.event_log->size()) {
         (*opts_.event_log)[static_cast<std::size_t>(ev.seq)].applied = true;
         applying_ = ev.seq;

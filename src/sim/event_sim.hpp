@@ -28,6 +28,7 @@
 #include "cdfg/delay.hpp"
 #include "channel/channel.hpp"
 #include "extract/extract.hpp"
+#include "runtime/cancel.hpp"
 #include "sim/critical_path.hpp"
 
 namespace adc {
@@ -53,11 +54,16 @@ struct EventSimOptions {
   // every scheduled event is appended with its scheduling parent; feed the
   // log and EventSimResult::final_event to analyze_critical_path().
   std::vector<SimEventRecord>* event_log = nullptr;
+  // Cooperative cancellation: the main loop polls this token (every 256
+  // events) so a deadline watchdog can stop a runaway simulation.  Not
+  // owned; null = never cancelled.
+  const CancelToken* cancel = nullptr;
 };
 
 struct EventSimResult {
   bool completed = false;
   bool deadlocked = false;  // quiescent without every expected completion
+  bool cancelled = false;   // stopped by EventSimOptions::cancel
   std::string error;
   std::map<std::string, std::int64_t> registers;
   std::int64_t finish_time = 0;

@@ -5,6 +5,8 @@
 #include <mutex>
 #include <vector>
 
+#include "runtime/fault.hpp"
+
 namespace adc {
 
 namespace {
@@ -40,6 +42,9 @@ void run_all_locked_once() {
   }
   for (Entry& e : pending) {
     try {
+      // Injection site: proves one artifact's failing flush cannot take
+      // the remaining artifacts down with it.
+      fault().maybe_fail_or_stall("flush.artifact", e.name);
       e.flush();
     } catch (...) {
       // Exit/signal path: swallow — the other artifacts still deserve a

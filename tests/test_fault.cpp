@@ -1,0 +1,154 @@
+// Fault-injector tests: the plan grammar, deterministic firing (counts,
+// after-skips, filters), payload mutation actions and the cooperative
+// stall must all behave as docs/ROBUSTNESS.md promises — the chaos CI job
+// builds on these semantics.
+
+#include "runtime/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+namespace adc {
+namespace {
+
+TEST(FaultInjector, UnarmedInjectorIsInert) {
+  FaultInjector fi;
+  EXPECT_FALSE(fi.armed());
+  EXPECT_EQ(fi.check("flow.sim", "gt1"), FaultAction::kNone);
+  fi.maybe_fail_or_stall("flow.sim");  // must not throw
+  EXPECT_EQ(fi.injected(), 0u);
+}
+
+TEST(FaultInjector, GrammarParsesAllModifiers) {
+  FaultInjector fi;
+  fi.configure("flow.sim[gt1; gt2]=stall(250):3@2%50;seed=42");
+  EXPECT_TRUE(fi.armed());
+  // Rejected plans: missing action, unknown action, bad percentage.
+  EXPECT_THROW(fi.configure("flow.sim"), std::invalid_argument);
+  EXPECT_THROW(fi.configure("flow.sim=explode"), std::invalid_argument);
+  EXPECT_THROW(fi.configure("flow.sim=fail%xyz"), std::invalid_argument);
+  // An empty spec clears the plan.
+  fi.configure("");
+  EXPECT_FALSE(fi.armed());
+}
+
+TEST(FaultInjector, SemicolonInsideFilterIsNotASeparator) {
+  FaultInjector fi;
+  fi.configure("flow.controllers[gt1; gt3]=fail");
+  EXPECT_EQ(fi.check("flow.controllers", "gt1; gt3; lt"), FaultAction::kFail);
+  EXPECT_EQ(fi.check("flow.controllers", "gt1; gt2; lt"), FaultAction::kNone);
+}
+
+TEST(FaultInjector, CountLimitsFirings) {
+  FaultInjector fi;
+  fi.configure("cache.compute=fail:2");
+  EXPECT_EQ(fi.check("cache.compute"), FaultAction::kFail);
+  EXPECT_EQ(fi.check("cache.compute"), FaultAction::kFail);
+  EXPECT_EQ(fi.check("cache.compute"), FaultAction::kNone);
+  EXPECT_EQ(fi.injected(), 2u);
+}
+
+TEST(FaultInjector, AfterSkipsLeadingHits) {
+  FaultInjector fi;
+  fi.configure("disk.get=fail:1@2");
+  EXPECT_EQ(fi.check("disk.get"), FaultAction::kNone);
+  EXPECT_EQ(fi.check("disk.get"), FaultAction::kNone);
+  EXPECT_EQ(fi.check("disk.get"), FaultAction::kFail);
+  EXPECT_EQ(fi.check("disk.get"), FaultAction::kNone);
+}
+
+TEST(FaultInjector, SiteMatchIsExactAndCountersArePrefixed) {
+  FaultInjector fi;
+  fi.configure("disk.put=drop");
+  EXPECT_EQ(fi.check("disk.put.payload"), FaultAction::kNone);
+  EXPECT_EQ(fi.check("disk.put"), FaultAction::kDrop);
+  EXPECT_EQ(fi.injected_at("disk."), 1u);
+  EXPECT_EQ(fi.injected_at("flow."), 0u);
+}
+
+TEST(FaultInjector, DeterministicWithoutPercent) {
+  // Without '%' the decision is a pure function of the hit index: two
+  // injectors fed the same sequence agree exactly.
+  FaultInjector a, b;
+  a.configure("flow.sim=fail:3@1");
+  b.configure("flow.sim=fail:3@1");
+  for (int i = 0; i < 8; ++i)
+    EXPECT_EQ(a.check("flow.sim"), b.check("flow.sim")) << "hit " << i;
+}
+
+TEST(FaultInjector, SeededPercentStreamIsReproducible) {
+  auto draw = [](std::uint64_t seed) {
+    FaultInjector fi;
+    fi.configure("cache.compute=fail%50;seed=" + std::to_string(seed));
+    std::string decisions;
+    for (int i = 0; i < 32; ++i)
+      decisions += fi.check("cache.compute") == FaultAction::kFail ? '1' : '0';
+    return decisions;
+  };
+  EXPECT_EQ(draw(7), draw(7));
+  EXPECT_NE(draw(7), draw(8));  // a different seed moves the stream
+}
+
+TEST(FaultInjector, MaybeFailOrStallThrowsWithSiteName) {
+  FaultInjector fi;
+  fi.configure("flush.artifact=fail");
+  try {
+    fi.maybe_fail_or_stall("flush.artifact", "trace");
+    FAIL() << "expected FaultInjectedError";
+  } catch (const FaultInjectedError& e) {
+    EXPECT_EQ(e.site(), "flush.artifact");
+  }
+}
+
+TEST(FaultInjector, StallObservesCancelToken) {
+  FaultInjector fi;
+  fi.configure("flow.sim=stall(30000)");
+  CancelToken token;
+  token.request("test cancel");
+  auto t0 = std::chrono::steady_clock::now();
+  // A pre-tripped token must cut the 30 s stall to (at most) one chunk,
+  // surfacing as the cancellation the watchdog path relies on.
+  EXPECT_THROW(fi.maybe_fail_or_stall("flow.sim", "", &token), CancelledError);
+  auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+  EXPECT_LT(ms, 5000);
+}
+
+TEST(FaultInjector, PayloadActionsMutateInPlace) {
+  FaultInjector fi;
+  const std::string original(64, 'x');
+
+  fi.configure("disk.put.payload=corrupt");
+  std::string corrupted = original;
+  EXPECT_EQ(fi.mutate_payload("disk.put.payload", corrupted),
+            FaultAction::kCorrupt);
+  EXPECT_EQ(corrupted.size(), original.size());
+  EXPECT_NE(corrupted, original);
+
+  fi.configure("disk.put.payload=truncate");
+  std::string truncated = original;
+  EXPECT_EQ(fi.mutate_payload("disk.put.payload", truncated),
+            FaultAction::kTruncate);
+  EXPECT_LT(truncated.size(), original.size());
+
+  fi.configure("disk.put.payload=shortwrite");
+  std::string short_written = original;
+  EXPECT_EQ(fi.mutate_payload("disk.put.payload", short_written),
+            FaultAction::kShortWrite);
+  EXPECT_LE(short_written.size(), 7u);
+}
+
+TEST(FaultInjector, ResetClearsPlanAndCounters) {
+  FaultInjector fi;
+  fi.configure("flow.sim=fail");
+  EXPECT_EQ(fi.check("flow.sim"), FaultAction::kFail);
+  fi.reset();
+  EXPECT_FALSE(fi.armed());
+  EXPECT_EQ(fi.check("flow.sim"), FaultAction::kNone);
+  EXPECT_EQ(fi.injected(), 0u);
+}
+
+}  // namespace
+}  // namespace adc

@@ -88,6 +88,68 @@ TEST(ThreadPool, DefaultSizeUsesHardware) {
   EXPECT_GE(pool.size(), 1u);
 }
 
+TEST(TaskGroup, WaitRunsOnlyGroupTasks) {
+  ThreadPool pool(1);
+  // Jam the lone worker so queued foreign work cannot move while we join.
+  std::atomic<bool> release{false};
+  auto jam = pool.submit([&release] {
+    while (!release.load(std::memory_order_acquire)) std::this_thread::yield();
+  });
+  std::atomic<int> strangers{0};
+  for (int i = 0; i < 8; ++i)
+    pool.submit([&strangers] { strangers.fetch_add(1, std::memory_order_relaxed); });
+
+  TaskGroup group(pool);
+  std::atomic<int> mine{0};
+  for (int i = 0; i < 4; ++i)
+    group.submit([&mine] { mine.fetch_add(1, std::memory_order_relaxed); });
+  group.wait();  // claims the four group tasks inline on this thread
+
+  EXPECT_EQ(mine.load(), 4);
+  // The join must not have drained unrelated queued work — that is the
+  // regression that nested whole flow points inside a stage's deadline.
+  EXPECT_EQ(strangers.load(), 0);
+  release.store(true, std::memory_order_release);
+  pool.wait(jam);
+  pool.wait_idle();
+  EXPECT_EQ(strangers.load(), 8);
+}
+
+TEST(TaskGroup, WorkersHelpWhenIdle) {
+  ThreadPool pool(4);
+  TaskGroup group(pool);
+  std::atomic<int> hits{0};
+  for (int i = 0; i < 256; ++i)
+    group.submit([&hits] { hits.fetch_add(1, std::memory_order_relaxed); });
+  group.wait();
+  EXPECT_EQ(hits.load(), 256);
+  pool.wait_idle();  // claimed-elsewhere wrappers drain as no-ops
+}
+
+TEST(TaskGroup, FirstExceptionPropagatesAfterAllSiblingsFinish) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  std::atomic<int> done{0};
+  group.submit([] { throw std::runtime_error("subtask failed"); });
+  for (int i = 0; i < 8; ++i)
+    group.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_THROW(group.wait(), std::runtime_error);
+  EXPECT_EQ(done.load(), 8);
+  // Idempotent: a second wait (and the destructor) see a drained group.
+  EXPECT_NO_THROW(group.wait());
+}
+
+TEST(TaskGroup, DestructorDrainsWithoutExplicitWait) {
+  ThreadPool pool(2);
+  std::atomic<int> hits{0};
+  {
+    TaskGroup group(pool);
+    for (int i = 0; i < 16; ++i)
+      group.submit([&hits] { hits.fetch_add(1, std::memory_order_relaxed); });
+  }
+  EXPECT_EQ(hits.load(), 16);
+}
+
 TEST(ThreadPool, StressNestedMixedLoad) {
   ThreadPool pool(4);
   std::atomic<int> leaves{0};

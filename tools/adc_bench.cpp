@@ -25,6 +25,10 @@
 //   --threshold PCT         p50 wall growth counted as a regression (10)
 //   --min-time-us US        ignore benchmarks faster than this floor (50)
 //   --check                 exit 1 when the comparison found a regression
+//   --suite-deadline-ms N   wall budget per benchmark (default 600000,
+//                           0 = unlimited); an overrunning benchmark is
+//                           abandoned and recorded with status="timeout"
+//                           while the remaining suites still run
 //   --help
 //
 // A vanished benchmark is always a regression; a new one never is.
@@ -48,7 +52,7 @@ int usage(int code) {
                "usage: adc_bench [--suite all|S1,S2,...] [--filter STR] [--list] "
                "[--quick] [--repeats N] [--warmup N] [--out FILE] "
                "[--baseline FILE] [--diff OLD NEW] [--threshold PCT] "
-               "[--min-time-us US] [--check]\n");
+               "[--min-time-us US] [--check] [--suite-deadline-ms N]\n");
   return code;
 }
 
@@ -110,6 +114,7 @@ int main(int argc, char** argv) {
       diff_old = next();
       diff_new = next();
     }
+    else if (arg == "--suite-deadline-ms") mopts.deadline_ms = std::stoull(next());
     else if (arg == "--threshold") copts.threshold_pct = std::stod(next());
     else if (arg == "--min-time-us") copts.min_us = std::stod(next());
     else if (arg == "--check") check = true;

@@ -38,18 +38,39 @@
 //                           channels/controllers/phases; each --json point
 //                           gains a "critical_path" object
 //   --log-level LEVEL       error|warn|info|debug|trace (default: ADC_LOG)
+//   --cache-dir DIR         persistent disk-tier point cache: completed
+//                           ok/deadlock points are stored as checksummed
+//                           files and replayed warm across process restarts
+//   --cache-bytes N         disk-tier LRU size cap in bytes (default 256 MiB)
+//   --stage-deadline-ms N   per-stage wall budget; an overrunning stage is
+//                           cancelled and the point reported status=timeout
+//   --point-deadline-ms N   whole-point wall budget (same semantics)
+//   --retries N             re-evaluate points that failed with an injected
+//                           fault up to N times (default 2)
+//   --retry-backoff-ms N    base backoff between retries, doubling (default 50)
+//   --fault SPEC            arm the deterministic fault injector (overrides
+//                           the ADC_FAULT environment variable); see
+//                           docs/ROBUSTNESS.md for the plan grammar
 //   --help
+//
+// Every grid point is quarantined independently: a timed-out, faulted or
+// deadlocked point is reported with its status while the surviving
+// frontier is still evaluated, written and summarized in an explicit
+// coverage ledger.
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <thread>
 
 #include <memory>
 
 #include "report/json.hpp"
 #include "report/table.hpp"
+#include "runtime/fault.hpp"
 #include "runtime/flow.hpp"
 #include "trace/flush.hpp"
 #include "trace/log.hpp"
@@ -67,7 +88,20 @@ int usage(int code) {
                "[--init REG=VAL,...] [--seed N] [--randomize] [--no-sim] "
                "[--verify-serial] [--metrics] [--trace-out FILE] "
                "[--provenance DIR] [--vcd DIR] [--critical-path] "
-               "[--log-level LEVEL] [program.adc]...\n");
+               "[--cache-dir DIR] [--cache-bytes N] "
+               "[--stage-deadline-ms N] [--point-deadline-ms N] "
+               "[--retries N] [--retry-backoff-ms N] [--fault SPEC] "
+               "[--log-level LEVEL] [program.adc]...\n"
+               "\n"
+               "exit codes (worst surviving outcome wins):\n"
+               "  0  every point completed ok\n"
+               "  1  internal error (bad input file, I/O failure, ...)\n"
+               "  2  usage error\n"
+               "  3  --verify-serial found a parallel/serial mismatch\n"
+               "  6  a point failed (injected fault or synthesis error)\n"
+               "  5  a point timed out or was cancelled\n"
+               "  4  a point's event simulation deadlocked\n"
+               "severity: 3 > 6 > 5 > 4 when several statuses occur.\n");
   return code;
 }
 
@@ -125,8 +159,14 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string prov_dir;
   std::string vcd_dir;
+  std::string cache_dir;
+  std::string fault_spec;
   std::size_t jobs = std::thread::hardware_concurrency();
   std::uint64_t seed = 1;
+  std::uint64_t cache_bytes = 256ull << 20;
+  std::uint64_t stage_deadline_ms = 0, point_deadline_ms = 0;
+  unsigned retries = 2;
+  std::uint64_t retry_backoff_ms = 50;
   bool randomize = false, simulate = true, verify_serial = false, dump_metrics = false;
   bool critical_path = false;
 
@@ -155,6 +195,13 @@ int main(int argc, char** argv) {
     else if (arg == "--provenance") prov_dir = next();
     else if (arg == "--vcd") vcd_dir = next();
     else if (arg == "--critical-path") critical_path = true;
+    else if (arg == "--cache-dir") cache_dir = next();
+    else if (arg == "--cache-bytes") cache_bytes = std::stoull(next());
+    else if (arg == "--stage-deadline-ms") stage_deadline_ms = std::stoull(next());
+    else if (arg == "--point-deadline-ms") point_deadline_ms = std::stoull(next());
+    else if (arg == "--retries") retries = static_cast<unsigned>(std::stoul(next()));
+    else if (arg == "--retry-backoff-ms") retry_backoff_ms = std::stoull(next());
+    else if (arg == "--fault") fault_spec = next();
     else if (arg == "--log-level") {
       try {
         set_log_level(log_level_from_string(next()));
@@ -168,6 +215,8 @@ int main(int argc, char** argv) {
   }
 
   try {
+    fault().configure_from_env();
+    if (!fault_spec.empty()) fault().configure(fault_spec);
     if (!grid.empty()) {
       if (grid != "gt" && grid != "gt-nolt")
         throw std::invalid_argument("unknown grid '" + grid + "'");
@@ -191,6 +240,8 @@ int main(int argc, char** argv) {
         req.simulate = simulate;
         req.provenance = !prov_dir.empty();
         req.critical_path = critical_path;
+        req.stage_deadline_ms = stage_deadline_ms;
+        req.deadline_ms = point_deadline_ms;
         reqs.push_back(std::move(req));
       }
     }
@@ -212,6 +263,8 @@ int main(int argc, char** argv) {
         req.simulate = simulate;
         req.provenance = !prov_dir.empty();
         req.critical_path = critical_path;
+        req.stage_deadline_ms = stage_deadline_ms;
+        req.deadline_ms = point_deadline_ms;
         reqs.push_back(std::move(req));
       }
     }
@@ -222,6 +275,8 @@ int main(int argc, char** argv) {
     auto tracer = std::make_shared<Tracer>();
     FlowExecutor::Options opts;
     if (!trace_path.empty()) opts.tracer = tracer.get();
+    opts.disk_cache_dir = cache_dir;
+    opts.disk_cache_bytes = cache_bytes;
     // Interrupted batches still flush a balanced partial trace.
     int trace_token = -1;
     if (!trace_path.empty())
@@ -232,9 +287,52 @@ int main(int argc, char** argv) {
     FlowExecutor exec(pool.get(), opts);
     auto t0 = std::chrono::steady_clock::now();
     std::vector<FlowPoint> points = exec.run_all(reqs);
+
+    // Quarantine & retry: points that died to an injected fault are
+    // re-evaluated with a fresh cancel token (a tripped token stays
+    // tripped) and doubling backoff.  Deterministic count-limited fault
+    // plans drain, so transients recover; persistent faults exhaust the
+    // budget and keep status=fault with the attempt count recorded.
+    std::size_t retried_points = 0, retry_attempts = 0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (points[i].status != FlowStatus::kFault) continue;
+      ++retried_points;
+      std::uint64_t backoff = retry_backoff_ms;
+      unsigned attempts = points[i].attempts;
+      for (unsigned r = 1; r <= retries && points[i].status == FlowStatus::kFault;
+           ++r) {
+        std::fprintf(stderr,
+                     "adc_dse: retry %u/%u for %s [%s] after fault: %s\n", r,
+                     retries, points[i].benchmark.c_str(),
+                     points[i].script.c_str(), points[i].error.c_str());
+        if (backoff) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+          backoff *= 2;
+        }
+        reqs[i].cancel = CancelToken();
+        points[i] = exec.run(reqs[i]);
+        ++attempts;
+        ++retry_attempts;
+      }
+      points[i].attempts = attempts;
+    }
     auto wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
                        std::chrono::steady_clock::now() - t0)
                        .count();
+
+    // Coverage ledger: every point accounted for by terminal status.
+    std::size_t n_ok = 0, n_deadlock = 0, n_timeout = 0, n_cancelled = 0,
+                n_fault = 0, n_error = 0;
+    for (const auto& p : points) {
+      switch (p.status) {
+        case FlowStatus::kOk: ++n_ok; break;
+        case FlowStatus::kDeadlock: ++n_deadlock; break;
+        case FlowStatus::kTimeout: ++n_timeout; break;
+        case FlowStatus::kCancelled: ++n_cancelled; break;
+        case FlowStatus::kFault: ++n_fault; break;
+        case FlowStatus::kError: ++n_error; break;
+      }
+    }
 
     // Per-point artifacts: a provenance log per evaluated point, and for
     // points whose simulation deadlocked a waveform of the stall — the
@@ -255,6 +353,7 @@ int main(int argc, char** argv) {
         FlowRequest rerun = reqs[i];
         rerun.sim.vcd = &vcd;
         rerun.provenance = false;
+        rerun.cancel = CancelToken();
         exec.run(rerun);
         std::ofstream out(path);
         vcd.write(out);
@@ -268,6 +367,7 @@ int main(int argc, char** argv) {
       FlowExecutor serial(nullptr);
       std::size_t mismatches = 0;
       for (std::size_t i = 0; i < reqs.size(); ++i) {
+        reqs[i].cancel = CancelToken();
         FlowPoint ref = serial.run(reqs[i]);
         if (!same_point(points[i], ref)) {
           ++mismatches;
@@ -286,7 +386,7 @@ int main(int argc, char** argv) {
       if (mismatches) {
         std::fprintf(stderr, "adc_dse: %zu/%zu points differ from the serial run\n",
                      mismatches, reqs.size());
-        rc = 1;
+        rc = 3;
       } else {
         std::fprintf(stderr, "adc_dse: all %zu points match the serial run\n",
                      reqs.size());
@@ -296,12 +396,12 @@ int main(int argc, char** argv) {
     CacheStats cs = exec.cache().stats();
     if (json_path.empty()) {
       Table t({"benchmark", "script", "channels", "states/trans", "prod/lits",
-               "latency", "ok", "ms"});
+               "latency", "status", "ms"});
       for (const auto& p : points)
         t.add_row({p.benchmark, p.script.empty() ? "(none)" : p.script,
                    std::to_string(p.channels), pair_cell(p.states, p.transitions),
                    pair_cell(p.products, p.literals), std::to_string(p.latency),
-                   p.ok ? "yes" : "NO", std::to_string(p.total_micros / 1000)});
+                   to_string(p.status), std::to_string(p.total_micros / 1000)});
       std::printf("%s", t.to_string().c_str());
       std::printf(
           "\n%zu points, %zu jobs, %lld ms wall; cache: %llu hits, %llu joins, "
@@ -310,6 +410,23 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(cs.hits),
           static_cast<unsigned long long>(cs.joins),
           static_cast<unsigned long long>(cs.misses), 100.0 * cs.hit_rate());
+      std::printf(
+          "coverage: %zu ok, %zu deadlock, %zu timeout, %zu fault, %zu error, "
+          "%zu cancelled; %zu point(s) retried (%zu attempt(s))\n",
+          n_ok, n_deadlock, n_timeout, n_fault, n_error, n_cancelled,
+          retried_points, retry_attempts);
+      if (const DiskCache* dc = exec.disk_cache()) {
+        DiskCache::Stats ds = dc->stats();
+        std::printf(
+            "disk cache: %llu hits, %llu misses, %llu stores, %llu evictions, "
+            "%llu corrupt (%llu bytes)\n",
+            static_cast<unsigned long long>(ds.hits),
+            static_cast<unsigned long long>(ds.misses),
+            static_cast<unsigned long long>(ds.puts),
+            static_cast<unsigned long long>(ds.evictions),
+            static_cast<unsigned long long>(ds.corrupt),
+            static_cast<unsigned long long>(dc->total_bytes()));
+      }
     } else {
       JsonWriter w(true);
       w.begin_object();
@@ -323,6 +440,32 @@ int main(int argc, char** argv) {
       w.kv("misses", cs.misses);
       w.kv("evictions", cs.evictions);
       w.kv("hit_rate", cs.hit_rate());
+      w.end_object();
+      if (const DiskCache* dc = exec.disk_cache()) {
+        DiskCache::Stats ds = dc->stats();
+        w.key("disk_cache");
+        w.begin_object();
+        w.kv("dir", dc->dir());
+        w.kv("hits", ds.hits);
+        w.kv("misses", ds.misses);
+        w.kv("stores", ds.puts);
+        w.kv("evictions", ds.evictions);
+        w.kv("corrupt", ds.corrupt);
+        w.kv("put_errors", ds.put_errors);
+        w.kv("total_bytes", dc->total_bytes());
+        w.end_object();
+      }
+      w.key("coverage");
+      w.begin_object();
+      w.kv("total", static_cast<std::uint64_t>(points.size()));
+      w.kv("ok", static_cast<std::uint64_t>(n_ok));
+      w.kv("deadlock", static_cast<std::uint64_t>(n_deadlock));
+      w.kv("timeout", static_cast<std::uint64_t>(n_timeout));
+      w.kv("fault", static_cast<std::uint64_t>(n_fault));
+      w.kv("error", static_cast<std::uint64_t>(n_error));
+      w.kv("cancelled", static_cast<std::uint64_t>(n_cancelled));
+      w.kv("retried", static_cast<std::uint64_t>(retried_points));
+      w.kv("retry_attempts", static_cast<std::uint64_t>(retry_attempts));
       w.end_object();
       w.key("points");
       w.begin_array();
@@ -358,6 +501,13 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "adc_dse: %s [%s]: %s%s\n", p.benchmark.c_str(),
                      p.script.c_str(), p.deadlocked ? "DEADLOCK: " : "",
                      p.error.c_str());
+    }
+    // Worst surviving outcome wins: a verify mismatch trumps everything,
+    // then fault/error, then timeout/cancelled, then deadlock.
+    if (rc == 0) {
+      if (n_fault || n_error) rc = 6;
+      else if (n_timeout || n_cancelled) rc = 5;
+      else if (n_deadlock) rc = 4;
     }
     return rc;
   } catch (const std::exception& e) {

@@ -1,7 +1,7 @@
 // adc_obs_check — validates the observability artifacts the flow emits.
 //
 //   adc_obs_check [--trace FILE] [--provenance FILE] [--vcd FILE]
-//                 [--bench FILE]
+//                 [--bench FILE] [--cache-dir DIR]
 //
 // Used by the CI smoke test: after `adc_synth --trace-out --provenance
 // --vcd` runs a benchmark, this tool proves the three artifacts are
@@ -16,7 +16,10 @@
 //    and at least one change was recorded;
 //  * bench: a BENCH JSON report (kind "adc-bench" v1) with a complete
 //    environment fingerprint, unique benchmark names and internally
-//    consistent statistics (p50 <= p90 <= p99, min <= p50, p99 <= max).
+//    consistent statistics (p50 <= p90 <= p99, min <= p50, p99 <= max);
+//  * cache-dir: every *.adcstage file in a disk-tier stage cache directory
+//    decodes cleanly (magic, version, length, checksum) — an offline
+//    integrity audit of what a crashed or fault-injected run left behind.
 //
 // Exit 0 when every given artifact validates; 1 otherwise with one line per
 // problem.
@@ -31,6 +34,7 @@
 
 #include "perf/record.hpp"
 #include "report/json_parse.hpp"
+#include "runtime/disk_cache.hpp"
 
 using namespace adc;
 
@@ -164,10 +168,21 @@ void check_bench(const std::string& path) {
     fail(path + ": " + problem);
 }
 
+void check_cache_dir(const std::string& dir) {
+  auto entries = DiskCache::scan(dir);
+  std::size_t valid = 0;
+  for (const auto& e : entries) {
+    if (e.valid) ++valid;
+    else fail(dir + "/" + e.key + ".adcstage: " + e.defect);
+  }
+  std::printf("adc_obs_check: %s: %zu/%zu cache entries valid\n", dir.c_str(),
+              valid, entries.size());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string trace_path, prov_path, vcd_path, bench_path;
+  std::string trace_path, prov_path, vcd_path, bench_path, cache_dir;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> std::string {
@@ -181,10 +196,11 @@ int main(int argc, char** argv) {
     else if (arg == "--provenance") prov_path = next();
     else if (arg == "--vcd") vcd_path = next();
     else if (arg == "--bench") bench_path = next();
+    else if (arg == "--cache-dir") cache_dir = next();
     else {
       std::fprintf(stderr,
                    "usage: adc_obs_check [--trace FILE] [--provenance FILE] "
-                   "[--vcd FILE] [--bench FILE]\n");
+                   "[--vcd FILE] [--bench FILE] [--cache-dir DIR]\n");
       return arg == "--help" || arg == "-h" ? 0 : 2;
     }
   }
@@ -193,6 +209,7 @@ int main(int argc, char** argv) {
     if (!prov_path.empty()) check_provenance(prov_path);
     if (!vcd_path.empty()) check_vcd(vcd_path);
     if (!bench_path.empty()) check_bench(bench_path);
+    if (!cache_dir.empty()) check_cache_dir(cache_dir);
   } catch (const std::exception& e) {
     fail(e.what());
   }

@@ -34,6 +34,11 @@
 //                              the report stream, JSON under "critical_path")
 //   --log-level LEVEL          error|warn|info|debug|trace (default: the
 //                              ADC_LOG environment variable, else warn)
+//   --deadline-ms N            whole-flow wall budget; an overrun is
+//                              cancelled and reported as a timeout (exit 5)
+//   --stage-deadline-ms N      per-stage wall budget (same semantics)
+//   --fault SPEC               arm the deterministic fault injector
+//                              (overrides ADC_FAULT); see docs/ROBUSTNESS.md
 //   --help
 //
 // Observability artifacts (--trace-out, --provenance, --vcd) are registered
@@ -56,6 +61,7 @@
 #include "logic/stats.hpp"
 #include "report/json.hpp"
 #include "report/table.hpp"
+#include "runtime/fault.hpp"
 #include "runtime/flow.hpp"
 #include "trace/flush.hpp"
 #include "trace/log.hpp"
@@ -72,8 +78,17 @@ int usage(int code) {
                "usage: adc_synth [--script S] [--bench NAME] [--out DIR] "
                "[--emit KIND]... [--simulate REG=VAL,...] [--report] "
                "[--json FILE] [--trace-out FILE] [--provenance FILE] "
-               "[--vcd FILE] [--critical-path] [--log-level LEVEL] "
-               "[program.adc]\n");
+               "[--vcd FILE] [--critical-path] [--deadline-ms N] "
+               "[--stage-deadline-ms N] [--fault SPEC] [--log-level LEVEL] "
+               "[program.adc]\n"
+               "\n"
+               "exit codes:\n"
+               "  0  flow and (if requested) simulation completed\n"
+               "  1  internal error (bad input, synthesis failure, I/O)\n"
+               "  2  usage error\n"
+               "  6  an injected fault aborted the flow\n"
+               "  5  the flow timed out or was cancelled\n"
+               "  4  the event simulation deadlocked\n");
   return code;
 }
 
@@ -88,6 +103,19 @@ std::map<std::string, std::int64_t> parse_init(const std::string& spec) {
     init[item.substr(0, eq)] = std::stoll(item.substr(eq + 1));
   }
   return init;
+}
+
+// Maps a point's terminal status onto the documented exit codes.
+int exit_code_for(const FlowPoint& p) {
+  switch (p.status) {
+    case FlowStatus::kOk: return 0;
+    case FlowStatus::kDeadlock: return 4;
+    case FlowStatus::kTimeout:
+    case FlowStatus::kCancelled: return 5;
+    case FlowStatus::kFault: return 6;
+    case FlowStatus::kError: return 1;
+  }
+  return 1;
 }
 
 void write_file(const std::string& path, const std::string& text) {
@@ -113,6 +141,8 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string prov_path;
   std::string vcd_path;
+  std::string fault_spec;
+  std::uint64_t deadline_ms = 0, stage_deadline_ms = 0;
   bool report = false;
   bool critical_path = false;
 
@@ -137,6 +167,9 @@ int main(int argc, char** argv) {
     else if (arg == "--provenance") prov_path = next();
     else if (arg == "--vcd") vcd_path = next();
     else if (arg == "--critical-path") critical_path = true;
+    else if (arg == "--deadline-ms") deadline_ms = std::stoull(next());
+    else if (arg == "--stage-deadline-ms") stage_deadline_ms = std::stoull(next());
+    else if (arg == "--fault") fault_spec = next();
     else if (arg == "--log-level") {
       try {
         set_log_level(log_level_from_string(next()));
@@ -155,6 +188,8 @@ int main(int argc, char** argv) {
   }
 
   try {
+    fault().configure_from_env();
+    if (!fault_spec.empty()) fault().configure(fault_spec);
     // Assemble the flow request.
     FlowRequest req;
     if (!bench_name.empty()) {
@@ -190,6 +225,8 @@ int main(int argc, char** argv) {
                    critical_path;
     req.provenance = !prov_path.empty();
     req.critical_path = critical_path;
+    req.deadline_ms = deadline_ms;
+    req.stage_deadline_ms = stage_deadline_ms;
 
     // The observability sinks are shared with the flush registry so an
     // interrupted run still writes complete artifacts (the tracer only
@@ -239,8 +276,10 @@ int main(int argc, char** argv) {
     FlowPoint p = exec.run(req);
     *prov_holder = p.provenance;
     if (!p.artifacts) {  // failed before producing anything to emit
-      std::fprintf(stderr, "adc_synth: %s\n", p.error.c_str());
-      return 1;
+      std::fprintf(stderr, "adc_synth: [%s] %s\n", to_string(p.status),
+                   p.error.c_str());
+      int rc = exit_code_for(p);
+      return rc == 0 ? 1 : rc;
     }
     const Cdfg& g = *p.graph;
     std::fprintf(log, "flow '%s' [%s]: %zu nodes, %zu arcs, %zu controller channels\n",
@@ -337,7 +376,7 @@ int main(int argc, char** argv) {
       w.end_object();
       write_file(json_path, w.str());
     }
-    return p.ok ? 0 : 1;
+    return exit_code_for(p);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "adc_synth: %s\n", e.what());
     return 1;
