@@ -234,6 +234,7 @@ BenchReport run_registered(const std::vector<std::string>& suites,
       continue;
     if (!filter.empty() && b.name.find(filter) == std::string::npos) continue;
     rep.benchmarks.push_back(measure(b, opts));
+    if (opts.on_record) opts.on_record(rep);
   }
   return rep;
 }

@@ -78,6 +78,11 @@ struct MeasureOptions {
   // thread and recorded with status="timeout" and zeroed statistics, so a
   // hung suite cannot wedge the harness — the remaining suites still run.
   std::uint64_t deadline_ms = 600000;
+  // Invoked by run_registered after every completed benchmark with the
+  // report accumulated so far (env/policy already filled).  adc_bench
+  // points its artifact-flush callback at the latest snapshot, so a run
+  // cut short by SIGINT/SIGTERM still leaves a valid partial BENCH file.
+  std::function<void(const BenchReport&)> on_record;
 
   static MeasureOptions quick_mode() {
     MeasureOptions o;

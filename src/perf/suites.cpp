@@ -209,6 +209,7 @@ void register_default_suites() {
     register_sim();
     register_flow();
     register_dse();
+    register_serve_suites();
   });
 }
 

@@ -10,14 +10,21 @@
 //   flow      FlowExecutor end-to-end (cold and warm cache), with the
 //             executor's per-stage wall+CPU timings attached to the record
 //   dse       the batch GT ablation grid through the parallel runtime
+//   serve     the adc_serve daemon end-to-end over its wire protocol
+//             (suites_serve.cpp): warm round-trip floor + multi-client
+//             saturation with client-observed p50/p99 and jobs/sec
 //
 // register_default_suites() is idempotent; quick mode (BenchContext::quick)
-// shrinks the random-program sizes and the DSE grid.
+// shrinks the random-program sizes, the DSE grid and the client counts.
 
 namespace adc {
 namespace perf {
 
 void register_default_suites();
+
+// The serve.* suites (registered by register_default_suites; split out
+// because they pull in the serving layer).
+void register_serve_suites();
 
 }  // namespace perf
 }  // namespace adc

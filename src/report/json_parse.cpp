@@ -1,8 +1,12 @@
 #include "report/json_parse.hpp"
 
 #include <cctype>
+#include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <stdexcept>
+
+#include "report/json.hpp"
 
 namespace adc {
 
@@ -226,5 +230,46 @@ class Parser {
 }  // namespace
 
 JsonValue parse_json(const std::string& text) { return Parser(text).parse_document(); }
+
+void write_json_value(JsonWriter& w, const JsonValue& v) {
+  switch (v.kind) {
+    case JsonValue::Kind::kNull:
+      w.null();
+      break;
+    case JsonValue::Kind::kBool:
+      w.value(v.boolean);
+      break;
+    case JsonValue::Kind::kNumber:
+      // Integral doubles (the common case: every counter/metric the
+      // toolchain emits) round-trip as integers, not "12.000000".
+      if (std::floor(v.number) == v.number && std::abs(v.number) < 9.0e15)
+        w.value(static_cast<std::int64_t>(v.number));
+      else
+        w.value(v.number);
+      break;
+    case JsonValue::Kind::kString:
+      w.value(v.string);
+      break;
+    case JsonValue::Kind::kArray:
+      w.begin_array();
+      for (const JsonValue& e : v.array) write_json_value(w, e);
+      w.end_array();
+      break;
+    case JsonValue::Kind::kObject:
+      w.begin_object();
+      for (const auto& [k, e] : v.object) {
+        w.key(k);
+        write_json_value(w, e);
+      }
+      w.end_object();
+      break;
+  }
+}
+
+std::string to_json(const JsonValue& v, bool pretty) {
+  JsonWriter w(pretty);
+  write_json_value(w, v);
+  return w.str();
+}
 
 }  // namespace adc

@@ -40,4 +40,13 @@ struct JsonValue {
 // std::runtime_error with a byte offset on malformed input.
 JsonValue parse_json(const std::string& text);
 
+// Re-serializes a parsed value through the streaming writer (member order
+// preserved).  This is how the serving layer relays sub-documents — a
+// stored FlowPoint, an embedded metrics object — without re-parsing them
+// into their native structs.  Numbers render as integers when the double
+// holds one exactly, so round-tripped documents keep integer fields
+// integral.
+void write_json_value(class JsonWriter& w, const JsonValue& v);
+std::string to_json(const JsonValue& v, bool pretty = false);
+
 }  // namespace adc

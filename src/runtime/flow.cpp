@@ -254,6 +254,17 @@ void FlowExecutor::sample_gauges() {
   metrics_.gauge("cache.bytes").set(static_cast<std::int64_t>(cs.bytes));
   std::int64_t pending = pool_ ? static_cast<std::int64_t>(pool_->pending()) : 0;
   metrics_.gauge("pool.pending").set(pending);
+  if (disk_) {
+    // The persistent tier's counters, mirrored into every --json metrics
+    // section (and the serve stats op) so cache sharing is observable.
+    DiskCache::Stats ds = disk_->stats();
+    metrics_.gauge("disk.hits").set(static_cast<std::int64_t>(ds.hits));
+    metrics_.gauge("disk.misses").set(static_cast<std::int64_t>(ds.misses));
+    metrics_.gauge("disk.stores").set(static_cast<std::int64_t>(ds.puts));
+    metrics_.gauge("disk.evictions").set(static_cast<std::int64_t>(ds.evictions));
+    metrics_.gauge("disk.corrupt").set(static_cast<std::int64_t>(ds.corrupt));
+    metrics_.gauge("disk.bytes").set(static_cast<std::int64_t>(disk_->total_bytes()));
+  }
   if (opts_.tracer) {
     opts_.tracer->counter("cache.entries", static_cast<std::int64_t>(cs.entries));
     opts_.tracer->counter("cache.bytes", static_cast<std::int64_t>(cs.bytes));

@@ -1,0 +1,65 @@
+#pragma once
+// Blocking client for the adc_serve wire protocol.  One ServeClient owns
+// one connection; request() frames a JSON payload, sends it, and blocks
+// for the single reply frame.  The submit/wait helpers layer the common
+// job lifecycle on top, including the backpressure dance: a "busy" reply
+// is retried after the server's retry_after_ms hint (capped), so callers
+// saturating the daemon observe throttling, not failures.
+//
+// Used by tools/adc_submit, the serve.* bench suites and the integration
+// tests; thread-compatible (one client per thread), not thread-safe.
+
+#include <cstdint>
+#include <string>
+
+#include "report/json_parse.hpp"
+#include "serve/protocol.hpp"
+
+namespace adc {
+namespace serve {
+
+class ServeClient {
+ public:
+  ServeClient() = default;
+  ~ServeClient();
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+  ServeClient(ServeClient&& other) noexcept;
+  ServeClient& operator=(ServeClient&& other) noexcept;
+
+  // Throws std::runtime_error when the endpoint cannot be reached.
+  static ServeClient connect_unix(const std::string& path,
+                                  std::uint32_t max_frame_bytes = kDefaultMaxFrameBytes);
+  static ServeClient connect_tcp(const std::string& host, int port,
+                                 std::uint32_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  // One round-trip: send `payload` as a frame, parse the reply frame.
+  // Throws std::runtime_error on transport errors (peer gone, oversized
+  // or malformed reply).  Protocol-level errors come back as parsed
+  // {"ok":false,...} documents — inspect, don't catch.
+  JsonValue request(const std::string& payload);
+
+  // submit, retrying "busy" rejections after the server's retry_after_ms
+  // hint (each pause capped at 250 ms so tests stay fast).  Returns the
+  // job id.  Throws on transport errors and on non-busy rejections
+  // (bad_request, shutting_down, ...) with the server's message.
+  std::uint64_t submit(const std::string& payload, int max_attempts = 100);
+
+  // Blocks until the job is terminal and returns the reply's "point"
+  // member (object).  Throws on transport/protocol errors.
+  JsonValue wait_result(std::uint64_t id);
+
+ private:
+  explicit ServeClient(int fd, std::uint32_t max_frame_bytes)
+      : fd_(fd), max_frame_bytes_(max_frame_bytes) {}
+
+  int fd_ = -1;
+  std::uint32_t max_frame_bytes_ = kDefaultMaxFrameBytes;
+};
+
+}  // namespace serve
+}  // namespace adc

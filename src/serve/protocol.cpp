@@ -1,0 +1,81 @@
+#include "serve/protocol.hpp"
+
+#include <cstring>
+
+#include "report/json.hpp"
+
+namespace adc {
+namespace serve {
+
+std::string encode_frame(const std::string& payload,
+                         std::uint32_t max_frame_bytes) {
+  if (payload.size() > max_frame_bytes)
+    throw FrameError("frame payload of " + std::to_string(payload.size()) +
+                     " bytes exceeds the " + std::to_string(max_frame_bytes) +
+                     "-byte frame limit");
+  std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((n >> (8 * i)) & 0xff));
+  out += payload;
+  return out;
+}
+
+bool FrameReader::next(std::string& payload) {
+  if (poisoned_)
+    throw FrameError("frame stream poisoned by an earlier oversized frame");
+  if (buf_.size() < kFrameHeaderBytes) return false;  // truncated prefix
+  std::uint32_t n = 0;
+  for (int i = 0; i < 4; ++i)
+    n |= static_cast<std::uint32_t>(static_cast<unsigned char>(buf_[i])) << (8 * i);
+  if (n > max_) {
+    poisoned_ = true;
+    throw FrameError("peer declared a " + std::to_string(n) +
+                     "-byte frame; limit is " + std::to_string(max_) + " bytes");
+  }
+  if (buf_.size() < kFrameHeaderBytes + n) return false;  // partial payload
+  payload.assign(buf_, kFrameHeaderBytes, n);
+  buf_.erase(0, kFrameHeaderBytes + n);
+  return true;
+}
+
+std::string error_reply(const std::string& op, const std::string& code,
+                        const std::string& message,
+                        std::uint64_t retry_after_ms) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("ok", false);
+  w.kv("op", op);
+  w.kv("code", code);
+  w.kv("error", message);
+  if (retry_after_ms > 0) w.kv("retry_after_ms", retry_after_ms);
+  w.end_object();
+  return w.str();
+}
+
+void begin_ok_reply(JsonWriter& w, const std::string& op) {
+  w.begin_object();
+  w.kv("ok", true);
+  w.kv("op", op);
+}
+
+const char* to_string(Priority p) {
+  switch (p) {
+    case Priority::kHigh: return "high";
+    case Priority::kNormal: return "normal";
+    case Priority::kLow: return "low";
+  }
+  return "normal";
+}
+
+bool parse_priority(const std::string& text, Priority* out) {
+  if (text == "high" || text == "0") *out = Priority::kHigh;
+  else if (text == "normal" || text == "1" || text.empty()) *out = Priority::kNormal;
+  else if (text == "low" || text == "2") *out = Priority::kLow;
+  else return false;
+  return true;
+}
+
+}  // namespace serve
+}  // namespace adc

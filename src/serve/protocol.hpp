@@ -1,0 +1,106 @@
+#pragma once
+// Wire protocol of the synthesis service (adc_serve / adc_submit).
+//
+// Transport: a byte stream (TCP or Unix-domain socket) carrying frames,
+//
+//   offset  size  field
+//        0     4  payload length N (little-endian u32)
+//        4     N  payload: one UTF-8 JSON document
+//
+// Every request payload is a JSON object with an "op" member; every reply
+// is a JSON object with "ok" (bool) and the echoed "op".  Failed requests
+// carry "error" (human-readable) and "code" (stable machine tag:
+// "bad_request", "busy", "not_found", "shutting_down", "too_large").  A
+// backpressure rejection ("busy") additionally carries "retry_after_ms".
+//
+// Framing is deliberately dumb so a client in any language is a dozen
+// lines; the FrameReader below is the single decoder both sides use.  It
+// accepts input in arbitrary slices (partial length prefixes, frames
+// split across recv() boundaries) and treats an oversized declared length
+// as an unrecoverable stream error — there is no way to resync once a
+// peer lies about a length, so the connection must be dropped.
+//
+// docs/SERVING.md is the protocol reference (ops, fields, exit codes).
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace adc {
+
+class JsonWriter;
+
+namespace serve {
+
+// Upper bound a peer may declare for one frame before the stream is
+// considered hostile/corrupt.  Large enough for a full 32-point report,
+// small enough to bound a malicious allocation.
+constexpr std::uint32_t kDefaultMaxFrameBytes = 8u << 20;
+
+constexpr std::size_t kFrameHeaderBytes = 4;
+
+// Thrown by FrameReader on an unrecoverable stream defect.
+class FrameError : public std::runtime_error {
+ public:
+  explicit FrameError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// payload -> length-prefixed frame bytes.  Throws FrameError when the
+// payload itself exceeds `max_frame_bytes`.
+std::string encode_frame(const std::string& payload,
+                         std::uint32_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+// Incremental frame decoder.  feed() any number of bytes, then drain
+// complete frames with next(); a truncated prefix or partial payload is
+// simply "not yet" (next() returns false), an oversized declared length
+// throws FrameError and poisons the reader.
+class FrameReader {
+ public:
+  explicit FrameReader(std::uint32_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_(max_frame_bytes) {}
+
+  void feed(const char* data, std::size_t n) { buf_.append(data, n); }
+  void feed(const std::string& data) { buf_.append(data); }
+
+  // Extracts the next complete frame's payload.  Returns false when the
+  // buffer holds only a partial frame (or nothing).  Throws FrameError
+  // (and keeps throwing) once the stream declared an oversized frame.
+  bool next(std::string& payload);
+
+  // Bytes buffered but not yet consumed by next().
+  std::size_t buffered() const { return buf_.size(); }
+  bool poisoned() const { return poisoned_; }
+
+ private:
+  std::uint32_t max_;
+  std::string buf_;
+  bool poisoned_ = false;
+};
+
+// --- reply helpers ---------------------------------------------------------
+// The server and client agree on these canonical shapes; everything
+// op-specific is appended by the caller before end_object().
+
+// {"ok": false, "op": op, "code": code, "error": message
+//  [, "retry_after_ms": N]}
+std::string error_reply(const std::string& op, const std::string& code,
+                        const std::string& message,
+                        std::uint64_t retry_after_ms = 0);
+
+// Begins {"ok": true, "op": op, ... — caller appends members and closes.
+void begin_ok_reply(JsonWriter& w, const std::string& op);
+
+// --- job priorities --------------------------------------------------------
+// Three classes; lower value = served first.  FIFO within a class.
+
+enum class Priority { kHigh = 0, kNormal = 1, kLow = 2 };
+constexpr std::size_t kPriorityClasses = 3;
+
+const char* to_string(Priority p);
+// Accepts "high"/"normal"/"low" (and "0"/"1"/"2"); returns false on
+// anything else.
+bool parse_priority(const std::string& text, Priority* out);
+
+}  // namespace serve
+}  // namespace adc

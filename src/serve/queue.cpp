@@ -1,0 +1,101 @@
+#include "serve/queue.hpp"
+
+namespace adc {
+namespace serve {
+
+std::size_t JobQueue::depth_locked() const {
+  std::size_t n = 0;
+  for (const auto& q : classes_) n += q.size();
+  return n;
+}
+
+JobQueue::PushResult JobQueue::push(std::uint64_t id, Priority p) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) {
+    ++stats_.rejected_closed;
+    return PushResult::kClosed;
+  }
+  if (capacity_ > 0 && depth_locked() >= capacity_) {
+    ++stats_.rejected_full;
+    return PushResult::kFull;
+  }
+  classes_[static_cast<std::size_t>(p)].push_back(id);
+  ++stats_.accepted;
+  std::uint64_t d = depth_locked();
+  if (d > stats_.max_depth) stats_.max_depth = d;
+  cv_.notify_one();
+  return PushResult::kAccepted;
+}
+
+bool JobQueue::pop(std::uint64_t* id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return closed_ || depth_locked() > 0; });
+  for (auto& q : classes_) {
+    if (q.empty()) continue;
+    *id = q.front();
+    q.pop_front();
+    ++stats_.popped;
+    return true;
+  }
+  return false;  // closed and drained
+}
+
+bool JobQueue::try_pop(std::uint64_t* id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& q : classes_) {
+    if (q.empty()) continue;
+    *id = q.front();
+    q.pop_front();
+    ++stats_.popped;
+    return true;
+  }
+  return false;
+}
+
+bool JobQueue::remove(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& q : classes_)
+    for (auto it = q.begin(); it != q.end(); ++it)
+      if (*it == id) {
+        q.erase(it);
+        ++stats_.removed;
+        return true;
+      }
+  return false;
+}
+
+void JobQueue::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  cv_.notify_all();
+}
+
+bool JobQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+std::size_t JobQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return depth_locked();
+}
+
+std::size_t JobQueue::position(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t ahead = 0;
+  for (const auto& q : classes_) {
+    for (const std::uint64_t queued : q) {
+      if (queued == id) return ahead;
+      ++ahead;
+    }
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+JobQueue::Stats JobQueue::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace serve
+}  // namespace adc

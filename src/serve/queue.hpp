@@ -1,0 +1,85 @@
+#pragma once
+// Bounded multi-class job queue for the synthesis service.
+//
+// Three priority classes (serve/protocol.hpp); pop() always serves the
+// highest non-empty class and is strictly FIFO *within* a class, so a
+// burst of low-priority work can be overtaken but never reordered.  The
+// bound is the backpressure mechanism: a push against a full queue is
+// rejected immediately (the server turns that into a structured "busy"
+// reply with a retry-after hint) instead of buffering unboundedly or
+// blocking the accept path.
+//
+// close() flips the queue into drain mode: further pushes are rejected
+// with kClosed, but poppers keep draining what was already accepted and
+// finally observe pop() == false when the queue is empty — exactly the
+// SIGTERM drain sequence.
+//
+// The queue stores job ids only; the server's registry owns the payloads.
+// Everything is guarded by one mutex — queue operations are trivial next
+// to a synthesis job, so contention is irrelevant.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "serve/protocol.hpp"
+
+namespace adc {
+namespace serve {
+
+class JobQueue {
+ public:
+  enum class PushResult { kAccepted, kFull, kClosed };
+
+  struct Stats {
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected_full = 0;    // backpressure rejections
+    std::uint64_t rejected_closed = 0;  // submissions during drain
+    std::uint64_t popped = 0;
+    std::uint64_t removed = 0;  // cancelled while still queued
+    std::uint64_t max_depth = 0;
+  };
+
+  // capacity == 0 means unbounded (tests; production callers should bound).
+  explicit JobQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  PushResult push(std::uint64_t id, Priority p);
+
+  // Blocks until a job is available or the queue is closed and empty.
+  // Returns false only in the latter case (the popper should exit).
+  bool pop(std::uint64_t* id);
+
+  // Non-blocking pop; false when nothing is immediately available.
+  bool try_pop(std::uint64_t* id);
+
+  // Removes a still-queued job (cancellation).  False when the job was
+  // already popped (the caller must cancel it cooperatively instead).
+  bool remove(std::uint64_t id);
+
+  // No further pushes; poppers drain the remainder then see pop()==false.
+  void close();
+  bool closed() const;
+
+  std::size_t depth() const;
+  std::size_t capacity() const { return capacity_; }
+
+  // 0-based dequeue position of a queued job (its own class's queue ahead
+  // of it plus every job in stronger classes); SIZE_MAX when not queued.
+  std::size_t position(std::uint64_t id) const;
+
+  Stats stats() const;
+
+ private:
+  std::size_t depth_locked() const;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t capacity_;
+  bool closed_ = false;
+  std::deque<std::uint64_t> classes_[kPriorityClasses];
+  Stats stats_;
+};
+
+}  // namespace serve
+}  // namespace adc

@@ -1,5 +1,6 @@
 #include "trace/flush.hpp"
 
+#include <atomic>
 #include <csignal>
 #include <cstdlib>
 #include <mutex>
@@ -53,7 +54,15 @@ void run_all_locked_once() {
   }
 }
 
+// Plain function pointer so the handler needs no locks: exchange() is
+// async-signal-safe and also makes the hook one-shot.
+std::atomic<void (*)(int)> drain_hook{nullptr};
+
 extern "C" void flush_signal_handler(int sig) {
+  if (void (*hook)(int) = drain_hook.exchange(nullptr)) {
+    hook(sig);
+    return;  // graceful path: the service drains and exits via atexit
+  }
   run_all_locked_once();
   std::signal(sig, SIG_DFL);
   std::raise(sig);
@@ -82,6 +91,11 @@ void unregister_artifact_flush(int token) {
 }
 
 void flush_artifacts_now() { run_all_locked_once(); }
+
+void set_signal_drain_hook(void (*hook)(int sig)) {
+  install_flush_handlers();
+  drain_hook.store(hook);
+}
 
 void install_flush_handlers() {
   static std::once_flag once;

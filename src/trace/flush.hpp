@@ -40,4 +40,13 @@ void flush_artifacts_now();
 // Installs the atexit hook and the SIGINT/SIGTERM handlers.  Idempotent.
 void install_flush_handlers();
 
+// Graceful-termination hook for long-running services (adc_serve): when
+// set, the *first* SIGINT/SIGTERM invokes `hook` — which must be
+// async-signal-safe, e.g. a single write() onto a server's shutdown pipe —
+// instead of the flush+re-raise path, so the daemon can drain in-flight
+// jobs and exit normally (running the atexit flush on the way out).  The
+// hook is one-shot: a second signal falls back to flush+re-raise, so a
+// wedged drain can still be killed.  Pass nullptr to clear.
+void set_signal_drain_hook(void (*hook)(int sig));
+
 }  // namespace adc

@@ -1,0 +1,92 @@
+#!/bin/sh
+# End-to-end smoke of the serving stack, exactly the operator workflow:
+#
+#   1. start adc_serve on a Unix socket with a persistent --cache-dir;
+#   2. drive the full 32-point DIFFEQ GT grid through adc_submit (cold:
+#      exit 4 is the grid's deadlock floor, nothing warm);
+#   3. SIGTERM the daemon and require a clean drain (exit 0);
+#   4. start a second daemon over the same cache directory and re-run the
+#      grid: every point must replay from the disk tier ("from_disk_cache"
+#      32 times in the JSON report);
+#   5. SIGTERM again, then audit the cache directory with adc_obs_check.
+#
+# Usage: serve_smoke.sh ADC_SERVE ADC_SUBMIT ADC_OBS_CHECK WORKDIR
+set -eu
+
+ADC_SERVE=$1
+ADC_SUBMIT=$2
+ADC_OBS_CHECK=$3
+WORKDIR=$4
+
+SOCK="$WORKDIR/serve_smoke.sock"
+CACHE="$WORKDIR/serve_smoke_cache"
+READY="$WORKDIR/serve_smoke_ready.json"
+rm -rf "$CACHE" "$READY" "$SOCK"
+mkdir -p "$WORKDIR"
+
+fail() {
+    echo "serve_smoke: $1" >&2
+    exit 1
+}
+
+daemon_pid=""
+cleanup() {
+    if [ -n "$daemon_pid" ] && kill -0 "$daemon_pid" 2>/dev/null; then
+        kill -KILL "$daemon_pid" 2>/dev/null || true
+    fi
+}
+trap cleanup EXIT
+
+start_daemon() {
+    rm -f "$READY"
+    "$ADC_SERVE" --socket "$SOCK" --cache-dir "$CACHE" \
+        --ready-file "$READY" --workers 2 --log-level warn &
+    daemon_pid=$!
+    i=0
+    while [ ! -f "$READY" ]; do
+        i=$((i + 1))
+        [ "$i" -le 100 ] || fail "daemon did not come up"
+        kill -0 "$daemon_pid" 2>/dev/null || fail "daemon died during startup"
+        sleep 0.1
+    done
+}
+
+stop_daemon() {
+    kill -TERM "$daemon_pid"
+    rc=0
+    wait "$daemon_pid" || rc=$?
+    daemon_pid=""
+    [ "$rc" -eq 0 ] || fail "daemon drain exited $rc (want 0)"
+}
+
+grid_run() {
+    out=$1
+    rc=0
+    "$ADC_SUBMIT" --socket "$SOCK" --grid gt --json "$out" || rc=$?
+    # The GT grid's four gt5-without-gt2/gt3 corners deadlock in the event
+    # simulator: 4 is the expected floor, anything else is a real failure.
+    [ "$rc" -eq 4 ] || fail "grid run exited $rc (want the deadlock floor 4)"
+}
+
+warm_count() {
+    grep -c '"from_disk_cache": true' "$1" || true
+}
+
+# --- cold daemon ------------------------------------------------------------
+start_daemon
+grid_run "$WORKDIR/serve_smoke_cold.json"
+warm=$(warm_count "$WORKDIR/serve_smoke_cold.json")
+[ "$warm" -eq 0 ] || fail "cold run reported $warm disk hits (want 0)"
+stop_daemon
+
+# --- restarted daemon over the same cache dir -------------------------------
+start_daemon
+grid_run "$WORKDIR/serve_smoke_warm.json"
+warm=$(warm_count "$WORKDIR/serve_smoke_warm.json")
+[ "$warm" -eq 32 ] || fail "warm run replayed $warm/32 points from disk"
+stop_daemon
+
+# --- cache directory integrity ----------------------------------------------
+"$ADC_OBS_CHECK" --cache-dir "$CACHE" || fail "cache audit failed"
+
+echo "serve_smoke: ok (32-point grid cold + warm, clean SIGTERM drains)"

@@ -153,7 +153,11 @@ TEST_F(RobustnessTest, StageDeadlineIsScopedToThePointNotItsQueueNeighbours) {
   std::vector<FlowRequest> reqs;
   for (const char* s : {"lt", "gt1; lt", "gt2; lt", "gt2; gt5; lt"}) {
     FlowRequest req = make_builtin_request(*find_builtin("mac_reduce"), s);
-    req.stage_deadline_ms = 2000;
+    // Wide margin over the ~30 ms the honest stages need: the deadline is
+    // wall-clock, and a parallel ctest run on a small machine can starve
+    // this process for whole seconds.  The stalled point still times out
+    // (its injected stall is 60 s).
+    req.stage_deadline_ms = 10000;
     reqs.push_back(std::move(req));
   }
   std::vector<FlowPoint> points = exec.run_all(reqs);

@@ -1,0 +1,581 @@
+// The serving layer: wire framing (truncated prefixes, oversized frames,
+// partial reads), the bounded multi-class job queue, JSON value
+// round-tripping, and the daemon end-to-end over real Unix-domain and TCP
+// sockets — submit/result, concurrent clients sharing one cache,
+// restart-warm over a persistent cache directory, backpressure, cancel
+// and both shutdown modes.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include <unistd.h>
+
+#include "report/json.hpp"
+#include "report/json_parse.hpp"
+#include "runtime/fault.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/queue.hpp"
+#include "serve/server.hpp"
+#include "trace/flush.hpp"
+
+using namespace adc;
+using namespace adc::serve;
+
+namespace {
+
+std::string test_socket_path() {
+  static std::atomic<int> counter{0};
+  return "/tmp/adc_test_serve_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter++) + ".sock";
+}
+
+std::string test_cache_dir() {
+  static std::atomic<int> counter{0};
+  std::string dir = "/tmp/adc_test_serve_cache_" +
+                    std::to_string(::getpid()) + "_" +
+                    std::to_string(counter++);
+  std::string cmd = "rm -rf " + dir;
+  [[maybe_unused]] int rc = std::system(cmd.c_str());
+  return dir;
+}
+
+ServerOptions unix_options(std::size_t workers = 2,
+                           std::size_t queue_capacity = 64) {
+  ServerOptions o;
+  o.unix_socket = test_socket_path();
+  o.workers = workers;
+  o.queue_capacity = queue_capacity;
+  o.pool_threads = 2;
+  return o;
+}
+
+std::string submit_payload(const std::string& script, bool simulate = false,
+                           const std::string& priority = "") {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("op", "submit");
+  w.kv("bench", "diffeq");
+  w.kv("script", script);
+  w.kv("simulate", simulate);
+  if (!priority.empty()) w.kv("priority", priority);
+  w.end_object();
+  return w.str();
+}
+
+std::string member_string(const JsonValue& v, const char* key) {
+  const JsonValue* m = v.find(key);
+  return m && m->is_string() ? m->string : std::string();
+}
+
+bool reply_ok(const JsonValue& v) {
+  const JsonValue* ok = v.find("ok");
+  return ok && ok->is_bool() && ok->boolean;
+}
+
+// --- protocol framing -------------------------------------------------------
+
+TEST(ServeProtocol, EncodeDecodeRoundTrip) {
+  std::string frame = encode_frame("{\"op\":\"ping\"}", kDefaultMaxFrameBytes);
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes + 13u);
+
+  FrameReader reader(kDefaultMaxFrameBytes);
+  reader.feed(frame.data(), frame.size());
+  std::string payload;
+  ASSERT_TRUE(reader.next(payload));
+  EXPECT_EQ(payload, "{\"op\":\"ping\"}");
+  EXPECT_FALSE(reader.next(payload));  // drained
+}
+
+TEST(ServeProtocol, TruncatedLengthPrefixIsIncomplete) {
+  std::string frame = encode_frame("abcd", kDefaultMaxFrameBytes);
+  FrameReader reader(kDefaultMaxFrameBytes);
+  // Only 3 of the 4 header bytes: not decodable yet, not an error.
+  reader.feed(frame.data(), 3);
+  std::string payload;
+  EXPECT_FALSE(reader.next(payload));
+  EXPECT_FALSE(reader.poisoned());
+  reader.feed(frame.data() + 3, frame.size() - 3);
+  EXPECT_TRUE(reader.next(payload));
+  EXPECT_EQ(payload, "abcd");
+}
+
+TEST(ServeProtocol, PartialReadsByteAtATime) {
+  const std::string doc = "{\"op\":\"stats\",\"pad\":\"xyzzy\"}";
+  std::string frame = encode_frame(doc, kDefaultMaxFrameBytes);
+  FrameReader reader(kDefaultMaxFrameBytes);
+  std::string payload;
+  for (std::size_t i = 0; i + 1 < frame.size(); ++i) {
+    reader.feed(frame.data() + i, 1);
+    EXPECT_FALSE(reader.next(payload)) << "complete after byte " << i;
+  }
+  reader.feed(frame.data() + frame.size() - 1, 1);
+  ASSERT_TRUE(reader.next(payload));
+  EXPECT_EQ(payload, doc);
+}
+
+TEST(ServeProtocol, MultipleFramesInOneFeed) {
+  std::string stream = encode_frame("one", kDefaultMaxFrameBytes) +
+                       encode_frame("two", kDefaultMaxFrameBytes) +
+                       encode_frame("three", kDefaultMaxFrameBytes);
+  FrameReader reader(kDefaultMaxFrameBytes);
+  reader.feed(stream.data(), stream.size());
+  std::string payload;
+  ASSERT_TRUE(reader.next(payload));
+  EXPECT_EQ(payload, "one");
+  ASSERT_TRUE(reader.next(payload));
+  EXPECT_EQ(payload, "two");
+  ASSERT_TRUE(reader.next(payload));
+  EXPECT_EQ(payload, "three");
+  EXPECT_FALSE(reader.next(payload));
+}
+
+TEST(ServeProtocol, OversizedDeclaredLengthPoisonsReader) {
+  FrameReader reader(64);
+  // Header declaring a 1 MiB payload against a 64-byte limit.
+  unsigned char header[4] = {0x00, 0x00, 0x10, 0x00};  // 1048576 LE
+  reader.feed(reinterpret_cast<const char*>(header), 4);
+  std::string payload;
+  EXPECT_THROW(reader.next(payload), FrameError);
+  EXPECT_TRUE(reader.poisoned());
+  // A poisoned reader stays poisoned: there is no frame boundary left.
+  reader.feed("x", 1);
+  EXPECT_THROW(reader.next(payload), FrameError);
+}
+
+TEST(ServeProtocol, EncodeRejectsOversizedPayload) {
+  EXPECT_THROW(encode_frame(std::string(128, 'x'), 64), FrameError);
+}
+
+TEST(ServeProtocol, PriorityParsing) {
+  Priority p;
+  EXPECT_TRUE(parse_priority("high", &p));
+  EXPECT_EQ(p, Priority::kHigh);
+  EXPECT_TRUE(parse_priority("normal", &p));
+  EXPECT_EQ(p, Priority::kNormal);
+  EXPECT_TRUE(parse_priority("low", &p));
+  EXPECT_EQ(p, Priority::kLow);
+  EXPECT_TRUE(parse_priority("", &p));  // default
+  EXPECT_EQ(p, Priority::kNormal);
+  EXPECT_FALSE(parse_priority("urgent", &p));
+  EXPECT_STREQ(to_string(Priority::kHigh), "high");
+}
+
+TEST(ServeProtocol, ErrorReplyShape) {
+  JsonValue v = parse_json(error_reply("submit", "busy", "queue full", 125));
+  EXPECT_FALSE(reply_ok(v));
+  EXPECT_EQ(member_string(v, "op"), "submit");
+  EXPECT_EQ(member_string(v, "code"), "busy");
+  EXPECT_EQ(member_string(v, "error"), "queue full");
+  ASSERT_NE(v.find("retry_after_ms"), nullptr);
+  EXPECT_EQ(static_cast<int>(v.find("retry_after_ms")->number), 125);
+  // Without a hint the member is omitted entirely.
+  JsonValue bare = parse_json(error_reply("x", "bad_request", "no"));
+  EXPECT_EQ(bare.find("retry_after_ms"), nullptr);
+}
+
+// --- job queue --------------------------------------------------------------
+
+TEST(JobQueueTest, PriorityClassesBeatFifo) {
+  JobQueue q(16);
+  EXPECT_EQ(q.push(1, Priority::kLow), JobQueue::PushResult::kAccepted);
+  EXPECT_EQ(q.push(2, Priority::kNormal), JobQueue::PushResult::kAccepted);
+  EXPECT_EQ(q.push(3, Priority::kHigh), JobQueue::PushResult::kAccepted);
+  EXPECT_EQ(q.push(4, Priority::kHigh), JobQueue::PushResult::kAccepted);
+  std::uint64_t id = 0;
+  ASSERT_TRUE(q.pop(&id));
+  EXPECT_EQ(id, 3u);  // high first, FIFO within the class
+  ASSERT_TRUE(q.pop(&id));
+  EXPECT_EQ(id, 4u);
+  ASSERT_TRUE(q.pop(&id));
+  EXPECT_EQ(id, 2u);
+  ASSERT_TRUE(q.pop(&id));
+  EXPECT_EQ(id, 1u);
+}
+
+TEST(JobQueueTest, BoundedCapacityRejects) {
+  JobQueue q(2);
+  EXPECT_EQ(q.push(1, Priority::kNormal), JobQueue::PushResult::kAccepted);
+  EXPECT_EQ(q.push(2, Priority::kNormal), JobQueue::PushResult::kAccepted);
+  EXPECT_EQ(q.push(3, Priority::kHigh), JobQueue::PushResult::kFull);
+  EXPECT_EQ(q.stats().rejected_full, 1u);
+  std::uint64_t id;
+  ASSERT_TRUE(q.pop(&id));
+  EXPECT_EQ(q.push(3, Priority::kHigh), JobQueue::PushResult::kAccepted);
+}
+
+TEST(JobQueueTest, CloseDrainsThenStops) {
+  JobQueue q(8);
+  q.push(1, Priority::kNormal);
+  q.push(2, Priority::kNormal);
+  q.close();
+  EXPECT_EQ(q.push(3, Priority::kNormal), JobQueue::PushResult::kClosed);
+  std::uint64_t id;
+  ASSERT_TRUE(q.pop(&id));
+  EXPECT_EQ(id, 1u);
+  ASSERT_TRUE(q.pop(&id));
+  EXPECT_EQ(id, 2u);
+  EXPECT_FALSE(q.pop(&id));  // closed + drained: no block, no value
+}
+
+TEST(JobQueueTest, CloseWakesBlockedPopper) {
+  JobQueue q(8);
+  std::atomic<bool> returned{false};
+  std::thread popper([&] {
+    std::uint64_t id;
+    EXPECT_FALSE(q.pop(&id));
+    returned = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(returned);
+  q.close();
+  popper.join();
+  EXPECT_TRUE(returned);
+}
+
+TEST(JobQueueTest, RemoveAndPosition) {
+  JobQueue q(8);
+  q.push(1, Priority::kNormal);
+  q.push(2, Priority::kNormal);
+  q.push(3, Priority::kHigh);
+  // Cross-class dequeue order: 3 (high), then 1, then 2.
+  EXPECT_EQ(q.position(3), 0u);
+  EXPECT_EQ(q.position(1), 1u);
+  EXPECT_EQ(q.position(2), 2u);
+  EXPECT_EQ(q.position(99), static_cast<std::size_t>(-1));
+  EXPECT_TRUE(q.remove(1));
+  EXPECT_FALSE(q.remove(1));
+  EXPECT_EQ(q.position(2), 1u);
+  EXPECT_EQ(q.depth(), 2u);
+}
+
+// --- JSON value round-trip --------------------------------------------------
+
+TEST(JsonRoundTrip, WriteJsonValuePreservesStructure) {
+  const std::string doc =
+      "{\"int\":42,\"neg\":-7,\"float\":1.5,\"s\":\"a\\\"b\\\\c\",\"t\":true,"
+      "\"n\":null,\"arr\":[1,2,[3]],\"obj\":{\"k\":\"v\"}}";
+  JsonValue parsed = parse_json(doc);
+  std::string round = to_json(parsed);
+  // Integral numbers must come back integral, not as 42.000000.
+  EXPECT_NE(round.find("\"int\":42"), std::string::npos) << round;
+  EXPECT_NE(round.find("\"neg\":-7"), std::string::npos) << round;
+  // And a second parse must agree exactly.
+  EXPECT_EQ(to_json(parse_json(round)), round);
+}
+
+// --- server integration -----------------------------------------------------
+
+TEST(ServeServer, SubmitAndResultOverUnixSocket) {
+  ServeServer server(unix_options());
+  server.start();
+
+  ServeClient client = ServeClient::connect_unix(server.unix_path());
+  std::uint64_t id = client.submit(submit_payload("gt1; gt2; lt"));
+  JsonValue point = client.wait_result(id);
+  EXPECT_EQ(member_string(point, "status"), "ok");
+  ASSERT_NE(point.find("literals"), nullptr);
+  EXPECT_GT(point.find("literals")->number, 0.0);
+
+  JsonValue stats = client.request("{\"op\":\"stats\"}");
+  ASSERT_TRUE(reply_ok(stats));
+  EXPECT_EQ(member_string(stats, "state"), "serving");
+  ASSERT_NE(stats.find("jobs"), nullptr);
+  EXPECT_EQ(static_cast<int>(stats.find("jobs")->at("completed").number), 1);
+
+  server.request_shutdown(true);
+  EXPECT_EQ(server.wait(), 0);
+}
+
+TEST(ServeServer, PingOverTcp) {
+  ServerOptions o;
+  o.port = 0;  // ephemeral
+  o.workers = 1;
+  ServeServer server(o);
+  server.start();
+  ASSERT_GT(server.tcp_port(), 0);
+
+  ServeClient client = ServeClient::connect_tcp("127.0.0.1", server.tcp_port());
+  EXPECT_TRUE(reply_ok(client.request("{\"op\":\"ping\"}")));
+  server.request_shutdown(true);
+  EXPECT_EQ(server.wait(), 0);
+}
+
+TEST(ServeServer, MalformedJsonGetsErrorReplyAndConnectionSurvives) {
+  ServeServer server(unix_options());
+  server.start();
+  ServeClient client = ServeClient::connect_unix(server.unix_path());
+
+  JsonValue err = client.request("this is not json {");
+  EXPECT_FALSE(reply_ok(err));
+  EXPECT_EQ(member_string(err, "code"), "bad_request");
+  // The connection is still usable for a well-formed request.
+  EXPECT_TRUE(reply_ok(client.request("{\"op\":\"ping\"}")));
+
+  JsonValue unknown = client.request("{\"op\":\"frobnicate\"}");
+  EXPECT_FALSE(reply_ok(unknown));
+  EXPECT_EQ(member_string(unknown, "code"), "bad_request");
+
+  JsonValue noop = client.request("[1,2,3]");
+  EXPECT_FALSE(reply_ok(noop));
+  EXPECT_EQ(member_string(noop, "code"), "bad_request");
+
+  server.request_shutdown(true);
+  server.wait();
+  EXPECT_GE(server.stats().bad_requests, 3u);
+}
+
+TEST(ServeServer, BadSubmitsAreRejectedStructurally) {
+  ServeServer server(unix_options());
+  server.start();
+  ServeClient client = ServeClient::connect_unix(server.unix_path());
+
+  JsonValue bad_bench =
+      client.request("{\"op\":\"submit\",\"bench\":\"nonesuch\"}");
+  EXPECT_EQ(member_string(bad_bench, "code"), "bad_request");
+
+  JsonValue bad_script = client.request(
+      "{\"op\":\"submit\",\"bench\":\"diffeq\",\"script\":\"gt99\"}");
+  EXPECT_EQ(member_string(bad_script, "code"), "bad_request");
+
+  JsonValue bad_prio = client.request(
+      "{\"op\":\"submit\",\"bench\":\"diffeq\",\"priority\":\"urgent\"}");
+  EXPECT_EQ(member_string(bad_prio, "code"), "bad_request");
+
+  JsonValue not_found = client.request("{\"op\":\"status\",\"id\":999}");
+  EXPECT_EQ(member_string(not_found, "code"), "not_found");
+
+  server.request_shutdown(true);
+  server.wait();
+}
+
+TEST(ServeServer, OversizedFrameRepliesThenDropsConnection) {
+  ServerOptions o = unix_options();
+  o.max_frame_bytes = 256;
+  ServeServer server(o);
+  server.start();
+
+  ServeClient client = ServeClient::connect_unix(server.unix_path());
+  // A frame whose *declared* length exceeds the server's limit: the server
+  // replies too_large, then hangs up (the stream cannot be resynced).
+  EXPECT_THROW(
+      {
+        JsonValue first = client.request(std::string(512, ' '));
+        // If the reply arrived before the hangup, it must be the too_large
+        // error and the *next* request must fail on the dropped connection.
+        EXPECT_EQ(member_string(first, "code"), "too_large");
+        client.request("{\"op\":\"ping\"}");
+      },
+      std::runtime_error);
+
+  server.request_shutdown(true);
+  server.wait();
+}
+
+TEST(ServeServer, TwoConcurrentClientsShareOneCache) {
+  ServeServer server(unix_options(/*workers=*/2));
+  server.start();
+
+  const std::vector<std::string> grid = {
+      "lt", "gt1; lt", "gt1; gt2; lt", "gt1; gt2; gt3; lt",
+      "gt1; gt2; gt3; gt4; lt"};
+  auto drive = [&](std::size_t* ok_count) {
+    ServeClient cl = ServeClient::connect_unix(server.unix_path());
+    std::vector<std::uint64_t> ids;
+    for (const auto& s : grid) ids.push_back(cl.submit(submit_payload(s)));
+    for (auto id : ids)
+      if (member_string(cl.wait_result(id), "status") == "ok") ++*ok_count;
+  };
+  std::size_t ok_a = 0, ok_b = 0;
+  std::thread a(drive, &ok_a), b(drive, &ok_b);
+  a.join();
+  b.join();
+  EXPECT_EQ(ok_a, grid.size());
+  EXPECT_EQ(ok_b, grid.size());
+
+  // Overlapping recipes through one executor: the stage cache must have
+  // served repeats (hits or joins), not recomputed all 10 jobs.
+  CacheStats cs = server.executor().cache().stats();
+  EXPECT_GT(cs.hits + cs.joins, 0u);
+
+  server.request_shutdown(true);
+  EXPECT_EQ(server.wait(), 0);
+}
+
+TEST(ServeServer, RestartReplaysWarmFromSharedCacheDir) {
+  std::string cache_dir = test_cache_dir();
+  const std::vector<std::string> grid = {"lt", "gt1; lt", "gt1; gt2; lt"};
+
+  {
+    ServerOptions o = unix_options();
+    o.flow.disk_cache_dir = cache_dir;
+    ServeServer server(o);
+    server.start();
+    ServeClient cl = ServeClient::connect_unix(server.unix_path());
+    for (const auto& s : grid) {
+      JsonValue p = cl.wait_result(cl.submit(submit_payload(s)));
+      EXPECT_EQ(member_string(p, "status"), "ok");
+      const JsonValue* disk = p.find("from_disk_cache");
+      EXPECT_TRUE(!disk || !disk->boolean) << "cold run claimed a disk hit";
+    }
+    server.request_shutdown(true);
+    ASSERT_EQ(server.wait(), 0);
+  }
+
+  // A fresh daemon over the same directory starts hot: every point
+  // replays from the persistent tier.
+  {
+    ServerOptions o = unix_options();
+    o.flow.disk_cache_dir = cache_dir;
+    ServeServer server(o);
+    server.start();
+    ServeClient cl = ServeClient::connect_unix(server.unix_path());
+    for (const auto& s : grid) {
+      JsonValue p = cl.wait_result(cl.submit(submit_payload(s)));
+      EXPECT_EQ(member_string(p, "status"), "ok");
+      const JsonValue* disk = p.find("from_disk_cache");
+      ASSERT_NE(disk, nullptr) << "warm run missing from_disk_cache";
+      EXPECT_TRUE(disk->boolean);
+    }
+    // The disk tier's counters surface as metrics gauges (sampled at the
+    // end of every run).
+    EXPECT_GE(server.executor().metrics().gauge("disk.hits").value(),
+              static_cast<std::int64_t>(grid.size()));
+    EXPECT_EQ(server.executor().metrics().gauge("disk.corrupt").value(), 0);
+    server.request_shutdown(true);
+    ASSERT_EQ(server.wait(), 0);
+  }
+}
+
+TEST(ServeServer, BackpressureRejectsWithRetryAfter) {
+  fault().reset();
+  fault().configure("flow.sim=stall(400):1");
+
+  ServerOptions o = unix_options(/*workers=*/1, /*queue_capacity=*/1);
+  ServeServer server(o);
+  server.start();
+  ServeClient cl = ServeClient::connect_unix(server.unix_path());
+
+  // Job 1 stalls in the simulator on a worker; wait until it is running
+  // so the queue is empty again.
+  std::uint64_t id1 = cl.submit(submit_payload("lt", /*simulate=*/true));
+  for (int i = 0; i < 200 && server.stats().running == 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ASSERT_GT(server.stats().running, 0u);
+
+  // Job 2 fills the single queue slot; job 3 must bounce with a
+  // structured busy reply carrying a retry hint — not block, not hang.
+  std::uint64_t id2 = cl.submit(submit_payload("gt1; lt"));
+  JsonValue rejected = cl.request(submit_payload("gt1; gt2; lt"));
+  EXPECT_FALSE(reply_ok(rejected));
+  EXPECT_EQ(member_string(rejected, "code"), "busy");
+  ASSERT_NE(rejected.find("retry_after_ms"), nullptr);
+  EXPECT_GT(rejected.find("retry_after_ms")->number, 0.0);
+
+  // The retrying submit path eventually lands once the stall clears.
+  std::uint64_t id3 = cl.submit(submit_payload("gt1; gt2; lt"));
+  EXPECT_EQ(member_string(cl.wait_result(id1), "status"), "ok");
+  EXPECT_EQ(member_string(cl.wait_result(id2), "status"), "ok");
+  EXPECT_EQ(member_string(cl.wait_result(id3), "status"), "ok");
+  EXPECT_GE(server.stats().rejected, 1u);
+
+  server.request_shutdown(true);
+  EXPECT_EQ(server.wait(), 0);
+  fault().reset();
+}
+
+TEST(ServeServer, CancelQueuedJob) {
+  fault().reset();
+  fault().configure("flow.sim=stall(400):1");
+
+  ServerOptions o = unix_options(/*workers=*/1, /*queue_capacity=*/8);
+  ServeServer server(o);
+  server.start();
+  ServeClient cl = ServeClient::connect_unix(server.unix_path());
+
+  std::uint64_t id1 = cl.submit(submit_payload("lt", /*simulate=*/true));
+  for (int i = 0; i < 200 && server.stats().running == 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  std::uint64_t id2 = cl.submit(submit_payload("gt1; lt"));
+
+  JsonWriter w;
+  w.begin_object();
+  w.kv("op", "cancel");
+  w.kv("id", id2);
+  w.end_object();
+  JsonValue reply = cl.request(w.str());
+  ASSERT_TRUE(reply_ok(reply));
+  EXPECT_EQ(member_string(reply, "outcome"), "dequeued");
+
+  EXPECT_EQ(member_string(cl.wait_result(id2), "status"), "cancelled");
+  EXPECT_EQ(member_string(cl.wait_result(id1), "status"), "ok");
+
+  server.request_shutdown(true);
+  server.wait();
+  fault().reset();
+}
+
+TEST(ServeServer, CancellingShutdownAbortsQueuedJobs) {
+  fault().reset();
+  fault().configure("flow.sim=stall(300):1");
+
+  ServerOptions o = unix_options(/*workers=*/1, /*queue_capacity=*/8);
+  ServeServer server(o);
+  server.start();
+  ServeClient cl = ServeClient::connect_unix(server.unix_path());
+
+  cl.submit(submit_payload("lt", /*simulate=*/true));
+  for (int i = 0; i < 200 && server.stats().running == 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  std::uint64_t queued = cl.submit(submit_payload("gt1; lt"));
+
+  server.request_shutdown(false);
+  EXPECT_EQ(server.wait(), 5);  // cancel-mode shutdown aborted work
+  ServerStats s = server.stats();
+  EXPECT_GE(s.cancelled, 1u);
+  // The queued job's terminal state is visible in the registry.
+  (void)queued;
+  fault().reset();
+}
+
+TEST(ServeServer, SubmitAfterShutdownIsRejected) {
+  ServeServer server(unix_options());
+  server.start();
+  ServeClient cl = ServeClient::connect_unix(server.unix_path());
+  // Round-trip once so the connection is accepted (not just backlogged)
+  // before the shutdown request races the accept loop.
+  ASSERT_TRUE(reply_ok(cl.request("{\"op\":\"ping\"}")));
+  server.request_shutdown(true);
+  JsonValue reply = cl.request(submit_payload("lt"));
+  EXPECT_FALSE(reply_ok(reply));
+  EXPECT_EQ(member_string(reply, "code"), "shutting_down");
+  server.wait();
+}
+
+// --- signal drain hook (satellite: SIGTERM artifact safety) -----------------
+
+std::atomic<int> g_drain_signal{0};
+
+void record_drain(int sig) { g_drain_signal = sig; }
+
+TEST(FlushDrainHook, FirstSignalDrainsInsteadOfKilling) {
+  g_drain_signal = 0;
+  set_signal_drain_hook(record_drain);
+  std::raise(SIGTERM);
+  // Still alive: the hook intercepted the signal instead of re-raising.
+  EXPECT_EQ(g_drain_signal.load(), SIGTERM);
+  // One-shot: the hook consumed itself; re-arm and verify it fires again,
+  // then clear so later tests see the default flush+re-raise behavior.
+  g_drain_signal = 0;
+  set_signal_drain_hook(record_drain);
+  std::raise(SIGTERM);
+  EXPECT_EQ(g_drain_signal.load(), SIGTERM);
+  set_signal_drain_hook(nullptr);
+}
+
+}  // namespace

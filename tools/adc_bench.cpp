@@ -39,9 +39,12 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "perf/measure.hpp"
 #include "perf/record.hpp"
 #include "perf/suites.hpp"
+#include "trace/flush.hpp"
 
 using namespace adc;
 
@@ -144,6 +147,22 @@ int main(int argc, char** argv) {
 
     // With --out - the JSON owns stdout.
     FILE* log = out_path == "-" ? stderr : stdout;
+
+    // A run killed mid-suite (SIGINT, CI SIGTERM) still flushes the
+    // benchmarks completed so far as a valid BENCH document.
+    int flush_token = -1;
+    auto partial = std::make_shared<perf::BenchReport>();
+    if (!out_path.empty() && out_path != "-") {
+      mopts.on_record = [partial](const perf::BenchReport& so_far) {
+        *partial = so_far;
+      };
+      flush_token = register_artifact_flush(out_path, [partial, out_path] {
+        if (partial->benchmarks.empty()) return;
+        std::ofstream out(out_path);
+        out << perf::to_json(*partial) << "\n";
+      });
+    }
+
     perf::BenchReport rep = perf::run_registered(suites, filter, mopts);
     if (rep.benchmarks.empty()) {
       std::fprintf(stderr, "adc_bench: no benchmarks matched\n");
@@ -151,6 +170,7 @@ int main(int argc, char** argv) {
     }
     std::fprintf(log, "%s", perf::render_report(rep).c_str());
 
+    if (flush_token >= 0) unregister_artifact_flush(flush_token);
     if (!out_path.empty()) {
       std::string text = perf::to_json(rep);
       if (out_path == "-") {
