@@ -1,0 +1,317 @@
+#include "obs/http.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace adc {
+namespace obs {
+
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 8 * 1024;
+constexpr int kIoTimeoutMs = 2000;
+
+void set_cloexec(int fd) {
+  const int flags = ::fcntl(fd, F_GETFD);
+  if (flags >= 0) ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
+}
+
+bool is_tchar(char c) {
+  // RFC 7230 token characters — what a method may contain.
+  if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+      (c >= '0' && c <= '9'))
+    return true;
+  return std::strchr("!#$%&'*+-.^_`|~", c) != nullptr;
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n <= 0) return;  // peer gone — nothing useful left to do
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+std::string simple_response(int status, const std::string& reason,
+                            const std::string& content_type,
+                            const std::string& body) {
+  std::string out = "HTTP/1.0 " + std::to_string(status) + " " + reason +
+                    "\r\n"
+                    "Content-Type: " +
+                    content_type +
+                    "\r\n"
+                    "Content-Length: " +
+                    std::to_string(body.size()) +
+                    "\r\n"
+                    "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+HttpRequestLine parse_http_request_line(const std::string& line) {
+  HttpRequestLine out;
+  auto fail = [&](const char* why) {
+    out.ok = false;
+    out.error = why;
+    return out;
+  };
+  if (line.empty()) return fail("empty request line");
+  if (line.size() > kMaxRequestBytes) return fail("request line too long");
+  for (char c : line) {
+    // CR/LF must have been stripped by the caller; any other control
+    // byte (or an embedded NUL via std::string) is poison, not HTTP.
+    if (static_cast<unsigned char>(c) < 0x20 || c == 0x7f)
+      return fail("control byte in request line");
+  }
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos) return fail("missing space after method");
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) return fail("missing space after target");
+  if (line.find(' ', sp2 + 1) != std::string::npos)
+    return fail("extra space in request line");
+
+  out.method = line.substr(0, sp1);
+  out.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  out.version = line.substr(sp2 + 1);
+
+  if (out.method.empty()) return fail("empty method");
+  for (char c : out.method)
+    if (!is_tchar(c)) return fail("invalid character in method");
+  if (out.target.empty() || out.target[0] != '/')
+    return fail("target must be origin-form (start with '/')");
+  if (out.version != "HTTP/1.0" && out.version != "HTTP/1.1")
+    return fail("unsupported HTTP version");
+  out.ok = true;
+  return out;
+}
+
+MetricsHttpServer::~MetricsHttpServer() { stop(); }
+
+bool MetricsHttpServer::start(const std::string& host, std::uint16_t port,
+                              Handler handler, std::string* error) {
+  handler_ = std::move(handler);
+  if (::pipe(wake_pipe_) != 0) {
+    if (error) *error = std::string("pipe() failed: ") + std::strerror(errno);
+    return false;
+  }
+  set_cloexec(wake_pipe_[0]);
+  set_cloexec(wake_pipe_[1]);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    if (error)
+      *error = std::string("socket(AF_INET) failed: ") + std::strerror(errno);
+    return false;
+  }
+  set_cloexec(listen_fd_);
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error) *error = "metrics: bad listen address: " + host;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    if (error)
+      *error = "metrics: cannot bind " + host + ":" + std::to_string(port) +
+               ": " + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0)
+    port_ = ntohs(bound.sin_port);
+
+  running_ = true;
+  thread_ = std::thread([this] { loop(); });
+  return true;
+}
+
+void MetricsHttpServer::stop() {
+  if (!running_.exchange(false)) {
+    // Never started (or already stopped): still reclaim the pipe fds.
+    for (int& fd : wake_pipe_)
+      if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+      }
+    return;
+  }
+  char b = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &b, 1);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (int& fd : wake_pipe_)
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+}
+
+void MetricsHttpServer::loop() {
+  while (running_.load()) {
+    pollfd fds[2] = {{wake_pipe_[0], POLLIN, 0}, {listen_fd_, POLLIN, 0}};
+    const int r = ::poll(fds, 2, 500);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[0].revents & POLLIN) {
+      char buf[16];
+      [[maybe_unused]] ssize_t got = ::read(wake_pipe_[0], buf, sizeof(buf));
+    }
+    if (!running_.load()) break;
+    if (fds[1].revents & POLLIN) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd >= 0) {
+        set_cloexec(fd);
+        handle_connection(fd);
+        ::close(fd);
+      }
+    }
+  }
+}
+
+void MetricsHttpServer::handle_connection(int fd) {
+  timeval tv{};
+  tv.tv_sec = kIoTimeoutMs / 1000;
+  tv.tv_usec = (kIoTimeoutMs % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  // Only the request line matters (we answer and close); read until the
+  // first newline or the size cap, whichever comes first.
+  std::string req;
+  while (req.size() < kMaxRequestBytes &&
+         req.find('\n') == std::string::npos) {
+    char buf[1024];
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    req.append(buf, static_cast<std::size_t>(n));
+  }
+  served_.fetch_add(1);
+  std::size_t eol = req.find('\n');
+  if (eol == std::string::npos) {
+    send_all(fd, simple_response(400, "Bad Request", "text/plain",
+                                 "truncated request\n"));
+    return;
+  }
+  std::string line = req.substr(0, eol);
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  const HttpRequestLine parsed = parse_http_request_line(line);
+  if (!parsed.ok) {
+    send_all(fd, simple_response(400, "Bad Request", "text/plain",
+                                 parsed.error + "\n"));
+    return;
+  }
+  if (parsed.method != "GET" && parsed.method != "HEAD") {
+    send_all(fd, simple_response(405, "Method Not Allowed", "text/plain",
+                                 "only GET is served here\n"));
+    return;
+  }
+  // Strip any query string; handlers route on the bare path.
+  std::string path = parsed.target;
+  const std::size_t q = path.find('?');
+  if (q != std::string::npos) path.resize(q);
+
+  std::string content_type = "text/plain";
+  std::string body;
+  if (!handler_ || !handler_(path, &content_type, &body)) {
+    send_all(fd, simple_response(404, "Not Found", "text/plain",
+                                 "unknown path " + path + "\n"));
+    return;
+  }
+  if (parsed.method == "HEAD") body.clear();
+  send_all(fd, simple_response(200, "OK", content_type, body));
+}
+
+bool http_get(const std::string& host, std::uint16_t port,
+              const std::string& path, int timeout_ms, int* status,
+              std::string* body, std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error) *error = std::string("socket() failed: ") + std::strerror(errno);
+    return false;
+  }
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error) *error = "bad address: " + host;
+    ::close(fd);
+    return false;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error)
+      *error = "connect " + host + ":" + std::to_string(port) + " failed: " +
+               std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  const std::string req = "GET " + path + " HTTP/1.0\r\nHost: " + host +
+                          "\r\nConnection: close\r\n\r\n";
+  send_all(fd, req);
+  std::string raw;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0)
+    raw.append(buf, static_cast<std::size_t>(n));
+  ::close(fd);
+  if (raw.empty()) {
+    if (error) *error = "empty response";
+    return false;
+  }
+  const std::size_t eol = raw.find("\r\n");
+  if (eol == std::string::npos || raw.compare(0, 5, "HTTP/") != 0) {
+    if (error) *error = "malformed status line";
+    return false;
+  }
+  const std::size_t sp = raw.find(' ');
+  if (sp == std::string::npos || sp + 4 > eol) {
+    if (error) *error = "malformed status line";
+    return false;
+  }
+  if (status) *status = std::atoi(raw.c_str() + sp + 1);
+  const std::size_t hdr_end = raw.find("\r\n\r\n");
+  if (body)
+    *body = hdr_end == std::string::npos ? std::string()
+                                         : raw.substr(hdr_end + 4);
+  return true;
+}
+
+}  // namespace obs
+}  // namespace adc

@@ -1,0 +1,85 @@
+#pragma once
+// The daemon's `/metrics` listener and the matching one-shot GET client.
+//
+// This is deliberately not an HTTP server — it is the smallest subset a
+// Prometheus scraper (or curl) needs: accept, read one request, answer
+// one GET with Connection: close, repeat.  Requests are handled serially
+// on one thread; a metrics endpoint is scraped every few seconds by one
+// or two collectors, and keeping it off the serving threads means a slow
+// or hostile scraper can never touch job latency.
+//
+// The request-line parser is a standalone function for the same reason
+// serve::FrameReader is: the part of the surface that eats untrusted
+// bytes is pure, allocation-bounded, and fuzzable in isolation
+// (tests/test_obs.cpp feeds it the truncation/poison corpus).
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace adc {
+namespace obs {
+
+struct HttpRequestLine {
+  bool ok = false;
+  std::string method;
+  std::string target;   // origin-form, always starts with '/'
+  std::string version;  // "HTTP/1.0" or "HTTP/1.1"
+  std::string error;    // set when !ok
+};
+
+// Parses "METHOD SP target SP HTTP/x.y" (no trailing CR/LF).  Strict on
+// purpose: exactly two single spaces, a token method, an origin-form
+// target, a known version — anything else is a 400, never a guess.
+HttpRequestLine parse_http_request_line(const std::string& line);
+
+// Serves GET requests on a loopback TCP port from one background thread.
+class MetricsHttpServer {
+ public:
+  // Returns true (with body/content_type set) if the path resolves.
+  using Handler = std::function<bool(const std::string& path,
+                                     std::string* content_type,
+                                     std::string* body)>;
+
+  MetricsHttpServer() = default;
+  ~MetricsHttpServer();
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  // Binds host:port (port 0 = ephemeral) and starts the accept thread.
+  // Returns false with *error set on bind/listen failure.
+  bool start(const std::string& host, std::uint16_t port, Handler handler,
+             std::string* error);
+  void stop();
+
+  bool running() const { return running_.load(); }
+  std::uint16_t port() const { return port_; }
+
+  // Total requests answered (any status) — a liveness probe for tests.
+  std::uint64_t requests_served() const { return served_.load(); }
+
+ private:
+  void loop();
+  void handle_connection(int fd);
+
+  Handler handler_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> served_{0};
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::uint16_t port_ = 0;
+};
+
+// One-shot HTTP/1.0 GET; fills *status and *body (headers dropped).
+// Returns false with *error set on connect/transport problems.  This is
+// how adc_obs_check --prom-fetch and the smoke test scrape a live
+// daemon without assuming curl exists.
+bool http_get(const std::string& host, std::uint16_t port,
+              const std::string& path, int timeout_ms, int* status,
+              std::string* body, std::string* error);
+
+}  // namespace obs
+}  // namespace adc

@@ -1,0 +1,453 @@
+#include "obs/prometheus.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace adc {
+namespace obs {
+
+std::string prom_sanitize_name(const std::string& name) {
+  std::string out = "adc_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string prom_escape_label(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string escape_help(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string label_block(const Labels& labels,
+                        const std::string& extra_key = "",
+                        const std::string& extra_value = "") {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k + "=\"" + prom_escape_label(v) + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ',';
+    out += extra_key + "=\"" + prom_escape_label(extra_value) + "\"";
+  }
+  out += '}';
+  return out;
+}
+
+std::string format_value(double v) {
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+void emit_header(std::string& out, const std::string& prom_name,
+                 const std::string& type, const std::string& help) {
+  if (!help.empty())
+    out += "# HELP " + prom_name + " " + escape_help(help) + "\n";
+  out += "# TYPE " + prom_name + " " + type + "\n";
+}
+
+const std::string* family_help(const Registry::Snapshot& snap,
+                               const std::string& name) {
+  auto it = snap.help.find(name);
+  return it == snap.help.end() ? nullptr : &it->second;
+}
+
+}  // namespace
+
+std::string render_prometheus(const Registry::Snapshot& snap) {
+  std::string out;
+  out.reserve(16 * 1024);
+
+  std::string last_family;
+  for (const auto& c : snap.counters) {
+    std::string prom = prom_sanitize_name(c.name);
+    if (prom.size() < 6 || prom.compare(prom.size() - 6, 6, "_total") != 0)
+      prom += "_total";
+    if (prom != last_family) {
+      const std::string* help = family_help(snap, c.name);
+      emit_header(out, prom, "counter", help ? *help : "");
+      last_family = prom;
+    }
+    out += prom + label_block(c.labels) + " " + std::to_string(c.value) + "\n";
+  }
+
+  last_family.clear();
+  for (const auto& g : snap.gauges) {
+    const std::string prom = prom_sanitize_name(g.name);
+    if (prom != last_family) {
+      const std::string* help = family_help(snap, g.name);
+      emit_header(out, prom, "gauge", help ? *help : "");
+      last_family = prom;
+    }
+    out += prom + label_block(g.labels) + " " + format_value(g.value) + "\n";
+  }
+
+  // Histograms: the full cumulative bucket series, then the windowed
+  // quantiles as a sibling gauge family.
+  last_family.clear();
+  for (const auto& h : snap.histograms) {
+    const std::string prom = prom_sanitize_name(h.name);
+    if (prom != last_family) {
+      const std::string* help = family_help(snap, h.name);
+      emit_header(out, prom, "histogram", help ? *help : "");
+      last_family = prom;
+    }
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < SlidingHistogram::kBuckets; ++i) {
+      cum += h.hist.buckets[i];
+      out += prom + "_bucket" +
+             label_block(h.labels, "le",
+                         std::to_string(histogram_bucket_upper_micros(i))) +
+             " " + std::to_string(cum) + "\n";
+    }
+    out += prom + "_bucket" + label_block(h.labels, "le", "+Inf") + " " +
+           std::to_string(h.hist.count) + "\n";
+    out += prom + "_sum" + label_block(h.labels) + " " +
+           std::to_string(h.hist.sum_micros) + "\n";
+    out += prom + "_count" + label_block(h.labels) + " " +
+           std::to_string(h.hist.count) + "\n";
+  }
+  std::string last_window;
+  for (const auto& h : snap.histograms) {
+    const std::string prom = prom_sanitize_name(h.name) + "_window";
+    if (prom != last_window) {
+      emit_header(out, prom, "gauge",
+                  "Windowed (last 60s) latency quantiles in microseconds");
+      last_window = prom;
+    }
+    const std::pair<const char*, std::uint64_t> quantiles[] = {
+        {"0.5", h.hist.window_p50_micros},
+        {"0.95", h.hist.window_p95_micros},
+        {"0.99", h.hist.window_p99_micros},
+    };
+    for (const auto& [q, v] : quantiles) {
+      out += prom + label_block(h.labels, "quantile", q) + " " +
+             std::to_string(v) + "\n";
+    }
+  }
+  return out;
+}
+
+namespace {
+
+bool valid_metric_name(const std::string& s) {
+  if (s.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(s[0])) return false;
+  for (char c : s)
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  return true;
+}
+
+bool valid_label_name(const std::string& s) {
+  if (s.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+  };
+  if (!head(s[0])) return false;
+  for (char c : s)
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  return true;
+}
+
+bool parse_sample_value(const std::string& s, double* out) {
+  if (s == "+Inf" || s == "Inf") {
+    *out = HUGE_VAL;
+    return true;
+  }
+  if (s == "-Inf") {
+    *out = -HUGE_VAL;
+    return true;
+  }
+  if (s == "NaN") {
+    *out = NAN;
+    return true;
+  }
+  try {
+    std::size_t pos = 0;
+    *out = std::stod(s, &pos);
+    return pos == s.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+struct ParsedSample {
+  std::string name;
+  std::string labels_raw;  // canonical text inside {} (escapes intact)
+  std::string le;          // value of the le label if present
+  double value = 0;
+};
+
+// Parses `name{k="v",...} value`; returns false (with *err set) on any
+// syntax problem.
+bool parse_sample_line(const std::string& line, ParsedSample* out,
+                       std::string* err) {
+  std::size_t i = 0;
+  while (i < line.size() && line[i] != '{' && line[i] != ' ' &&
+         line[i] != '\t')
+    ++i;
+  out->name = line.substr(0, i);
+  if (!valid_metric_name(out->name)) {
+    *err = "invalid metric name";
+    return false;
+  }
+  if (i < line.size() && line[i] == '{') {
+    const std::size_t open = i++;
+    bool first = true;
+    while (true) {
+      if (i >= line.size()) {
+        *err = "unterminated label block";
+        return false;
+      }
+      if (line[i] == '}') {
+        ++i;
+        break;
+      }
+      if (!first) {
+        if (line[i] != ',') {
+          *err = "expected ',' between labels";
+          return false;
+        }
+        ++i;
+      }
+      first = false;
+      std::size_t ks = i;
+      while (i < line.size() && line[i] != '=') ++i;
+      if (i >= line.size() || !valid_label_name(line.substr(ks, i - ks))) {
+        *err = "invalid label name";
+        return false;
+      }
+      const std::string lname = line.substr(ks, i - ks);
+      ++i;  // '='
+      if (i >= line.size() || line[i] != '"') {
+        *err = "label value must be quoted";
+        return false;
+      }
+      ++i;
+      std::string lvalue;
+      while (i < line.size() && line[i] != '"') {
+        if (line[i] == '\\') {
+          if (i + 1 >= line.size()) {
+            *err = "dangling escape in label value";
+            return false;
+          }
+          const char e = line[i + 1];
+          if (e != '\\' && e != '"' && e != 'n') {
+            *err = "bad escape in label value";
+            return false;
+          }
+          lvalue += e == 'n' ? '\n' : e;
+          i += 2;
+          continue;
+        }
+        lvalue += line[i++];
+      }
+      if (i >= line.size()) {
+        *err = "unterminated label value";
+        return false;
+      }
+      ++i;  // closing quote
+      if (lname == "le") out->le = lvalue;
+    }
+    out->labels_raw = line.substr(open, i - open);
+  }
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  const std::size_t vs = i;
+  while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+  if (vs == i) {
+    *err = "missing sample value";
+    return false;
+  }
+  if (!parse_sample_value(line.substr(vs, i - vs), &out->value)) {
+    *err = "unparseable sample value";
+    return false;
+  }
+  // Anything after the value would be a timestamp; allow one integer.
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  if (i < line.size()) {
+    for (std::size_t j = i; j < line.size(); ++j) {
+      if (!std::isdigit(static_cast<unsigned char>(line[j])) &&
+          line[j] != '-') {
+        *err = "trailing garbage after sample value";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::string strip_suffix(const std::string& name) {
+  for (const char* suf : {"_bucket", "_sum", "_count"}) {
+    const std::string s = suf;
+    if (name.size() > s.size() &&
+        name.compare(name.size() - s.size(), s.size(), s) == 0)
+      return name.substr(0, name.size() - s.size());
+  }
+  return name;
+}
+
+}  // namespace
+
+std::vector<std::string> validate_prometheus_text(const std::string& body) {
+  std::vector<std::string> problems;
+  std::map<std::string, std::string> types;  // family -> declared type
+  std::set<std::string> seen_series;
+  // histogram family+labels(without le) -> {last cumulative, count, inf}
+  struct HistState {
+    double last_bucket = -1;
+    double last_le = -HUGE_VAL;
+    bool has_inf = false;
+    double inf_value = 0;
+    bool has_count = false;
+    double count_value = 0;
+  };
+  std::map<std::string, HistState> hists;
+
+  std::istringstream in(body);
+  std::string line;
+  int lineno = 0;
+  auto fail = [&](const std::string& what) {
+    problems.push_back("line " + std::to_string(lineno) + ": " + what +
+                       " [" + line.substr(0, 80) + "]");
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream ls(line);
+      std::string hash, kind, name;
+      ls >> hash >> kind >> name;
+      if (kind == "TYPE") {
+        std::string type;
+        ls >> type;
+        if (!valid_metric_name(name)) fail("TYPE with invalid metric name");
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped")
+          fail("unknown TYPE '" + type + "'");
+        if (types.count(name)) fail("duplicate TYPE for " + name);
+        types[name] = type;
+      } else if (kind == "HELP") {
+        if (!valid_metric_name(name)) fail("HELP with invalid metric name");
+        if (types.count(name)) fail("HELP after TYPE for " + name);
+      }
+      // other comments are legal and ignored
+      continue;
+    }
+    ParsedSample s;
+    std::string err;
+    if (!parse_sample_line(line, &s, &err)) {
+      fail(err);
+      continue;
+    }
+    const std::string series = s.name + s.labels_raw;
+    if (!seen_series.insert(series).second) fail("duplicate series");
+
+    const std::string family = strip_suffix(s.name);
+    auto tit = types.find(family);
+    const bool is_hist_part = tit != types.end() &&
+                              tit->second == "histogram";
+    if (tit == types.end()) tit = types.find(s.name);
+    if (tit == types.end())
+      fail("sample before any TYPE declaration for its family");
+
+    if (is_hist_part) {
+      // Key the per-labelset state on the labels minus `le`.
+      std::string lb = s.labels_raw;
+      if (!s.le.empty()) {
+        const std::string needle = "le=\"";
+        const std::size_t p = lb.find(needle);
+        if (p != std::string::npos) {
+          std::size_t q = lb.find('"', p + needle.size());
+          if (q != std::string::npos) {
+            std::size_t from = p, to = q + 1;
+            if (to < lb.size() && lb[to] == ',') ++to;
+            else if (from > 1 && lb[from - 1] == ',') --from;
+            lb.erase(from, to - from);
+          }
+        }
+      }
+      HistState& st = hists[family + lb];
+      if (s.name == family + "_bucket") {
+        if (s.le.empty()) {
+          fail("_bucket sample without le label");
+        } else {
+          double le = 0;
+          if (!parse_sample_value(s.le, &le)) {
+            fail("unparseable le value");
+          } else {
+            if (le <= st.last_le) fail("le edges not strictly increasing");
+            st.last_le = le;
+            if (st.last_bucket >= 0 && s.value < st.last_bucket)
+              fail("histogram buckets not cumulative");
+            st.last_bucket = s.value;
+            if (std::isinf(le)) {
+              st.has_inf = true;
+              st.inf_value = s.value;
+            }
+          }
+        }
+      } else if (s.name == family + "_count") {
+        st.has_count = true;
+        st.count_value = s.value;
+      }
+    }
+  }
+  for (const auto& [key, st] : hists) {
+    if (!st.has_inf)
+      problems.push_back("histogram " + key + ": missing +Inf bucket");
+    if (!st.has_count)
+      problems.push_back("histogram " + key + ": missing _count");
+    if (st.has_inf && st.has_count && st.inf_value != st.count_value)
+      problems.push_back("histogram " + key + ": +Inf bucket (" +
+                         format_value(st.inf_value) + ") != _count (" +
+                         format_value(st.count_value) + ")");
+  }
+  return problems;
+}
+
+}  // namespace obs
+}  // namespace adc

@@ -1,0 +1,45 @@
+#pragma once
+// Prometheus text exposition (format 0.0.4) for an obs::Registry.
+//
+// One renderer, one validator, both sides of the same contract:
+// `render_prometheus` turns a consistent registry snapshot into the text
+// a scraper expects, and `validate_prometheus_text` re-parses that text
+// and checks the invariants scrapers rely on (names legal, TYPE before
+// samples, histogram buckets cumulative, `+Inf` == `_count`).  The
+// validator is what `adc_obs_check --prom` and the CI smoke scrape run,
+// so a format regression fails in-repo instead of in someone's Grafana.
+//
+// Conventions:
+//   * names: `adc_` prefix, dots/dashes become underscores
+//     ("serve.queue.wait_us" -> "adc_serve_queue_wait_us");
+//   * counters get a `_total` suffix;
+//   * durations stay in microseconds and say so in the name (`_us`) —
+//     the repo measures µs everywhere and unit fidelity beats convention;
+//   * histograms use the registry's power-of-two-µs bucket edges,
+//     cumulative, with a final `+Inf`; windowed p50/p95/p99 additionally
+//     surface as a `<family>_window_us{quantile=...}` gauge so a human
+//     with curl sees latency without running PromQL.
+
+#include <string>
+#include <vector>
+
+#include "obs/registry.hpp"
+
+namespace adc {
+namespace obs {
+
+// "serve.queue.wait_us" -> "adc_serve_queue_wait_us".  Any character a
+// Prometheus metric name cannot hold becomes '_'.
+std::string prom_sanitize_name(const std::string& name);
+
+// Label value escaping per the exposition format: backslash, quote, LF.
+std::string prom_escape_label(const std::string& value);
+
+std::string render_prometheus(const Registry::Snapshot& snap);
+
+// Returns human-readable problems (empty == valid).  Checks line syntax,
+// HELP/TYPE placement, duplicate series, and histogram coherence.
+std::vector<std::string> validate_prometheus_text(const std::string& body);
+
+}  // namespace obs
+}  // namespace adc

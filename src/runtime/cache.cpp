@@ -101,12 +101,16 @@ void StageCache::evict_locked() {
 }
 
 CacheStats StageCache::stats() const {
+  // The counters tick under mu_ (lookup_or_claim), so reading them under
+  // the same lock makes the snapshot internally consistent: a scrape can
+  // rely on hits + joins + misses == lookups, never a torn total from
+  // loading one counter before and one after a concurrent lookup.
+  std::lock_guard<std::mutex> lk(mu_);
   CacheStats s;
   s.hits = hits_.load(std::memory_order_relaxed);
   s.joins = joins_.load(std::memory_order_relaxed);
   s.misses = misses_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lk(mu_);
   s.entries = slots_.size();
   s.bytes = bytes_;
   return s;

@@ -90,7 +90,8 @@ FlowExecutor::FlowExecutor(ThreadPool* pool, Options opts)
 }
 
 std::shared_ptr<const Cdfg> FlowExecutor::frontend_stage(const FlowRequest& req,
-                                                         Fingerprint& key, FlowPoint& p) {
+                                                         Fingerprint& key, FlowPoint& p,
+                                                         const obs::TraceContext& otrace) {
   FingerprintBuilder fb;
   fb.add("frontend").add(req.benchmark).add(req.source);
   key = fb.digest();
@@ -99,6 +100,7 @@ std::shared_ptr<const Cdfg> FlowExecutor::frontend_stage(const FlowRequest& req,
   std::shared_ptr<const Cdfg> parsed;
   {
     ScopedSpan span(opts_.tracer, "frontend");
+    obs::TraceSpan ospan(otrace, "frontend");
     StageTimer t(&metrics_.histogram("stage.frontend"), &us, &cpu);
     parsed = cache_.get_or_compute<Cdfg>(key, [&]() -> Cdfg {
       computed = true;
@@ -108,6 +110,7 @@ std::shared_ptr<const Cdfg> FlowExecutor::frontend_stage(const FlowRequest& req,
                                   "' has neither source text nor a graph factory");
     });
     span.arg("cache", computed ? "miss" : "hit");
+    ospan.arg("cache", computed ? "miss" : "hit");
   }
   p.timings.push_back({"frontend", us, cpu, !computed});
   return parsed;
@@ -115,13 +118,16 @@ std::shared_ptr<const Cdfg> FlowExecutor::frontend_stage(const FlowRequest& req,
 
 std::shared_ptr<const FlowExecutor::GlobalSnapshot> FlowExecutor::global_stage(
     const FlowRequest& req, const TransformScript& script,
-    std::shared_ptr<const Cdfg> parsed, Fingerprint key, FlowPoint& p) {
+    std::shared_ptr<const Cdfg> parsed, Fingerprint key, FlowPoint& p,
+    const obs::TraceContext& otrace) {
   Fingerprint delays_fp = fingerprint_delays(req.delays);
   std::uint64_t us = 0, cpu = 0;
   std::size_t steps_run = 0, steps_total = 0;
   std::shared_ptr<const GlobalSnapshot> snap;
   {
     ScopedSpan gspan(opts_.tracer, "global");
+    obs::TraceSpan ogspan(otrace, "global");
+    const obs::TraceContext octx = ogspan.context();
     StageTimer t(&metrics_.histogram("stage.global"), &us, &cpu);
     for (std::size_t i = 0; i < script.step_count(); ++i) {
       std::string step = script.step_string(i);
@@ -132,6 +138,7 @@ std::shared_ptr<const FlowExecutor::GlobalSnapshot> FlowExecutor::global_stage(
       key = fb.digest();
       auto prev = snap;  // null for the first step
       ScopedSpan span(opts_.tracer, step);
+      obs::TraceSpan ospan(octx, step, "gt");
       bool step_computed = false;
       snap = cache_.get_or_compute<GlobalSnapshot>(key, [&]() -> GlobalSnapshot {
         ++steps_run;
@@ -155,6 +162,7 @@ std::shared_ptr<const FlowExecutor::GlobalSnapshot> FlowExecutor::global_stage(
         return next;
       });
       span.arg("cache", step_computed ? "miss" : "hit");
+      ospan.arg("cache", step_computed ? "miss" : "hit");
     }
     if (!snap) {  // empty / lt-only script: the parsed graph is the result
       GlobalSnapshot base;
@@ -162,6 +170,7 @@ std::shared_ptr<const FlowExecutor::GlobalSnapshot> FlowExecutor::global_stage(
       snap = std::make_shared<const GlobalSnapshot>(std::move(base));
     }
     gspan.arg("cache", steps_run == 0 ? "hit" : "miss");
+    ogspan.arg("cache", steps_run == 0 ? "hit" : "miss");
   }
   metrics_.counter("flow.gt_steps").add(steps_total);
   metrics_.counter("flow.gt_steps_cached").add(steps_total - steps_run);
@@ -171,7 +180,8 @@ std::shared_ptr<const FlowExecutor::GlobalSnapshot> FlowExecutor::global_stage(
 
 std::shared_ptr<const ControllerSet> FlowExecutor::controller_stage(
     const TransformScript& script, std::shared_ptr<const GlobalSnapshot> snap,
-    const Fingerprint& key, FlowPoint& p, const CancelToken& cancel) {
+    const Fingerprint& key, FlowPoint& p, const CancelToken& cancel,
+    const obs::TraceContext& otrace) {
   FingerprintBuilder fb;
   fb.add(key).add("extract+lt").add(script.to_string());
   Fingerprint ckey = fb.digest();
@@ -180,6 +190,8 @@ std::shared_ptr<const ControllerSet> FlowExecutor::controller_stage(
   std::shared_ptr<const ControllerSet> set;
   {
     ScopedSpan span(opts_.tracer, "controllers");
+    obs::TraceSpan ocspan(otrace, "controllers");
+    const obs::TraceContext octx = ocspan.context();
     StageTimer t(&metrics_.histogram("stage.controllers"), &us, &cpu);
     set = cache_.get_or_compute<ControllerSet>(ckey, [&]() -> ControllerSet {
       computed = true;
@@ -194,6 +206,10 @@ std::shared_ptr<const ControllerSet> FlowExecutor::controller_stage(
         ExtractedController c = std::move(extracted[i]);
         ScopedSpan cspan(opts_.tracer, "controller:" + c.machine.name(),
                          "controller");
+        // Subtasks may land on any pool thread; the explicit parent keeps
+        // them under this stage in the per-job tree regardless.
+        obs::TraceSpan ocspan2(octx, "controller:" + c.machine.name(),
+                               "controller");
         ControllerInstance inst;
         ControllerMetrics m;
         m.name = c.machine.name();
@@ -243,6 +259,7 @@ std::shared_ptr<const ControllerSet> FlowExecutor::controller_stage(
       return out;
     });
     span.arg("cache", computed ? "miss" : "hit");
+    ocspan.arg("cache", computed ? "miss" : "hit");
   }
   p.timings.push_back({"controllers", us, cpu, !computed});
   return set;
@@ -250,21 +267,28 @@ std::shared_ptr<const ControllerSet> FlowExecutor::controller_stage(
 
 void FlowExecutor::sample_gauges() {
   CacheStats cs = cache_.stats();
-  metrics_.gauge("cache.entries").set(static_cast<std::int64_t>(cs.entries));
-  metrics_.gauge("cache.bytes").set(static_cast<std::int64_t>(cs.bytes));
   std::int64_t pending = pool_ ? static_cast<std::int64_t>(pool_->pending()) : 0;
-  metrics_.gauge("pool.pending").set(pending);
+  // Collect first, publish once: update_gauges() commits the whole batch
+  // under the registry mutex, so a concurrent gauges() snapshot (the
+  // serve `stats`/`metrics` ops) sees one instant — never disk.hits from
+  // this sample next to disk.misses from the previous one.
+  std::vector<std::pair<std::string, std::int64_t>> batch;
+  batch.reserve(9);
+  batch.emplace_back("cache.entries", static_cast<std::int64_t>(cs.entries));
+  batch.emplace_back("cache.bytes", static_cast<std::int64_t>(cs.bytes));
+  batch.emplace_back("pool.pending", pending);
   if (disk_) {
     // The persistent tier's counters, mirrored into every --json metrics
     // section (and the serve stats op) so cache sharing is observable.
     DiskCache::Stats ds = disk_->stats();
-    metrics_.gauge("disk.hits").set(static_cast<std::int64_t>(ds.hits));
-    metrics_.gauge("disk.misses").set(static_cast<std::int64_t>(ds.misses));
-    metrics_.gauge("disk.stores").set(static_cast<std::int64_t>(ds.puts));
-    metrics_.gauge("disk.evictions").set(static_cast<std::int64_t>(ds.evictions));
-    metrics_.gauge("disk.corrupt").set(static_cast<std::int64_t>(ds.corrupt));
-    metrics_.gauge("disk.bytes").set(static_cast<std::int64_t>(disk_->total_bytes()));
+    batch.emplace_back("disk.hits", static_cast<std::int64_t>(ds.hits));
+    batch.emplace_back("disk.misses", static_cast<std::int64_t>(ds.misses));
+    batch.emplace_back("disk.stores", static_cast<std::int64_t>(ds.puts));
+    batch.emplace_back("disk.evictions", static_cast<std::int64_t>(ds.evictions));
+    batch.emplace_back("disk.corrupt", static_cast<std::int64_t>(ds.corrupt));
+    batch.emplace_back("disk.bytes", static_cast<std::int64_t>(disk_->total_bytes()));
   }
+  metrics_.update_gauges(batch);
   if (opts_.tracer) {
     opts_.tracer->counter("cache.entries", static_cast<std::int64_t>(cs.entries));
     opts_.tracer->counter("cache.bytes", static_cast<std::int64_t>(cs.bytes));
@@ -323,6 +347,9 @@ FlowPoint FlowExecutor::run(const FlowRequest& req) {
   StageTimer total(&metrics_.histogram("flow.total"), &p.total_micros);
   ScopedSpan span(opts_.tracer, "flow.run", "flow",
                   {{"benchmark", req.benchmark}, {"script", req.script}});
+  obs::TraceSpan ospan(req.trace, "flow.run", "flow");
+  ospan.arg("benchmark", req.benchmark);
+  const obs::TraceContext octx = ospan.context();
   ADC_LOG_INFO("flow", "run start",
                {{"benchmark", req.benchmark}, {"script", req.script}});
 
@@ -356,11 +383,14 @@ FlowPoint FlowExecutor::run(const FlowRequest& req) {
       std::uint64_t us = 0, cpu = 0;
       std::optional<std::string> hit;
       {
+        obs::TraceSpan odspan(octx, "disk.probe", "disk");
         StageTimer t(&metrics_.histogram("stage.disk"), &us, &cpu);
         hit = disk_->get(point_key.hex());
+        odspan.arg("hit", hit.has_value());
       }
       if (hit) {
         try {
+          obs::TraceSpan orspan(octx, "disk.replay", "disk");
           FlowPoint warm = parse_flow_point(*hit);
           if (warm.benchmark == p.benchmark && warm.script == p.script) {
             warm.from_disk_cache = true;
@@ -368,6 +398,8 @@ FlowPoint FlowExecutor::run(const FlowRequest& req) {
             warm.total_micros = us;  // what the replay actually cost
             metrics_.counter("flow.disk_hits").add();
             span.arg("disk", "hit");
+            ospan.arg("disk", "hit");
+            ospan.arg("status", to_string(warm.status));
             ADC_LOG_INFO("flow", "run served from disk cache",
                          {{"benchmark", p.benchmark}, {"script", p.script}});
             sample_gauges();
@@ -384,17 +416,17 @@ FlowPoint FlowExecutor::run(const FlowRequest& req) {
     std::shared_ptr<const Cdfg> parsed;
     {
       auto stage_guard = checkpoint("frontend");
-      parsed = frontend_stage(req, key, p);
+      parsed = frontend_stage(req, key, p, octx);
     }
     std::shared_ptr<const GlobalSnapshot> snap;
     {
       auto stage_guard = checkpoint("global");
-      snap = global_stage(req, script, parsed, key, p);
+      snap = global_stage(req, script, parsed, key, p, octx);
     }
     std::shared_ptr<const ControllerSet> set;
     {
       auto stage_guard = checkpoint("controllers");
-      set = controller_stage(script, snap, key, p, req.cancel);
+      set = controller_stage(script, snap, key, p, req.cancel, octx);
     }
     p.graph = std::shared_ptr<const Cdfg>(snap, &snap->g);
 
@@ -416,6 +448,7 @@ FlowPoint FlowExecutor::run(const FlowRequest& req) {
       {
         auto stage_guard = checkpoint("sim");
         ScopedSpan sspan(opts_.tracer, "sim");
+        obs::TraceSpan osspan(octx, "sim");
         StageTimer t(&metrics_.histogram("stage.sim"), &us, &cpu);
         EventSimOptions sim_opts = req.sim;
         sim_opts.cancel = &req.cancel;
@@ -449,6 +482,7 @@ FlowPoint FlowExecutor::run(const FlowRequest& req) {
           }
         }
         sspan.arg("ok", r.completed);
+        osspan.arg("ok", r.completed);
       }
       p.timings.push_back({"sim", us, cpu, false});
     }
@@ -489,6 +523,8 @@ FlowPoint FlowExecutor::run(const FlowRequest& req) {
   }
   span.arg("ok", p.ok);
   span.arg("status", to_string(p.status));
+  ospan.arg("ok", p.ok);
+  ospan.arg("status", to_string(p.status));
   // Stamp the cost before the return: the early disk-hit return above
   // keeps this function from being NRVO'd, so the StageTimer destructor
   // would write into a dead local, not the returned point.

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "cdfg/cdfg.hpp"
+#include "obs/trace_context.hpp"
 #include "runtime/cache.hpp"
 #include "runtime/cancel.hpp"
 #include "runtime/disk_cache.hpp"
@@ -86,6 +87,12 @@ struct FlowRequest {
   std::uint64_t deadline_ms = 0;        // whole-job wall budget
   // External cancellation; shared with the deadline watchdog.
   CancelToken cancel;
+  // Request-scoped trace (obs/trace_context.hpp).  When active, run()
+  // parents one span per executed stage — frontend, each gt step,
+  // per-controller synthesis, sim, disk probe/replay — under it, so a
+  // serving daemon exports one connected tree per job.  Default-empty:
+  // the batch CLIs pay two null checks per stage.
+  obs::TraceContext trace;
 };
 
 struct ControllerMetrics {
@@ -207,14 +214,17 @@ class FlowExecutor {
   struct GlobalSnapshot;  // graph + accumulated pipeline log after a prefix
 
   std::shared_ptr<const Cdfg> frontend_stage(const FlowRequest& req, Fingerprint& key,
-                                             FlowPoint& p);
+                                             FlowPoint& p,
+                                             const obs::TraceContext& otrace);
   std::shared_ptr<const GlobalSnapshot> global_stage(const FlowRequest& req,
                                                      const TransformScript& script,
                                                      std::shared_ptr<const Cdfg> parsed,
-                                                     Fingerprint key, FlowPoint& p);
+                                                     Fingerprint key, FlowPoint& p,
+                                                     const obs::TraceContext& otrace);
   std::shared_ptr<const ControllerSet> controller_stage(
       const TransformScript& script, std::shared_ptr<const GlobalSnapshot> snap,
-      const Fingerprint& key, FlowPoint& p, const CancelToken& cancel);
+      const Fingerprint& key, FlowPoint& p, const CancelToken& cancel,
+      const obs::TraceContext& otrace);
   std::shared_ptr<const ProvenanceReport> build_provenance(const FlowPoint& p,
                                                            const Cdfg& initial,
                                                            const GlobalSnapshot& snap,

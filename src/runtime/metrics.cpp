@@ -68,6 +68,16 @@ Histogram& MetricsRegistry::histogram(const std::string& name) {
   return *slot;
 }
 
+void MetricsRegistry::update_gauges(
+    const std::vector<std::pair<std::string, std::int64_t>>& values) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [name, v] : values) {
+    auto& slot = gauges_[name];
+    if (!slot) slot = std::make_unique<Gauge>();
+    slot->set(v);
+  }
+}
+
 std::map<std::string, std::uint64_t> MetricsRegistry::counters() const {
   std::lock_guard<std::mutex> lk(mu_);
   std::map<std::string, std::uint64_t> out;

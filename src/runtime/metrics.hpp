@@ -18,6 +18,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace adc {
@@ -73,6 +74,15 @@ class MetricsRegistry {
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
+
+  // Commits a related batch of gauge values under the registry mutex —
+  // the same lock gauges() snapshots under — so a reader sees either all
+  // of the batch or none of it.  Individual Gauge::set() calls give no
+  // such guarantee (the mutex there only covers name lookup), which is
+  // how the serve `stats` op used to observe disk.hits from one sample
+  // next to disk.misses from the previous one.
+  void update_gauges(
+      const std::vector<std::pair<std::string, std::int64_t>>& values);
 
   // Point-in-time snapshot (name -> value / aggregate).
   struct HistogramSnapshot {

@@ -80,6 +80,11 @@ std::size_t JobQueue::depth() const {
   return depth_locked();
 }
 
+std::size_t JobQueue::depth(Priority p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return classes_[static_cast<std::size_t>(p)].size();
+}
+
 std::size_t JobQueue::position(std::uint64_t id) const {
   std::lock_guard<std::mutex> lock(mu_);
   std::size_t ahead = 0;

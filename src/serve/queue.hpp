@@ -62,6 +62,8 @@ class JobQueue {
   bool closed() const;
 
   std::size_t depth() const;
+  // Jobs waiting in one priority class (the per-class depth gauges).
+  std::size_t depth(Priority p) const;
   std::size_t capacity() const { return capacity_; }
 
   // 0-based dequeue position of a queued job (its own class's queue ahead

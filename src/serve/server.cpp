@@ -13,6 +13,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/prometheus.hpp"
 #include "report/json.hpp"
 #include "report/json_parse.hpp"
 #include "trace/log.hpp"
@@ -47,6 +48,18 @@ bool send_all(int fd, const std::string& data) {
   }
   return true;
 }
+
+// splitmix64 finalizer.  Trace ids derive from the daemon start stamp and
+// the job id: deterministic enough to test against, distinct across
+// restarts, no PRNG state to seed or lock.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+const char* kClassNames[kPriorityClasses] = {"high", "normal", "low"};
 
 const char* job_state_name(int s) {
   switch (s) {
@@ -153,16 +166,138 @@ void ServeServer::start() {
   }
 
   start_micros_ = steady_micros();
+  register_instruments();
+  if (!opts_.access_log.empty())
+    access_log_ = std::make_unique<obs::AccessLog>(opts_.access_log,
+                                                   opts_.access_log_max_bytes);
+  if (opts_.metrics_port >= 0) {
+    std::string err;
+    bool up = metrics_http_.start(
+        opts_.metrics_host, static_cast<std::uint16_t>(opts_.metrics_port),
+        [this](const std::string& path, std::string* type, std::string* body) {
+          if (path != "/metrics") return false;
+          *type = "text/plain; version=0.0.4; charset=utf-8";
+          *body = obs::render_prometheus(registry_.snapshot());
+          return true;
+        },
+        &err);
+    if (!up) throw std::runtime_error("serve: metrics endpoint: " + err);
+  }
   started_ = true;
   accepting_ = true;
+  sampler_thread_ = std::thread([this] { sampler_loop(); });
   accept_thread_ = std::thread([this] { accept_loop(); });
   for (std::size_t i = 0; i < opts_.workers; ++i)
     worker_threads_.emplace_back([this] { worker_loop(); });
   ADC_LOG_INFO("serve", "server started",
                {{"unix", opts_.unix_socket},
                 {"port", static_cast<std::int64_t>(tcp_port_)},
+                {"metrics_port", static_cast<std::int64_t>(metrics_http_port())},
                 {"workers", opts_.workers},
                 {"queue_capacity", opts_.queue_capacity}});
+}
+
+void ServeServer::register_instruments() {
+  for (std::size_t i = 0; i < kPriorityClasses; ++i) {
+    obs::Labels cls{{"class", kClassNames[i]}};
+    submissions_[i] = &registry_.counter(
+        "serve.submissions", cls, "jobs accepted into the queue");
+    rejections_busy_[i] = &registry_.counter(
+        "serve.rejections", {{"class", kClassNames[i]}, {"reason", "busy"}},
+        "submissions rejected, by class and reason");
+    rejections_closed_[i] = &registry_.counter(
+        "serve.rejections",
+        {{"class", kClassNames[i]}, {"reason", "shutting_down"}}, "");
+    completions_[i] = &registry_.counter(
+        "serve.completions", cls, "jobs run to a terminal status by a worker");
+    queue_wait_[i] = &registry_.histogram(
+        "serve.queue.wait_us", cls, "submit-to-dequeue wait per priority class");
+    service_time_[i] = &registry_.histogram(
+        "serve.service_us", cls, "dequeue-to-done service time per priority class");
+    registry_.gauge("serve.queue.depth", cls, "jobs waiting, per priority class");
+  }
+  cancellations_ =
+      &registry_.counter("serve.cancellations", {}, "jobs cancelled while queued");
+  bad_requests_ = &registry_.counter(
+      "serve.bad_requests", {}, "malformed frames, bad JSON and unknown ops");
+  // Sampled gauges; registered up front so the exported family catalogue
+  // never depends on which code paths have run yet.
+  registry_.gauge("serve.running", {}, "jobs executing right now");
+  registry_.gauge("serve.connections", {}, "client connections accepted since start");
+  registry_.gauge("serve.retry_after_ms", {},
+                  "backpressure hint currently sent with busy replies");
+  registry_.gauge("serve.service_ewma_ms", {},
+                  "exponentially smoothed per-job wall time feeding that hint");
+  registry_.gauge("serve.cache.entries", {}, "stage-cache entries resident");
+  registry_.gauge("serve.cache.bytes", {}, "stage-cache bytes resident");
+  registry_.gauge("serve.cache.hit_ratio", {},
+                  "stage-cache hits+joins over lookups, lifetime");
+  registry_.gauge("serve.disk.hits", {}, "disk-tier replays served");
+  registry_.gauge("serve.disk.misses", {}, "disk-tier probes that missed");
+  registry_.gauge("serve.disk.stores", {}, "points persisted to the disk tier");
+  registry_.gauge("serve.disk.corrupt", {}, "disk-tier entries failing checksum");
+  registry_.gauge("serve.disk.bytes", {}, "disk-tier bytes resident");
+  registry_.gauge("serve.pool.pending", {}, "pool subtasks queued");
+  registry_.gauge("serve.pool.tasks_executed", {}, "pool subtasks completed");
+  registry_.gauge("serve.flow.timeouts", {}, "jobs unwound by a deadline watchdog");
+  registry_.gauge("serve.flow.faults", {}, "jobs stopped by an injected fault");
+  registry_.gauge("serve.flow.deadlocks", {}, "jobs whose event simulation stalled");
+}
+
+void ServeServer::sample_observability() {
+  ServerStats s = stats();
+  double ewma_ms, retry_ms;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ewma_ms = service_ewma_ms_;
+    retry_ms = static_cast<double>(retry_after_ms_locked());
+  }
+  for (std::size_t i = 0; i < kPriorityClasses; ++i)
+    registry_.gauge("serve.queue.depth", {{"class", kClassNames[i]}})
+        .set(static_cast<std::int64_t>(queue_.depth(static_cast<Priority>(i))));
+  registry_.gauge("serve.running").set(static_cast<std::int64_t>(s.running));
+  registry_.gauge("serve.connections")
+      .set(static_cast<std::int64_t>(s.connections));
+  registry_.gauge("serve.retry_after_ms").set(retry_ms);
+  registry_.gauge("serve.service_ewma_ms").set(ewma_ms);
+  // Each source hands out an internally consistent snapshot (satellite 1);
+  // the gauges here are mirrors, refreshed as one pass.
+  CacheStats cs = exec_->cache().stats();
+  registry_.gauge("serve.cache.entries").set(static_cast<std::int64_t>(cs.entries));
+  registry_.gauge("serve.cache.bytes").set(static_cast<std::int64_t>(cs.bytes));
+  registry_.gauge("serve.cache.hit_ratio").set(cs.hit_rate());
+  if (const DiskCache* dc = exec_->disk_cache()) {
+    DiskCache::Stats ds = dc->stats();
+    registry_.gauge("serve.disk.hits").set(static_cast<std::int64_t>(ds.hits));
+    registry_.gauge("serve.disk.misses").set(static_cast<std::int64_t>(ds.misses));
+    registry_.gauge("serve.disk.stores").set(static_cast<std::int64_t>(ds.puts));
+    registry_.gauge("serve.disk.corrupt").set(static_cast<std::int64_t>(ds.corrupt));
+    registry_.gauge("serve.disk.bytes")
+        .set(static_cast<std::int64_t>(dc->total_bytes()));
+  }
+  registry_.gauge("serve.pool.pending")
+      .set(static_cast<std::int64_t>(pool_->pending()));
+  registry_.gauge("serve.pool.tasks_executed")
+      .set(static_cast<std::int64_t>(pool_->tasks_executed()));
+  auto ec = exec_->metrics().counters();
+  auto exec_count = [&ec](const char* name) -> std::int64_t {
+    auto it = ec.find(name);
+    return it == ec.end() ? 0 : static_cast<std::int64_t>(it->second);
+  };
+  registry_.gauge("serve.flow.timeouts").set(exec_count("flow.timeouts"));
+  registry_.gauge("serve.flow.faults").set(exec_count("flow.faults"));
+  registry_.gauge("serve.flow.deadlocks").set(exec_count("flow.deadlocks"));
+}
+
+void ServeServer::sampler_loop() {
+  std::unique_lock<std::mutex> lk(sampler_mu_);
+  while (!sampler_stop_) {
+    lk.unlock();
+    sample_observability();
+    lk.lock();
+    sampler_cv_.wait_for(lk, std::chrono::milliseconds(500),
+                         [this] { return sampler_stop_; });
+  }
 }
 
 void ServeServer::accept_loop() {
@@ -236,7 +371,7 @@ void ServeServer::handle_connection(int fd) {
       // Unrecoverable stream defect: reply best-effort, then drop the
       // connection — there is no frame boundary left to resync on.
       std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.bad_requests;
+      count_bad_request_locked();
       send_all(fd, encode_frame(error_reply("", "too_large", e.what()),
                                 opts_.max_frame_bytes));
       close_conn = true;
@@ -254,14 +389,14 @@ std::string ServeServer::handle_request(const std::string& payload,
     doc = parse_json(payload);
   } catch (const std::exception& e) {
     std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.bad_requests;
+    count_bad_request_locked();
     return error_reply("", "bad_request",
                        std::string("malformed JSON: ") + e.what());
   }
   const JsonValue* opv = doc.find("op");
   if (!doc.is_object() || !opv || !opv->is_string()) {
     std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.bad_requests;
+    count_bad_request_locked();
     return error_reply("", "bad_request",
                        "request must be an object with a string \"op\"");
   }
@@ -278,6 +413,8 @@ std::string ServeServer::handle_request(const std::string& payload,
     if (op == "result") return op_result(doc);
     if (op == "cancel") return op_cancel(doc);
     if (op == "stats") return op_stats();
+    if (op == "metrics") return op_metrics();
+    if (op == "trace") return op_trace(doc);
     if (op == "shutdown") {
       std::string reply = op_shutdown(doc);
       close_conn = true;
@@ -285,12 +422,12 @@ std::string ServeServer::handle_request(const std::string& payload,
     }
   } catch (const std::exception& e) {
     std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.bad_requests;
+    count_bad_request_locked();
     return error_reply(op, "bad_request", e.what());
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.bad_requests;
+    count_bad_request_locked();
   }
   return error_reply(op, "bad_request", "unknown op '" + op + "'");
 }
@@ -362,9 +499,12 @@ std::string ServeServer::op_submit(const JsonValue& doc) {
       return error_reply("submit", "bad_request",
                          "priority must be \"high\", \"normal\" or \"low\"");
   }
+  const std::size_t cls = static_cast<std::size_t>(prio);
 
   auto job = std::make_shared<Job>();
   job->priority = prio;
+  if (const JsonValue* v = doc.find("client"); v && v->is_string())
+    job->client = v->string;
   job->req = std::move(req);
   job->submit_micros = steady_micros();
 
@@ -373,24 +513,59 @@ std::string ServeServer::op_submit(const JsonValue& doc) {
     std::lock_guard<std::mutex> lock(mu_);
     id = next_id_++;
     job->id = id;
+    // Trace minted at accept: the root span covers the job's whole
+    // lifetime, queue.wait its time until a worker claims it.
+    job->trace = std::make_shared<obs::JobTrace>(mix64(start_micros_ + id));
+    job->root_span = job->trace->begin("job", "serve", 0);
+    job->trace->annotate(job->root_span, "benchmark", job->req.benchmark);
+    job->trace->annotate(job->root_span, "script", job->req.script);
+    job->trace->annotate(job->root_span, "priority", to_string(prio));
+    job->queue_span = job->trace->begin("queue.wait", "serve", job->root_span);
     jobs_[id] = job;
   }
   JobQueue::PushResult pushed = queue_.push(id, prio);
   if (pushed != JobQueue::PushResult::kAccepted) {
-    std::lock_guard<std::mutex> lock(mu_);
-    jobs_.erase(id);
-    ++stats_.rejected;
-    if (pushed == JobQueue::PushResult::kClosed)
+    bool closed = pushed == JobQueue::PushResult::kClosed;
+    std::uint64_t retry = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      jobs_.erase(id);
+      ++stats_.rejected;
+      retry = retry_after_ms_locked();
+    }
+    (closed ? rejections_closed_ : rejections_busy_)[cls]->add();
+    if (access_log_) {
+      obs::AccessLogEntry e;
+      e.event = "rejected";  // schema: no id/trace — the client never got one
+      e.priority = to_string(prio);
+      e.client = job->client;
+      e.bench = job->req.benchmark;
+      e.script = job->req.script;
+      e.status = closed ? "shutting_down" : "busy";
+      e.retry_after_ms = closed ? 0 : retry;
+      access_log_->append(e);
+    }
+    if (closed)
       return error_reply("submit", "shutting_down", "server is draining");
-    return error_reply("submit", "busy",
-                       "job queue is full (" +
-                           std::to_string(queue_.capacity()) + " jobs)",
-                       retry_after_ms_locked());
+    // error_reply() plus the rejecting class — a client deciding whether
+    // to retry at a different priority needs to know *which* lane is full.
+    JsonWriter w;
+    w.begin_object();
+    w.kv("ok", false);
+    w.kv("op", "submit");
+    w.kv("code", "busy");
+    w.kv("error", "job queue is full (" + std::to_string(queue_.capacity()) +
+                      " jobs)");
+    w.kv("class", to_string(prio));
+    w.kv("retry_after_ms", retry);
+    w.end_object();
+    return w.str();
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.submitted;
   }
+  submissions_[cls]->add();
   ADC_LOG_DEBUG("serve", "job accepted",
                 {{"id", id},
                  {"benchmark", job->req.benchmark},
@@ -399,6 +574,7 @@ std::string ServeServer::op_submit(const JsonValue& doc) {
   JsonWriter w;
   begin_ok_reply(w, "submit");
   w.kv("id", id);
+  w.kv("trace_id", job->trace->trace_id_hex());
   w.kv("priority", to_string(prio));
   w.kv("queue_depth", static_cast<std::uint64_t>(queue_.depth()));
   w.end_object();
@@ -422,6 +598,7 @@ std::string ServeServer::op_status(const JsonValue& doc) {
   JsonWriter w;
   begin_ok_reply(w, "status");
   w.kv("id", id);
+  if (job->trace) w.kv("trace_id", job->trace->trace_id_hex());
   {
     std::lock_guard<std::mutex> lock(mu_);
     w.kv("state", job_state_name(static_cast<int>(job->state)));
@@ -493,6 +670,7 @@ std::string ServeServer::op_result(const JsonValue& doc) {
   JsonWriter w;
   begin_ok_reply(w, "result");
   w.kv("id", id);
+  if (job->trace) w.kv("trace_id", job->trace->trace_id_hex());
   w.kv("state", "done");
   w.kv("wall_ms", wall_ms);
   w.key("point");
@@ -517,17 +695,23 @@ std::string ServeServer::op_cancel(const JsonValue& doc) {
 
   std::string outcome;
   if (queue_.remove(id)) {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (job->state == JobState::kQueued) {
-      job->state = JobState::kCancelled;
-      job->result.benchmark = job->req.benchmark;
-      job->result.script = job->req.script;
-      job->result.ok = false;
-      job->result.status = FlowStatus::kCancelled;
-      job->result.error = "cancelled by client";
-      ++stats_.cancelled;
-      job_cv_.notify_all();
+    bool cancelled = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (job->state == JobState::kQueued) {
+        job->state = JobState::kCancelled;
+        job->result.benchmark = job->req.benchmark;
+        job->result.script = job->req.script;
+        job->result.ok = false;
+        job->result.status = FlowStatus::kCancelled;
+        job->result.error = "cancelled by client";
+        job->wall_ms = (steady_micros() - job->submit_micros) / 1000;
+        ++stats_.cancelled;
+        cancelled = true;
+        job_cv_.notify_all();
+      }
     }
+    if (cancelled) observe_cancelled(job);
     outcome = "dequeued";
   } else {
     // Already claimed by a worker (or finished): trip the token; the
@@ -598,8 +782,83 @@ std::string ServeServer::op_stats() {
   w.kv("tasks_executed", pool_->tasks_executed());
   w.end_object();
   w.kv("workers", static_cast<std::uint64_t>(opts_.workers));
+  w.kv("metrics_port", static_cast<std::int64_t>(metrics_http_port()));
   w.key("metrics");
   exec_->metrics().write_json(w);
+  w.end_object();
+  return w.str();
+}
+
+void ServeServer::count_bad_request_locked() {
+  ++stats_.bad_requests;
+  if (bad_requests_) bad_requests_->add();
+}
+
+void ServeServer::observe_cancelled(const std::shared_ptr<Job>& job) {
+  if (cancellations_) cancellations_->add();
+  if (job->trace) {
+    job->trace->end(job->queue_span, {{"outcome", "cancelled"}});
+    job->trace->end(job->root_span, {{"status", "cancelled"}});
+  }
+  if (!access_log_) return;
+  obs::AccessLogEntry e;
+  e.event = "cancelled";
+  e.id = job->id;
+  e.trace_id = job->trace ? job->trace->trace_id_hex() : "";
+  e.priority = to_string(job->priority);
+  e.client = job->client;
+  e.bench = job->req.benchmark;
+  e.script = job->req.script;
+  e.status = "cancelled";
+  e.wall_ms = job->wall_ms;
+  access_log_->append(e);
+}
+
+std::string ServeServer::op_metrics() {
+  // Refresh the sampled gauges first so a poller (adc_top) reads "now",
+  // not wherever the background sampler's last tick left them.
+  sample_observability();
+  ServerStats s = stats();
+  JsonWriter w;
+  begin_ok_reply(w, "metrics");
+  w.kv("state", shutdown_requested_ ? "draining" : "serving");
+  w.kv("uptime_ms", (steady_micros() - start_micros_) / 1000);
+  w.kv("workers", static_cast<std::uint64_t>(opts_.workers));
+  w.key("jobs");
+  w.begin_object();
+  w.kv("submitted", s.submitted);
+  w.kv("completed", s.completed);
+  w.kv("cancelled", s.cancelled);
+  w.kv("rejected", s.rejected);
+  w.kv("queued", static_cast<std::uint64_t>(s.queued));
+  w.kv("running", static_cast<std::uint64_t>(s.running));
+  w.end_object();
+  w.key("obs");
+  registry_.write_json(w);
+  w.end_object();
+  return w.str();
+}
+
+std::string ServeServer::op_trace(const JsonValue& doc) {
+  const JsonValue* idv = doc.find("id");
+  if (!idv || !idv->is_number())
+    return error_reply("trace", "bad_request", "trace needs a numeric \"id\"");
+  std::uint64_t id = static_cast<std::uint64_t>(idv->number);
+  std::shared_ptr<Job> job;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = jobs_.find(id);
+    if (it != jobs_.end()) job = it->second;
+  }
+  if (!job || !job->trace)
+    return error_reply("trace", "not_found",
+                       "no trace for job " + std::to_string(id));
+  JsonWriter w;
+  begin_ok_reply(w, "trace");
+  w.kv("id", id);
+  w.kv("trace_id", job->trace->trace_id_hex());
+  w.key("trace");
+  job->trace->write_chrome_trace(w, id);
   w.end_object();
   return w.str();
 }
@@ -626,6 +885,7 @@ void ServeServer::request_shutdown(bool drain) {
   queue_.close();
   if (!drain) {
     // Cancel mode: empty the backlog, then trip every running job.
+    std::vector<std::shared_ptr<Job>> cancelled;
     std::uint64_t id;
     while (queue_.try_pop(&id)) {
       std::lock_guard<std::mutex> lock(mu_);
@@ -638,13 +898,18 @@ void ServeServer::request_shutdown(bool drain) {
       job.result.ok = false;
       job.result.status = FlowStatus::kCancelled;
       job.result.error = "cancelled by server shutdown";
+      job.wall_ms = (steady_micros() - job.submit_micros) / 1000;
       ++stats_.cancelled;
+      cancelled.push_back(it->second);
     }
-    std::lock_guard<std::mutex> lock(mu_);
-    for (auto& [jid, job] : jobs_)
-      if (job->state == JobState::kRunning)
-        job->req.cancel.request("cancelled by server shutdown");
-    job_cv_.notify_all();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto& [jid, job] : jobs_)
+        if (job->state == JobState::kRunning)
+          job->req.cancel.request("cancelled by server shutdown");
+      job_cv_.notify_all();
+    }
+    for (auto& job : cancelled) observe_cancelled(job);
   }
   // Wake the accept loop's poll.
   if (wake_pipe_[1] >= 0) {
@@ -664,9 +929,26 @@ void ServeServer::worker_loop() {
       job = it->second;
       if (job->state != JobState::kQueued) continue;  // raced with a cancel
       job->state = JobState::kRunning;
+      job->dequeue_micros = steady_micros();
       ++stats_.running;
     }
+    const std::size_t cls = static_cast<std::size_t>(job->priority);
+    const std::uint64_t wait_us = job->dequeue_micros - job->submit_micros;
+    queue_wait_[cls]->record_micros(wait_us);
+    job->trace->end(job->queue_span);
+    // Hand the executor this job's trace, parented under the root span —
+    // every stage it runs lands in the same tree, whatever thread it is on.
+    job->req.trace = obs::TraceContext(job->trace, job->root_span);
     FlowPoint p = exec_->run(job->req);
+    const std::uint64_t service_us = steady_micros() - job->dequeue_micros;
+    service_time_[cls]->record_micros(service_us);
+    completions_[cls]->add();
+    job->trace->end(job->root_span,
+                    {{"status", to_string(p.status)},
+                     {"ok", p.ok ? "true" : "false"},
+                     {"queue_wait_us", std::to_string(wait_us)}});
+    std::uint64_t result_bytes = 0;
+    if (access_log_) result_bytes = to_json(p).size();
     {
       std::lock_guard<std::mutex> lock(mu_);
       job->result = std::move(p);
@@ -679,6 +961,23 @@ void ServeServer::worker_loop() {
       service_ewma_ms_ =
           service_ewma_ms_ > 0.0 ? 0.8 * service_ewma_ms_ + 0.2 * w : w;
       job_cv_.notify_all();
+    }
+    if (access_log_) {
+      obs::AccessLogEntry e;
+      e.event = "done";
+      e.id = id;
+      e.trace_id = job->trace->trace_id_hex();
+      e.priority = to_string(job->priority);
+      e.client = job->client;
+      e.bench = job->req.benchmark;
+      e.script = job->req.script;
+      e.status = to_string(job->result.status);
+      e.queue_wait_us = wait_us;
+      e.service_us = service_us;
+      e.wall_ms = job->wall_ms;
+      e.from_disk_cache = job->result.from_disk_cache;
+      e.result_bytes = result_bytes;
+      access_log_->append(e);
     }
     ADC_LOG_DEBUG("serve", "job done",
                   {{"id", id},
@@ -723,6 +1022,18 @@ void ServeServer::finish_shutdown() {
     ::close(tcp_fd_);
     tcp_fd_ = -1;
   }
+  // Tear the observability surfaces down last: one final gauge sample so
+  // a post-mortem scrape of the registry reflects the end state, then the
+  // sampler, the /metrics listener and the access log.
+  {
+    std::lock_guard<std::mutex> lk(sampler_mu_);
+    sampler_stop_ = true;
+  }
+  sampler_cv_.notify_all();
+  if (sampler_thread_.joinable()) sampler_thread_.join();
+  sample_observability();
+  metrics_http_.stop();
+  if (access_log_) access_log_->flush();
   if (owns_unix_path_) ::unlink(opts_.unix_socket.c_str());
   ADC_LOG_INFO("serve", "server stopped",
                {{"completed", stats().completed},

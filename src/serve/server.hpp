@@ -40,6 +40,10 @@
 #include <thread>
 #include <vector>
 
+#include "obs/access_log.hpp"
+#include "obs/http.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace_context.hpp"
 #include "runtime/flow.hpp"
 #include "runtime/thread_pool.hpp"
 #include "serve/protocol.hpp"
@@ -76,6 +80,17 @@ struct ServerOptions {
   // Forwarded to the shared executor (disk_cache_dir is the persistent,
   // client-shared tier; tracer spans cover every job of every client).
   FlowExecutor::Options flow;
+
+  // --- observability (src/obs/) --------------------------------------------
+  // Prometheus text exposition over loopback HTTP ("GET /metrics"); -1
+  // disables the endpoint, 0 binds an ephemeral port (read it back with
+  // metrics_http_port()).
+  int metrics_port = -1;
+  std::string metrics_host = "127.0.0.1";
+  // Structured JSONL access log, one line per finished/rejected job
+  // (obs/access_log.hpp); empty disables it.
+  std::string access_log;
+  std::int64_t access_log_max_bytes = 64ll << 20;
 };
 
 struct ServerStats {
@@ -126,6 +141,15 @@ class ServeServer {
   const JobQueue& queue() const { return queue_; }
   FlowExecutor& executor() { return *exec_; }
 
+  // Serving-side telemetry registry (obs/registry.hpp) — what /metrics and
+  // the `metrics` op export.  Live for the server's lifetime.
+  obs::Registry& obs_registry() { return registry_; }
+  // Actual /metrics port after start() (ephemeral binds resolved); -1 when
+  // the endpoint is disabled.
+  int metrics_http_port() const {
+    return metrics_http_.running() ? static_cast<int>(metrics_http_.port()) : -1;
+  }
+
  private:
   enum class JobState { kQueued, kRunning, kDone, kCancelled };
 
@@ -135,8 +159,15 @@ class ServeServer {
     JobState state = JobState::kQueued;
     FlowRequest req;
     FlowPoint result;
-    std::uint64_t submit_micros = 0;  // steady-clock stamp at accept
-    std::uint64_t wall_ms = 0;        // queue + service time at completion
+    std::string client;  // client-supplied name (access-log attribution)
+    // Per-request span tree (obs/trace_context.hpp): the root span covers
+    // submit -> terminal state, queue_span the submit -> dequeue wait.
+    std::shared_ptr<obs::JobTrace> trace;
+    std::uint64_t root_span = 0;
+    std::uint64_t queue_span = 0;
+    std::uint64_t submit_micros = 0;   // steady-clock stamp at accept
+    std::uint64_t dequeue_micros = 0;  // steady-clock stamp at worker claim
+    std::uint64_t wall_ms = 0;         // queue + service time at completion
   };
 
   void accept_loop();
@@ -150,10 +181,26 @@ class ServeServer {
   std::string op_result(const JsonValue& req);
   std::string op_cancel(const JsonValue& req);
   std::string op_stats();
+  std::string op_metrics();
+  std::string op_trace(const JsonValue& req);
   std::string op_shutdown(const JsonValue& req);
 
   std::uint64_t retry_after_ms_locked() const;
   void finish_shutdown();
+
+  // --- observability helpers ----------------------------------------------
+  // Resolves every instrument the hot paths touch and pre-registers the
+  // sampled gauge families, so the exported metric catalogue is complete
+  // (and deterministic) from the first scrape.
+  void register_instruments();
+  // Refreshes the sampled gauges (queue depths, cache/disk/pool occupancy,
+  // retry-after EWMA) from one consistent pass over the sources.
+  void sample_observability();
+  void sampler_loop();
+  void count_bad_request_locked();
+  // Closes a cancelled job's spans, counts it, and writes its access-log
+  // line.  Call *outside* mu_ — the job is terminal, nobody writes it now.
+  void observe_cancelled(const std::shared_ptr<Job>& job);
 
   ServerOptions opts_;
   std::unique_ptr<ThreadPool> pool_;
@@ -185,6 +232,25 @@ class ServeServer {
   std::mutex conn_mu_;
   std::vector<std::thread> conn_threads_;
   std::set<int> conn_fds_;
+
+  // --- observability -------------------------------------------------------
+  obs::Registry registry_;
+  std::unique_ptr<obs::AccessLog> access_log_;
+  obs::MetricsHttpServer metrics_http_;
+  std::thread sampler_thread_;
+  std::mutex sampler_mu_;
+  std::condition_variable sampler_cv_;
+  bool sampler_stop_ = false;
+  // Hot-path instruments resolved once in register_instruments(); indexed
+  // by priority class where labeled.
+  obs::Counter* submissions_[kPriorityClasses] = {};
+  obs::Counter* rejections_busy_[kPriorityClasses] = {};
+  obs::Counter* rejections_closed_[kPriorityClasses] = {};
+  obs::Counter* completions_[kPriorityClasses] = {};
+  obs::Counter* cancellations_ = nullptr;
+  obs::Counter* bad_requests_ = nullptr;
+  obs::SlidingHistogram* queue_wait_[kPriorityClasses] = {};
+  obs::SlidingHistogram* service_time_[kPriorityClasses] = {};
 };
 
 }  // namespace serve

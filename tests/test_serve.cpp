@@ -15,6 +15,15 @@
 
 #include <unistd.h>
 
+#include <chrono>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <set>
+
+#include "obs/access_log.hpp"
+#include "obs/http.hpp"
+#include "obs/prometheus.hpp"
 #include "report/json.hpp"
 #include "report/json_parse.hpp"
 #include "runtime/fault.hpp"
@@ -555,6 +564,361 @@ TEST(ServeServer, SubmitAfterShutdownIsRejected) {
   EXPECT_FALSE(reply_ok(reply));
   EXPECT_EQ(member_string(reply, "code"), "shutting_down");
   server.wait();
+}
+
+// --- request-scoped observability -------------------------------------------
+
+JsonValue fetch_trace(ServeClient& cl, std::uint64_t id) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("op", "trace");
+  w.kv("id", id);
+  w.end_object();
+  return cl.request(w.str());
+}
+
+// Indexes a `trace` reply's complete ("X") events by span id and checks
+// the tree invariants every consumer relies on: a single root named
+// "job", every parent id resolving, one trace id throughout.
+struct SpanTree {
+  std::map<std::uint64_t, const JsonValue*> by_id;
+  const JsonValue* root = nullptr;
+  std::string trace_id;
+
+  explicit SpanTree(const JsonValue& trace_reply) {
+    const JsonValue* trace = trace_reply.find("trace");
+    if (!trace) return;
+    const JsonValue* events = trace->find("traceEvents");
+    if (!events || !events->is_array()) return;
+    for (const JsonValue& e : events->array) {
+      if (e.at("ph").string != "X") continue;
+      const JsonValue& args = e.at("args");
+      by_id[static_cast<std::uint64_t>(args.at("span_id").number)] = &e;
+      if (args.at("parent_span_id").number == 0) root = &e;
+      if (trace_id.empty()) trace_id = args.at("trace_id").string;
+      EXPECT_EQ(args.at("trace_id").string, trace_id)
+          << "mixed trace ids in one job trace";
+    }
+  }
+
+  const JsonValue* find(const std::string& name) const {
+    for (const auto& [id, e] : by_id)
+      if (e->at("name").string == name) return e;
+    return nullptr;
+  }
+
+  void expect_connected() const {
+    ASSERT_NE(root, nullptr) << "no root span";
+    EXPECT_EQ(root->at("name").string, "job");
+    for (const auto& [id, e] : by_id) {
+      std::uint64_t parent = static_cast<std::uint64_t>(
+          e->at("args").at("parent_span_id").number);
+      EXPECT_TRUE(parent == 0 || by_id.count(parent))
+          << "span " << e->at("name").string << " dangles under " << parent;
+    }
+  }
+};
+
+TEST(ServeObservability, TraceTreeCoversClientObservedLatency) {
+  fault().reset();
+  // Pin the job's service time at >=200ms so the <=5% overhead budget of
+  // the coverage assertion dwarfs socket round-trips.
+  fault().configure("flow.sim=stall(200):1");
+  ServeServer server(unix_options());
+  server.start();
+  ServeClient cl = ServeClient::connect_unix(server.unix_path());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  JsonValue accepted = cl.request(submit_payload("lt", /*simulate=*/true));
+  ASSERT_TRUE(reply_ok(accepted));
+  const std::uint64_t id =
+      static_cast<std::uint64_t>(accepted.find("id")->number);
+  // The submit reply echoes the freshly minted trace id.
+  const std::string trace_id = member_string(accepted, "trace_id");
+  ASSERT_EQ(trace_id.size(), 16u);
+  EXPECT_EQ(member_string(cl.wait_result(id), "status"), "ok");
+  const auto client_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+
+  JsonValue reply = fetch_trace(cl, id);
+  ASSERT_TRUE(reply_ok(reply));
+  EXPECT_EQ(member_string(reply, "trace_id"), trace_id);
+  SpanTree tree(reply);
+  tree.expect_connected();
+  EXPECT_EQ(tree.trace_id, trace_id);
+
+  // Queue wait and execution hang directly under the root; the executor
+  // stages hang under flow.run.
+  const JsonValue* queue_span = tree.find("queue.wait");
+  const JsonValue* run_span = tree.find("flow.run");
+  ASSERT_NE(queue_span, nullptr);
+  ASSERT_NE(run_span, nullptr);
+  const std::uint64_t root_id =
+      static_cast<std::uint64_t>(tree.root->at("args").at("span_id").number);
+  EXPECT_EQ(queue_span->at("args").at("parent_span_id").number, root_id);
+  EXPECT_EQ(run_span->at("args").at("parent_span_id").number, root_id);
+  ASSERT_NE(tree.find("sim"), nullptr) << "stage spans missing";
+
+  // The acceptance bar: the root span accounts for >=95% of what the
+  // client measured around submit + wait_result.
+  EXPECT_GE(tree.root->at("dur").number, 0.95 * client_us)
+      << "root span " << tree.root->at("dur").number << "us vs client "
+      << client_us << "us";
+
+  // Status/result echo the trace id too.
+  JsonWriter w;
+  w.begin_object();
+  w.kv("op", "status");
+  w.kv("id", id);
+  w.end_object();
+  EXPECT_EQ(member_string(cl.request(w.str()), "trace_id"), trace_id);
+
+  // Unknown ids stay a structured error.
+  EXPECT_EQ(member_string(fetch_trace(cl, 999), "code"), "not_found");
+
+  server.request_shutdown(true);
+  EXPECT_EQ(server.wait(), 0);
+  fault().reset();
+}
+
+TEST(ServeObservability, WarmDiskReplayIsTraced) {
+  std::string cache_dir = test_cache_dir();
+  {
+    ServerOptions o = unix_options();
+    o.flow.disk_cache_dir = cache_dir;
+    ServeServer server(o);
+    server.start();
+    ServeClient cl = ServeClient::connect_unix(server.unix_path());
+    EXPECT_EQ(member_string(cl.wait_result(cl.submit(submit_payload("gt1; lt"))),
+                            "status"),
+              "ok");
+    server.request_shutdown(true);
+    ASSERT_EQ(server.wait(), 0);
+  }
+  {
+    ServerOptions o = unix_options();
+    o.flow.disk_cache_dir = cache_dir;
+    ServeServer server(o);
+    server.start();
+    ServeClient cl = ServeClient::connect_unix(server.unix_path());
+    std::uint64_t id = cl.submit(submit_payload("gt1; lt"));
+    JsonValue point = cl.wait_result(id);
+    ASSERT_NE(point.find("from_disk_cache"), nullptr);
+    ASSERT_TRUE(point.find("from_disk_cache")->boolean);
+
+    // The replayed job still yields a full tree — with the disk tier's
+    // probe and replay as spans instead of the synthesis stages.
+    SpanTree tree(fetch_trace(cl, id));
+    tree.expect_connected();
+    ASSERT_NE(tree.find("disk.probe"), nullptr);
+    ASSERT_NE(tree.find("disk.replay"), nullptr);
+    EXPECT_EQ(tree.find("frontend"), nullptr)
+        << "disk replay should skip synthesis stages";
+    server.request_shutdown(true);
+    ASSERT_EQ(server.wait(), 0);
+  }
+}
+
+TEST(ServeObservability, ConcurrentClientsGetDistinctConnectedTrees) {
+  ServeServer server(unix_options(/*workers=*/2));
+  server.start();
+
+  const std::vector<std::string> scripts = {"lt", "gt1; lt", "gt1; gt2; lt"};
+  std::mutex mu;
+  std::set<std::string> trace_ids;
+  auto drive = [&] {
+    ServeClient cl = ServeClient::connect_unix(server.unix_path());
+    std::vector<std::uint64_t> ids;
+    for (const auto& s : scripts) ids.push_back(cl.submit(submit_payload(s)));
+    for (auto id : ids) {
+      EXPECT_EQ(member_string(cl.wait_result(id), "status"), "ok");
+      SpanTree tree(fetch_trace(cl, id));
+      tree.expect_connected();
+      ASSERT_FALSE(tree.trace_id.empty());
+      std::lock_guard<std::mutex> lock(mu);
+      trace_ids.insert(tree.trace_id);
+    }
+  };
+  std::thread a(drive), b(drive);
+  a.join();
+  b.join();
+  // Six jobs, six trees: no id collisions, no cross-contamination.
+  EXPECT_EQ(trace_ids.size(), 2 * scripts.size());
+
+  server.request_shutdown(true);
+  EXPECT_EQ(server.wait(), 0);
+}
+
+// Locates one series in the `metrics` op's obs arrays.
+const JsonValue* metrics_series(const JsonValue& reply, const char* kind,
+                                const std::string& name,
+                                const std::string& cls = "") {
+  const JsonValue* obs = reply.find("obs");
+  const JsonValue* arr = obs ? obs->find(kind) : nullptr;
+  if (!arr || !arr->is_array()) return nullptr;
+  for (const JsonValue& s : arr->array) {
+    if (s.at("name").string != name) continue;
+    if (cls.empty()) return &s;
+    const JsonValue* labels = s.find("labels");
+    const JsonValue* v = labels ? labels->find("class") : nullptr;
+    if (v && v->string == cls) return &s;
+  }
+  return nullptr;
+}
+
+TEST(ServeObservability, MetricsOpReportsLabeledSeries) {
+  ServeServer server(unix_options());
+  server.start();
+  ServeClient cl = ServeClient::connect_unix(server.unix_path());
+  EXPECT_EQ(
+      member_string(cl.wait_result(cl.submit(submit_payload(
+                        "lt", /*simulate=*/false, /*priority=*/"high"))),
+                    "status"),
+      "ok");
+
+  JsonValue m = cl.request("{\"op\":\"metrics\"}");
+  ASSERT_TRUE(reply_ok(m));
+  EXPECT_EQ(m.find("jobs")->at("completed").number, 1);
+
+  const JsonValue* sub = metrics_series(m, "counters", "serve.submissions",
+                                        "high");
+  ASSERT_NE(sub, nullptr);
+  EXPECT_EQ(sub->at("value").number, 1);
+  // The unused classes exist too (pre-registered, reading zero) so the
+  // exposed family set never depends on traffic.
+  ASSERT_NE(metrics_series(m, "counters", "serve.submissions", "low"),
+            nullptr);
+
+  const JsonValue* svc = metrics_series(m, "histograms", "serve.service_us",
+                                        "high");
+  ASSERT_NE(svc, nullptr);
+  EXPECT_EQ(svc->at("count").number, 1);
+  EXPECT_GT(svc->at("window_p95_us").number, 0.0);
+
+  const JsonValue* wait = metrics_series(m, "histograms",
+                                         "serve.queue.wait_us", "high");
+  ASSERT_NE(wait, nullptr);
+  EXPECT_EQ(wait->at("count").number, 1);
+
+  // In-flight count: the job already completed, so it reads zero again.
+  const JsonValue* running = metrics_series(m, "gauges", "serve.running");
+  ASSERT_NE(running, nullptr);
+  EXPECT_EQ(running->at("value").number, 0);
+  const JsonValue* conns = metrics_series(m, "gauges", "serve.connections");
+  ASSERT_NE(conns, nullptr);
+  EXPECT_GE(conns->at("value").number, 1.0);
+  // The backpressure hint rides along as a gauge (satellite: EWMA).
+  ASSERT_NE(metrics_series(m, "gauges", "serve.retry_after_ms"), nullptr);
+
+  server.request_shutdown(true);
+  EXPECT_EQ(server.wait(), 0);
+}
+
+TEST(ServeObservability, MetricsHttpEndpointServesValidPrometheus) {
+  ServerOptions o = unix_options();
+  o.metrics_port = 0;  // ephemeral loopback
+  ServeServer server(o);
+  server.start();
+  ASSERT_GT(server.metrics_http_port(), 0);
+
+  ServeClient cl = ServeClient::connect_unix(server.unix_path());
+  EXPECT_EQ(member_string(cl.wait_result(cl.submit(submit_payload("lt"))),
+                          "status"),
+            "ok");
+  // `metrics` refreshes the sampled gauges synchronously, so the scrape
+  // right after sees current values rather than the sampler's last tick.
+  ASSERT_TRUE(reply_ok(cl.request("{\"op\":\"metrics\"}")));
+
+  int status = 0;
+  std::string body, error;
+  ASSERT_TRUE(obs::http_get("127.0.0.1",
+                            static_cast<std::uint16_t>(
+                                server.metrics_http_port()),
+                            "/metrics", 3000, &status, &body, &error))
+      << error;
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(obs::validate_prometheus_text(body), std::vector<std::string>{});
+  EXPECT_NE(body.find("adc_serve_completions_total{class=\"normal\"} 1"),
+            std::string::npos);
+  EXPECT_NE(body.find("# TYPE adc_serve_queue_wait_us histogram"),
+            std::string::npos);
+  EXPECT_NE(body.find("adc_serve_service_us_window{class=\"normal\","
+                      "quantile=\"0.95\"}"),
+            std::string::npos);
+
+  ASSERT_TRUE(obs::http_get("127.0.0.1",
+                            static_cast<std::uint16_t>(
+                                server.metrics_http_port()),
+                            "/jobs", 3000, &status, &body, &error))
+      << error;
+  EXPECT_EQ(status, 404);
+
+  server.request_shutdown(true);
+  EXPECT_EQ(server.wait(), 0);
+}
+
+TEST(ServeObservability, AccessLogRecordsDoneRejectedCancelledAndBusyClass) {
+  fault().reset();
+  fault().configure("flow.sim=stall(400):1");
+
+  ServerOptions o = unix_options(/*workers=*/1, /*queue_capacity=*/1);
+  o.access_log = "/tmp/adc_test_serve_access_" + std::to_string(::getpid()) +
+                 ".jsonl";
+  std::remove(o.access_log.c_str());
+  const std::string log_path = o.access_log;
+  ServeServer server(o);
+  server.start();
+  ServeClient cl = ServeClient::connect_unix(server.unix_path());
+
+  // Stall one job on the worker, fill the queue, then bounce a third.
+  std::uint64_t id1 = cl.submit(submit_payload("lt", /*simulate=*/true));
+  for (int i = 0; i < 200 && server.stats().running == 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  std::uint64_t id2 = cl.submit(submit_payload("gt1; lt"));
+  JsonValue rejected = cl.request(submit_payload("gt1; gt2; lt"));
+  EXPECT_EQ(member_string(rejected, "code"), "busy");
+  // Satellite: the busy reply names the class it rejected.
+  EXPECT_EQ(member_string(rejected, "class"), "normal");
+  ASSERT_NE(rejected.find("retry_after_ms"), nullptr);
+
+  // Cancel the queued job, let the stalled one finish.
+  JsonWriter w;
+  w.begin_object();
+  w.kv("op", "cancel");
+  w.kv("id", id2);
+  w.end_object();
+  ASSERT_TRUE(reply_ok(cl.request(w.str())));
+  EXPECT_EQ(member_string(cl.wait_result(id1), "status"), "ok");
+
+  server.request_shutdown(true);
+  EXPECT_EQ(server.wait(), 0);
+
+  // The log validates and carries one line per terminal event.
+  std::uint64_t lines = 0;
+  EXPECT_EQ(obs::AccessLog::validate(log_path, &lines),
+            std::vector<std::string>{});
+  EXPECT_EQ(lines, 3u);
+  std::ifstream in(log_path);
+  std::map<std::string, std::string> by_event;
+  std::string line;
+  while (std::getline(in, line)) {
+    JsonValue v = parse_json(line);
+    by_event[v.at("event").string] = line;
+    EXPECT_EQ(v.at("bench").string, "diffeq");
+  }
+  ASSERT_EQ(by_event.count("done"), 1u);
+  ASSERT_EQ(by_event.count("rejected"), 1u);
+  ASSERT_EQ(by_event.count("cancelled"), 1u);
+  JsonValue done = parse_json(by_event["done"]);
+  EXPECT_EQ(done.at("trace_id").string.size(), 16u);
+  EXPECT_GT(done.at("service_us").number, 0.0);
+  EXPECT_GT(done.at("result_bytes").number, 0.0);
+  JsonValue rej = parse_json(by_event["rejected"]);
+  EXPECT_EQ(rej.at("status").string, "busy");
+  EXPECT_GT(rej.at("retry_after_ms").number, 0.0);
+  std::remove(log_path.c_str());
+  fault().reset();
 }
 
 // --- signal drain hook (satellite: SIGTERM artifact safety) -----------------

@@ -1,14 +1,18 @@
 // adc_obs_check — validates the observability artifacts the flow emits.
 //
 //   adc_obs_check [--trace FILE] [--provenance FILE] [--vcd FILE]
-//                 [--bench FILE] [--cache-dir DIR]
+//                 [--bench FILE] [--cache-dir DIR] [--access-log FILE]
+//                 [--prom FILE | --prom-fetch HOST:PORT [--prom-out FILE]]
+//                 [--catalogue FILE]
 //
 // Used by the CI smoke test: after `adc_synth --trace-out --provenance
 // --vcd` runs a benchmark, this tool proves the three artifacts are
 // well-formed without opening Perfetto/GTKWave —
 //
-//  * trace: Chrome trace_event JSON, every event carries name/ph/ts/pid/tid,
-//    B/E pairs balance per track and time never moves backwards on a track;
+//  * trace: Chrome trace_event JSON, every event carries name/ph/pid/tid
+//    (plus ts for timed phases), B/E pairs balance per track, complete
+//    ("X") events carry a duration, and time never moves backwards on a
+//    track;
 //  * provenance: parses, names its benchmark/script, and its embedded
 //    "reconciliation" check list is empty (the ledgers balance);
 //  * vcd: declarations close with $enddefinitions, every value change
@@ -19,7 +23,15 @@
 //    consistent statistics (p50 <= p90 <= p99, min <= p50, p99 <= max);
 //  * cache-dir: every *.adcstage file in a disk-tier stage cache directory
 //    decodes cleanly (magic, version, length, checksum) — an offline
-//    integrity audit of what a crashed or fault-injected run left behind.
+//    integrity audit of what a crashed or fault-injected run left behind;
+//  * access-log: the daemon's JSONL access log parses and matches the
+//    schema in docs/OBSERVABILITY.md (obs::AccessLog::validate);
+//  * prom / prom-fetch: a Prometheus text exposition — from a file or
+//    scraped live off a daemon's /metrics — satisfies the format
+//    invariants (TYPE before samples, cumulative buckets, +Inf == _count);
+//    --prom-out saves the scraped body, --catalogue diffs the exposed
+//    metric-family set against a committed list, so a family silently
+//    appearing or vanishing fails CI.
 //
 // Exit 0 when every given artifact validates; 1 otherwise with one line per
 // problem.
@@ -32,6 +44,9 @@
 #include <string>
 #include <vector>
 
+#include "obs/access_log.hpp"
+#include "obs/http.hpp"
+#include "obs/prometheus.hpp"
 #include "perf/record.hpp"
 #include "report/json_parse.hpp"
 #include "runtime/disk_cache.hpp"
@@ -67,17 +82,22 @@ void check_trace(const std::string& path) {
   std::map<int, double> last_ts;
   std::size_t spans = 0;
   for (const JsonValue& ev : events->array) {
-    for (const char* key : {"name", "ph", "ts", "pid", "tid"})
+    for (const char* key : {"name", "ph", "pid", "tid"})
       if (!ev.find(key)) {
         fail(path + ": event missing '" + key + "'");
         return;
       }
+    const std::string& ph = ev.at("ph").string;
+    if (ph == "M") continue;  // metadata (process/thread names): no clock
+    if (!ev.find("ts")) {
+      fail(path + ": event missing 'ts'");
+      return;
+    }
     int tid = static_cast<int>(ev.at("tid").number);
     double ts = ev.at("ts").number;
     if (last_ts.count(tid) && ts < last_ts[tid])
       fail(path + ": time moved backwards on track " + std::to_string(tid));
     last_ts[tid] = ts;
-    const std::string& ph = ev.at("ph").string;
     if (ph == "B") {
       ++depth[tid];
       ++spans;
@@ -86,6 +106,12 @@ void check_trace(const std::string& path) {
         fail(path + ": end without begin on track " + std::to_string(tid));
         return;
       }
+    } else if (ph == "X") {
+      // Complete events (the per-job span trees): self-contained, but a
+      // zero/missing duration means a span was exported half-closed.
+      const JsonValue* dur = ev.find("dur");
+      if (!dur || dur->number <= 0) fail(path + ": complete event without dur");
+      ++spans;
     } else if (ph != "C" && ph != "i") {
       fail(path + ": unexpected phase '" + ph + "'");
     }
@@ -179,10 +205,52 @@ void check_cache_dir(const std::string& dir) {
               valid, entries.size());
 }
 
+void check_access_log(const std::string& path) {
+  std::uint64_t lines = 0;
+  for (const std::string& problem : obs::AccessLog::validate(path, &lines))
+    fail(path + ": " + problem);
+  std::printf("adc_obs_check: %s: %llu access-log lines valid\n", path.c_str(),
+              static_cast<unsigned long long>(lines));
+}
+
+// `body` came from a file or a live scrape; `catalogue_path` optionally
+// pins the exposed family-name set.
+void check_prometheus(const std::string& origin, const std::string& body,
+                      const std::string& catalogue_path) {
+  for (const std::string& problem : obs::validate_prometheus_text(body))
+    fail(origin + ": " + problem);
+  if (catalogue_path.empty()) return;
+  // Family names are everything `# TYPE` declares.  The committed
+  // catalogue is sorted, one name per line, '#' comments allowed.
+  std::set<std::string> exposed;
+  std::istringstream is(body);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.rfind("# TYPE ", 0) != 0) continue;
+    std::string rest = line.substr(7);
+    exposed.insert(rest.substr(0, rest.find(' ')));
+  }
+  std::set<std::string> expected;
+  std::istringstream cat(slurp(catalogue_path));
+  while (std::getline(cat, line)) {
+    auto e = line.find_last_not_of(" \t\r");
+    if (e == std::string::npos || line[0] == '#') continue;
+    expected.insert(line.substr(0, e + 1));
+  }
+  for (const auto& name : expected)
+    if (!exposed.count(name))
+      fail(origin + ": family '" + name + "' missing (in " + catalogue_path + ")");
+  for (const auto& name : exposed)
+    if (!expected.count(name))
+      fail(origin + ": family '" + name + "' not in " + catalogue_path +
+           " — update the catalogue if this export is intentional");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string trace_path, prov_path, vcd_path, bench_path, cache_dir;
+  std::string access_log_path, prom_path, prom_fetch, prom_out, catalogue_path;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> std::string {
@@ -197,10 +265,17 @@ int main(int argc, char** argv) {
     else if (arg == "--vcd") vcd_path = next();
     else if (arg == "--bench") bench_path = next();
     else if (arg == "--cache-dir") cache_dir = next();
+    else if (arg == "--access-log") access_log_path = next();
+    else if (arg == "--prom") prom_path = next();
+    else if (arg == "--prom-fetch") prom_fetch = next();
+    else if (arg == "--prom-out") prom_out = next();
+    else if (arg == "--catalogue") catalogue_path = next();
     else {
       std::fprintf(stderr,
                    "usage: adc_obs_check [--trace FILE] [--provenance FILE] "
-                   "[--vcd FILE] [--bench FILE] [--cache-dir DIR]\n");
+                   "[--vcd FILE] [--bench FILE] [--cache-dir DIR] "
+                   "[--access-log FILE] [--prom FILE | --prom-fetch HOST:PORT "
+                   "[--prom-out FILE]] [--catalogue FILE]\n");
       return arg == "--help" || arg == "-h" ? 0 : 2;
     }
   }
@@ -210,6 +285,33 @@ int main(int argc, char** argv) {
     if (!vcd_path.empty()) check_vcd(vcd_path);
     if (!bench_path.empty()) check_bench(bench_path);
     if (!cache_dir.empty()) check_cache_dir(cache_dir);
+    if (!access_log_path.empty()) check_access_log(access_log_path);
+    if (!prom_path.empty())
+      check_prometheus(prom_path, slurp(prom_path), catalogue_path);
+    if (!prom_fetch.empty()) {
+      auto colon = prom_fetch.rfind(':');
+      if (colon == std::string::npos)
+        throw std::runtime_error("--prom-fetch expects HOST:PORT");
+      int status = 0;
+      std::string body, err;
+      if (!obs::http_get(prom_fetch.substr(0, colon),
+                         static_cast<std::uint16_t>(
+                             std::stoi(prom_fetch.substr(colon + 1))),
+                         "/metrics", 5000, &status, &body, &err)) {
+        fail(prom_fetch + ": " + err);
+      } else if (status != 200) {
+        fail(prom_fetch + ": /metrics answered HTTP " + std::to_string(status));
+      } else {
+        if (!prom_out.empty()) {
+          std::ofstream out(prom_out);
+          out << body;
+          if (!out) throw std::runtime_error("cannot write " + prom_out);
+        }
+        check_prometheus(prom_fetch, body, catalogue_path);
+        std::printf("adc_obs_check: %s: scraped %zu bytes of metrics\n",
+                    prom_fetch.c_str(), body.size());
+      }
+    }
   } catch (const std::exception& e) {
     fail(e.what());
   }

@@ -27,10 +27,17 @@
 //   --job-deadline-ms N     default whole-job wall budget
 //   --max-job-deadline-ms N cap on client-requested deadlines
 //   --max-frame-bytes N     wire frame size limit (default 8 MiB)
+//   --metrics-port N        Prometheus text exposition via HTTP GET
+//                           /metrics (0 = ephemeral; default off)
+//   --metrics-host ADDR     bind address for /metrics (default 127.0.0.1)
+//   --access-log FILE       structured JSONL access log, one line per
+//                           finished/rejected job (docs/OBSERVABILITY.md)
+//   --access-log-max-bytes N  rotate the log past this size (default 64 MiB)
 //   --trace-out FILE        Chrome trace_event JSON across all jobs of all
 //                           clients (flushed on shutdown and on signals)
-//   --ready-file FILE       write {"unix":...,"port":N,"pid":N} after the
-//                           listeners are bound (scripts poll this)
+//   --ready-file FILE       write {"unix":...,"port":N,"metrics_port":N,
+//                           "pid":N} after the listeners are bound
+//                           (scripts poll this)
 //   --fault SPEC            arm the deterministic fault injector
 //   --log-level LEVEL       error|warn|info|debug|trace
 //   --help
@@ -69,6 +76,8 @@ int usage(int code) {
                "[--cache-dir DIR] [--cache-bytes N] "
                "[--stage-deadline-ms N] [--job-deadline-ms N] "
                "[--max-job-deadline-ms N] [--max-frame-bytes N] "
+               "[--metrics-port N] [--metrics-host ADDR] "
+               "[--access-log FILE] [--access-log-max-bytes N] "
                "[--trace-out FILE] [--ready-file FILE] [--fault SPEC] "
                "[--log-level LEVEL]\n"
                "\n"
@@ -121,6 +130,11 @@ int main(int argc, char** argv) {
     else if (arg == "--max-job-deadline-ms") opts.max_deadline_ms = std::stoull(next());
     else if (arg == "--max-frame-bytes")
       opts.max_frame_bytes = static_cast<std::uint32_t>(std::stoul(next()));
+    else if (arg == "--metrics-port") opts.metrics_port = std::stoi(next());
+    else if (arg == "--metrics-host") opts.metrics_host = next();
+    else if (arg == "--access-log") opts.access_log = next();
+    else if (arg == "--access-log-max-bytes")
+      opts.access_log_max_bytes = std::stoll(next());
     else if (arg == "--trace-out") trace_path = next();
     else if (arg == "--ready-file") ready_file = next();
     else if (arg == "--fault") fault_spec = next();
@@ -167,6 +181,7 @@ int main(int argc, char** argv) {
       w.begin_object();
       w.kv("unix", server.unix_path());
       w.kv("port", static_cast<std::int64_t>(server.tcp_port()));
+      w.kv("metrics_port", static_cast<std::int64_t>(server.metrics_http_port()));
       w.kv("pid", static_cast<std::int64_t>(::getpid()));
       w.end_object();
       std::ofstream out(ready_file);

@@ -20,8 +20,13 @@
 //   --deadline-ms N         per-job deadline (server may cap it)
 //   --seed N                event-sim seed
 //   --no-sim                skip event simulation
+//   --client NAME           client name attached to the server's access log
 //   --json FILE             machine-readable report ('-' = stdout)
+//   --trace-out FILE        fetch every job's span tree from the daemon
+//                           (the `trace` op) and write one merged
+//                           Perfetto-loadable Chrome trace_event document
 //   --stats                 print the server's stats document and exit
+//   --metrics               print the server's live metrics document and exit
 //   --ping                  connectivity check (exit 0 on a pong)
 //   --cancel ID             cancel one job and exit
 //   --shutdown              ask the server to drain and exit
@@ -54,9 +59,9 @@ int usage(int code) {
                "usage: adc_submit (--socket PATH | --connect HOST:PORT) "
                "[--bench NAMES] [--recipes \"S1 | S2\"] [--grid gt|gt-nolt] "
                "[--priority high|normal|low] [--deadline-ms N] [--seed N] "
-               "[--no-sim] [--json FILE] "
-               "[--stats | --ping | --cancel ID | --shutdown [--no-drain]] "
-               "[--log-level LEVEL]\n"
+               "[--no-sim] [--client NAME] [--json FILE] [--trace-out FILE] "
+               "[--stats | --metrics | --ping | --cancel ID | --shutdown "
+               "[--no-drain]] [--log-level LEVEL]\n"
                "\n"
                "exit codes (worst job outcome wins):\n"
                "  0  every job completed ok\n"
@@ -94,11 +99,12 @@ std::int64_t member_int(const JsonValue& v, const char* key) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string socket_path, connect_spec, grid, json_path;
+  std::string socket_path, connect_spec, grid, json_path, trace_path, client_name;
   std::vector<std::string> bench_names, recipes;
   std::string priority = "normal";
   std::uint64_t deadline_ms = 0, seed = 1;
-  bool simulate = true, do_stats = false, do_ping = false, do_shutdown = false;
+  bool simulate = true, do_stats = false, do_metrics = false, do_ping = false,
+       do_shutdown = false;
   bool drain = true;
   std::int64_t cancel_id = -1;
 
@@ -121,8 +127,11 @@ int main(int argc, char** argv) {
     else if (arg == "--deadline-ms") deadline_ms = std::stoull(next());
     else if (arg == "--seed") seed = std::stoull(next());
     else if (arg == "--no-sim") simulate = false;
+    else if (arg == "--client") client_name = next();
     else if (arg == "--json") json_path = next();
+    else if (arg == "--trace-out") trace_path = next();
     else if (arg == "--stats") do_stats = true;
+    else if (arg == "--metrics") do_metrics = true;
     else if (arg == "--ping") do_ping = true;
     else if (arg == "--cancel") cancel_id = std::stoll(next());
     else if (arg == "--shutdown") do_shutdown = true;
@@ -161,6 +170,11 @@ int main(int argc, char** argv) {
     }
     if (do_stats) {
       JsonValue reply = client.request("{\"op\":\"stats\"}");
+      std::printf("%s\n", to_json(reply, true).c_str());
+      return reply.find("ok") && reply.find("ok")->boolean ? 0 : 1;
+    }
+    if (do_metrics) {
+      JsonValue reply = client.request("{\"op\":\"metrics\"}");
       std::printf("%s\n", to_json(reply, true).c_str());
       return reply.find("ok") && reply.find("ok")->boolean ? 0 : 1;
     }
@@ -223,6 +237,7 @@ int main(int argc, char** argv) {
         w.kv("priority", priority);
         w.kv("simulate", simulate);
         w.kv("seed", seed);
+        if (!client_name.empty()) w.kv("client", client_name);
         if (deadline_ms > 0) w.kv("deadline_ms", deadline_ms);
         w.end_object();
         jobs.push_back({client.submit(w.str()), bench, recipe});
@@ -239,6 +254,43 @@ int main(int argc, char** argv) {
       else if (status == "deadlock") ++n_deadlock;
       else if (status == "timeout" || status == "cancelled") ++n_timeout_cancel;
       else ++n_fail;
+    }
+
+    // Every job is terminal, so its span tree is complete: fetch each one
+    // from the daemon and merge the event lists into a single document —
+    // one Perfetto process per job (pid = job id).
+    if (!trace_path.empty()) {
+      JsonWriter w;
+      w.begin_object();
+      w.kv("displayTimeUnit", "ms");
+      w.key("traceEvents");
+      w.begin_array();
+      std::size_t fetched = 0;
+      for (const auto& job : jobs) {
+        JsonWriter rq;
+        rq.begin_object();
+        rq.kv("op", "trace");
+        rq.kv("id", job.id);
+        rq.end_object();
+        JsonValue reply = client.request(rq.str());
+        const JsonValue* ok = reply.find("ok");
+        const JsonValue* trace = reply.find("trace");
+        const JsonValue* events = trace ? trace->find("traceEvents") : nullptr;
+        if (!ok || !ok->boolean || !events || !events->is_array()) {
+          std::fprintf(stderr, "adc_submit: no trace for job %llu\n",
+                       static_cast<unsigned long long>(job.id));
+          continue;
+        }
+        for (const JsonValue& ev : events->array) write_json_value(w, ev);
+        ++fetched;
+      }
+      w.end_array();
+      w.end_object();
+      std::ofstream out(trace_path);
+      out << w.str() << "\n";
+      if (!out) throw std::runtime_error("cannot write " + trace_path);
+      std::fprintf(stderr, "adc_submit: wrote %s (%zu job traces)\n",
+                   trace_path.c_str(), fetched);
     }
 
     if (json_path.empty()) {
