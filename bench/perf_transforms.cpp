@@ -100,6 +100,33 @@ void register_benchmarks() {
         ctx.counters["literals"] = static_cast<double>(lits);
       });
 
+  // Stage-local slices of the minimizer: candidate growth and the two
+  // covering strategies over the same per-function specifications.
+  add("logic", "logic.candidates_diffeq",
+      [specs = std::shared_ptr<std::vector<FunctionSpec>>()](
+          perf::BenchContext& ctx) mutable {
+        if (!specs) {
+          Cdfg g = diffeq();
+          auto res = run_global_transforms(g);
+          auto controllers = extract_controllers(g, res.plan);
+          specs = std::make_shared<std::vector<FunctionSpec>>();
+          for (auto& c : controllers) {
+            run_local_transforms(c);
+            ConcreteMachine cm = concretize(c.machine, &c.bindings);
+            Encoding enc = assign_codes(cm);
+            const std::size_t n_out = cm.output_names.size();
+            for (std::size_t fi = 0; fi < n_out + enc.bits; ++fi) {
+              const bool sb = fi >= n_out;
+              specs->push_back(
+                  build_function_spec(cm, enc, sb, sb ? fi - n_out : fi, "f"));
+            }
+          }
+        }
+        std::size_t candidates = 0;
+        for (const auto& f : *specs) candidates += candidate_implicants(f).size();
+        ctx.counters["candidates"] = static_cast<double>(candidates);
+      });
+
   for (std::int64_t a : {std::int64_t{8}, std::int64_t{64}})
     add("sim", "sim.token_diffeq_a" + std::to_string(a),
         [a, prepared = std::shared_ptr<Cdfg>()](perf::BenchContext& ctx) mutable {

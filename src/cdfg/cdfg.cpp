@@ -113,23 +113,19 @@ void Cdfg::merge_nodes(NodeId survivor, NodeId victim) {
   for (auto& stmt : v.stmts) s.stmts.push_back(std::move(stmt));
 
   // Reroute victim's arcs; drop those that would become self-arcs.
+  // Kill the old arc *before* add_arc: the push_back inside may grow
+  // arcs_, invalidating any reference held across the call.
   for (ArcId aid : in_arcs(victim)) {
     Arc& a = arc(aid);
-    if (a.src == survivor) {
-      a.alive = false;
-      continue;
-    }
-    add_arc(a.src, survivor, a.roles, a.backward);
     a.alive = false;
+    if (a.src == survivor) continue;
+    add_arc(a.src, survivor, a.roles, a.backward);
   }
   for (ArcId aid : out_arcs(victim)) {
     Arc& a = arc(aid);
-    if (a.dst == survivor) {
-      a.alive = false;
-      continue;
-    }
-    add_arc(survivor, a.dst, a.roles, a.backward);
     a.alive = false;
+    if (a.dst == survivor) continue;
+    add_arc(survivor, a.dst, a.roles, a.backward);
   }
   v.alive = false;
   if (v.fu.valid()) {

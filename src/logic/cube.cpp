@@ -1,98 +1,8 @@
 #include "logic/cube.hpp"
 
+#include <algorithm>
+
 namespace adc {
-
-namespace {
-constexpr std::size_t kBits = 64;
-inline std::size_t words(std::size_t n) { return (n + kBits - 1) / kBits; }
-}  // namespace
-
-Cube::Cube(std::size_t n) : n_(n), can0_(words(n), 0), can1_(words(n), 0) {
-  for (std::size_t i = 0; i < n; ++i) {
-    can0_[i / kBits] |= std::uint64_t{1} << (i % kBits);
-    can1_[i / kBits] |= std::uint64_t{1} << (i % kBits);
-  }
-}
-
-Cube::V Cube::get(std::size_t var) const {
-  bool c0 = (can0_[var / kBits] >> (var % kBits)) & 1;
-  bool c1 = (can1_[var / kBits] >> (var % kBits)) & 1;
-  if (c0 && c1) return V::kFree;
-  if (c0) return V::kZero;
-  if (c1) return V::kOne;
-  return V::kEmpty;
-}
-
-void Cube::set(std::size_t var, V v) {
-  std::uint64_t bit = std::uint64_t{1} << (var % kBits);
-  std::uint64_t& w0 = can0_[var / kBits];
-  std::uint64_t& w1 = can1_[var / kBits];
-  w0 &= ~bit;
-  w1 &= ~bit;
-  if (v == V::kZero || v == V::kFree) w0 |= bit;
-  if (v == V::kOne || v == V::kFree) w1 |= bit;
-}
-
-Cube Cube::with(std::size_t var, V v) const {
-  Cube c = *this;
-  c.set(var, v);
-  return c;
-}
-
-bool Cube::valid() const {
-  for (std::size_t w = 0; w < can0_.size(); ++w) {
-    std::uint64_t any = can0_[w] | can1_[w];
-    std::uint64_t want = ~std::uint64_t{0};
-    if (w == can0_.size() - 1 && n_ % kBits != 0)
-      want = (std::uint64_t{1} << (n_ % kBits)) - 1;
-    if ((any & want) != want) return false;
-  }
-  return true;
-}
-
-std::size_t Cube::literal_count() const {
-  std::size_t lits = 0;
-  for (std::size_t w = 0; w < can0_.size(); ++w) {
-    std::uint64_t fixed = can0_[w] ^ can1_[w];  // exactly one of the two
-    lits += static_cast<std::size_t>(__builtin_popcountll(fixed));
-  }
-  return lits;
-}
-
-bool Cube::contains(const Cube& other) const {
-  for (std::size_t w = 0; w < can0_.size(); ++w) {
-    if ((other.can0_[w] & ~can0_[w]) != 0) return false;
-    if ((other.can1_[w] & ~can1_[w]) != 0) return false;
-  }
-  return true;
-}
-
-bool Cube::intersects(const Cube& other) const {
-  return intersect(other).valid();
-}
-
-Cube Cube::intersect(const Cube& other) const {
-  Cube out = *this;
-  for (std::size_t w = 0; w < can0_.size(); ++w) {
-    out.can0_[w] &= other.can0_[w];
-    out.can1_[w] &= other.can1_[w];
-  }
-  return out;
-}
-
-Cube Cube::supercube(const Cube& other) const {
-  Cube out = *this;
-  for (std::size_t w = 0; w < can0_.size(); ++w) {
-    out.can0_[w] |= other.can0_[w];
-    out.can1_[w] |= other.can1_[w];
-  }
-  return out;
-}
-
-bool Cube::operator<(const Cube& o) const {
-  if (can0_ != o.can0_) return can0_ < o.can0_;
-  return can1_ < o.can1_;
-}
 
 std::string Cube::to_string() const {
   std::string out;
@@ -106,6 +16,22 @@ std::string Cube::to_string() const {
     }
   }
   return out;
+}
+
+std::vector<Cube> CubeSet::sorted() const {
+  std::vector<Cube> out = items_;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void CubeSet::rehash(std::size_t new_cap) {
+  slots_.assign(new_cap, kEmpty);
+  std::size_t mask = new_cap - 1;
+  for (std::size_t idx = 0; idx < items_.size(); ++idx) {
+    std::size_t i = static_cast<std::size_t>(items_[idx].hash()) & mask;
+    while (slots_[i] != kEmpty) i = (i + 1) & mask;
+    slots_[i] = idx;
+  }
 }
 
 }  // namespace adc

@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <limits>
 #include <optional>
-#include <set>
+
+#include "logic/memo.hpp"
 
 namespace adc {
 
@@ -20,110 +21,297 @@ bool implicant_valid(const FunctionSpec& f, const Cube& p) {
 
 namespace {
 
+// Per-call view of the spec with the OFF list reduced to its maximal
+// cubes: a cube intersecting an OFF cube also intersects any OFF cube
+// containing it, so only maximal ones can decide the "hits OFF?" tests
+// the growth loops hammer.
+struct SpecCtx {
+  const FunctionSpec& f;
+  std::vector<Cube> off;
+
+  explicit SpecCtx(const FunctionSpec& spec) : f(spec) {
+    off.reserve(spec.off.size());
+    for (std::size_t i = 0; i < spec.off.size(); ++i) {
+      bool dominated = false;
+      for (std::size_t j = 0; j < spec.off.size() && !dominated; ++j)
+        if (i != j && spec.off[j].contains(spec.off[i]) &&
+            !(j > i && spec.off[i] == spec.off[j]))
+          dominated = true;
+      if (!dominated) off.push_back(spec.off[i]);
+    }
+  }
+};
+
 // Closes a cube under the dynamic-transition anchor rules: whenever it
 // intersects a dynamic transition it absorbs the anchor point, repeating to
-// a fixpoint.  Fails (nullopt) if the closure runs into an OFF region —
-// then no dhf implicant contains the cube at all.
-std::optional<Cube> grow_to_valid(const FunctionSpec& f, Cube c) {
+// a fixpoint.  Fails (false) if the closure runs into an OFF region — then
+// no dhf implicant contains the cube at all.  Mutates `c` in place; no
+// allocations on the fast (inline-storage) path.
+bool grow_to_valid(const SpecCtx& s, Cube& c) {
   bool changed = true;
   while (changed) {
     changed = false;
-    for (const auto& o : f.off)
-      if (c.intersects(o)) return std::nullopt;
-    for (const auto& d : f.dynamic) {
+    for (const auto& o : s.off)
+      if (c.intersects(o)) return false;
+    for (const auto& d : s.f.dynamic) {
       if (!c.intersects(d.t)) continue;
       const Cube& anchor = d.type == HfType::kRise ? d.b : d.a;
       if (c.contains(anchor)) continue;
-      c = c.supercube(anchor);
+      c.supercube_with(anchor);
       changed = true;
     }
   }
-  return c;
+  return true;
 }
 
 // Grows a required cube into a maximal dhf implicant by freeing variables
 // in the given order (re-closing under the anchor rules after each step).
-Cube expand(const FunctionSpec& f, Cube seed, const std::vector<std::size_t>& order) {
+// `trial` is scratch supplied by the caller so the loop never allocates.
+void expand(const SpecCtx& s, Cube& seed, const std::vector<std::size_t>& order,
+            Cube& trial) {
   for (std::size_t var : order) {
     if (seed.get(var) == Cube::V::kFree) continue;
-    auto widened = grow_to_valid(f, seed.with(var, Cube::V::kFree));
-    if (widened && widened->contains(seed)) seed = *widened;
+    trial = seed;
+    trial.set(var, Cube::V::kFree);
+    if (grow_to_valid(s, trial) && trial.contains(seed)) std::swap(seed, trial);
   }
-  return seed;
 }
+
+// The four expansion orders (ascending, descending, two rotations) used to
+// diversify the candidate pool.
+std::vector<std::vector<std::size_t>> expansion_orders(std::size_t vars) {
+  std::vector<std::vector<std::size_t>> orders;
+  std::vector<std::size_t> ascending(vars), descending(vars);
+  for (std::size_t i = 0; i < vars; ++i) {
+    ascending[i] = i;
+    descending[i] = vars - 1 - i;
+  }
+  orders.push_back(std::move(ascending));
+  orders.push_back(std::move(descending));
+  for (std::size_t rot : {vars / 3, (2 * vars) / 3}) {
+    std::vector<std::size_t> rotated(vars);
+    for (std::size_t i = 0; i < vars; ++i) rotated[i] = (i + rot) % vars;
+    orders.push_back(std::move(rotated));
+  }
+  return orders;
+}
+
+// Candidate pool from pre-grown seeds (one per realizable required cube),
+// deduplicated through a hash set and returned in the canonical ascending
+// cube order the covering step iterates in.
+std::vector<Cube> candidates_from_seeds(const SpecCtx& s, const std::vector<Cube>& seeds,
+                                        const CancelToken* cancel) {
+  auto orders = expansion_orders(s.f.vars);
+  CubeSet pool(seeds.size() * orders.size());
+  Cube grown, trial;
+  for (const auto& seed : seeds) {
+    if (cancel) cancel->throw_if_cancelled();
+    for (const auto& order : orders) {
+      grown = seed;
+      expand(s, grown, order, trial);
+      pool.insert(grown);
+    }
+  }
+  return pool.sorted();
+}
+
+// Packed covers-of rows: bit r of row c says candidate c contains reduced
+// requirement r.  Greedy gain and branch-and-bound bookkeeping become
+// popcount loops over these words.
+struct CoverMatrix {
+  std::size_t n_req = 0;
+  std::size_t req_words = 0;
+  std::size_t n_cand = 0;
+  std::vector<std::uint64_t> rows;  // n_cand * req_words
+  std::vector<std::size_t> lits;    // literal_count per candidate
+
+  CoverMatrix(const std::vector<Cube>& candidates, const std::vector<Cube>& reduced)
+      : n_req(reduced.size()),
+        req_words((reduced.size() + 63) / 64),
+        n_cand(candidates.size()),
+        rows(candidates.size() * req_words, 0),
+        lits(candidates.size()) {
+    for (std::size_t c = 0; c < n_cand; ++c) {
+      lits[c] = candidates[c].literal_count();
+      std::uint64_t* row = &rows[c * req_words];
+      for (std::size_t r = 0; r < n_req; ++r)
+        if (candidates[c].contains(reduced[r])) row[r / 64] |= std::uint64_t{1} << (r % 64);
+    }
+  }
+
+  const std::uint64_t* row(std::size_t c) const { return &rows[c * req_words]; }
+
+  std::size_t gain(std::size_t c, const std::vector<std::uint64_t>& covered) const {
+    const std::uint64_t* r = row(c);
+    std::size_t g = 0;
+    for (std::size_t w = 0; w < req_words; ++w)
+      g += static_cast<std::size_t>(__builtin_popcountll(r[w] & ~covered[w]));
+    return g;
+  }
+};
+
+// Exact minimum unate covering by branch and bound over the packed rows.
+// Branches on the uncovered requirement with the fewest covering
+// candidates (strongest constraint first), prunes with a covering-rate
+// lower bound, and skips candidates whose uncovered contribution another
+// branch choice dominates.
+class ExactSolver {
+ public:
+  ExactSolver(const CoverMatrix& m, int depth_limit, const CancelToken* cancel)
+      : m_(m),
+        depth_limit_(depth_limit),
+        cancel_(cancel),
+        covered_(m.req_words, 0),
+        cand_of_req_(m.n_req) {
+    for (std::size_t c = 0; c < m_.n_cand; ++c) {
+      const std::uint64_t* row = m_.row(c);
+      max_row_pop_ = std::max(max_row_pop_, m_.gain(c, covered_));
+      for (std::size_t r = 0; r < m_.n_req; ++r)
+        if (row[r / 64] >> (r % 64) & 1) cand_of_req_[r].push_back(c);
+    }
+  }
+
+  std::vector<std::size_t> solve() {
+    recurse(0);
+    return best_;
+  }
+
+ private:
+  void recurse(std::size_t covered_count) {
+    if (cancel_) cancel_->throw_if_cancelled();
+    if (!best_.empty() && chosen_.size() >= best_.size()) return;
+    if (covered_count == m_.n_req) {
+      best_ = chosen_;
+      return;
+    }
+    if (static_cast<int>(chosen_.size()) >= depth_limit_) return;
+    // Even a perfect remaining pick covers at most max_row_pop_ new
+    // requirements per product.
+    if (!best_.empty() && max_row_pop_ > 0) {
+      std::size_t need = (m_.n_req - covered_count + max_row_pop_ - 1) / max_row_pop_;
+      if (chosen_.size() + need >= best_.size()) return;
+    }
+
+    // Branch on the uncovered requirement with the fewest covering
+    // candidates.
+    std::size_t branch_r = m_.n_req;
+    std::size_t branch_width = std::numeric_limits<std::size_t>::max();
+    for (std::size_t r = 0; r < m_.n_req; ++r) {
+      if (covered_[r / 64] >> (r % 64) & 1) continue;
+      if (cand_of_req_[r].size() < branch_width) {
+        branch_width = cand_of_req_[r].size();
+        branch_r = r;
+      }
+    }
+    if (branch_r == m_.n_req || branch_width == 0) return;  // uncoverable
+
+    const auto& options = cand_of_req_[branch_r];
+    std::vector<std::uint64_t> saved = covered_;
+    for (std::size_t oi = 0; oi < options.size(); ++oi) {
+      std::size_t c = options[oi];
+      if (dominated_choice(options, oi)) continue;
+      const std::uint64_t* row = m_.row(c);
+      std::size_t added = 0;
+      for (std::size_t w = 0; w < m_.req_words; ++w) {
+        added += static_cast<std::size_t>(__builtin_popcountll(row[w] & ~covered_[w]));
+        covered_[w] |= row[w];
+      }
+      chosen_.push_back(c);
+      recurse(covered_count + added);
+      chosen_.pop_back();
+      covered_ = saved;
+    }
+  }
+
+  // Among the candidates covering the branch requirement, one whose
+  // uncovered contribution is a strict subset of another's (or an equal
+  // set with a higher index) can never lead to a smaller cover.
+  bool dominated_choice(const std::vector<std::size_t>& options, std::size_t oi) const {
+    const std::uint64_t* a = m_.row(options[oi]);
+    for (std::size_t oj = 0; oj < options.size(); ++oj) {
+      if (oj == oi) continue;
+      const std::uint64_t* b = m_.row(options[oj]);
+      bool subset = true, equal = true;
+      for (std::size_t w = 0; w < m_.req_words && subset; ++w) {
+        std::uint64_t ua = a[w] & ~covered_[w];
+        std::uint64_t ub = b[w] & ~covered_[w];
+        if (ua & ~ub) subset = false;
+        if (ua != ub) equal = false;
+      }
+      if (subset && (!equal || oj < oi)) return true;
+    }
+    return false;
+  }
+
+  const CoverMatrix& m_;
+  int depth_limit_;
+  const CancelToken* cancel_;
+  std::vector<std::uint64_t> covered_;
+  std::vector<std::vector<std::size_t>> cand_of_req_;
+  std::size_t max_row_pop_ = 0;
+  std::vector<std::size_t> chosen_, best_;
+};
 
 }  // namespace
 
 std::vector<Cube> candidate_implicants(const FunctionSpec& f,
                                        const CancelToken* cancel) {
-  std::set<Cube> pool;
-  std::vector<std::size_t> ascending(f.vars), descending(f.vars);
-  for (std::size_t i = 0; i < f.vars; ++i) {
-    ascending[i] = i;
-    descending[i] = f.vars - 1 - i;
-  }
+  SpecCtx s(f);
+  std::vector<Cube> seeds;
+  seeds.reserve(f.required.size());
   for (const auto& r : f.required) {
     if (cancel) cancel->throw_if_cancelled();
-    auto seed = grow_to_valid(f, r);
-    if (!seed) continue;  // unrealizable; reported by the covering step
-    pool.insert(expand(f, *seed, ascending));
-    pool.insert(expand(f, *seed, descending));
-    // Two rotated orders add diversity for medium-size functions.
-    for (std::size_t rot : {f.vars / 3, (2 * f.vars) / 3}) {
-      std::vector<std::size_t> rotated(f.vars);
-      for (std::size_t i = 0; i < f.vars; ++i) rotated[i] = (i + rot) % f.vars;
-      pool.insert(expand(f, *seed, rotated));
-    }
+    Cube seed = r;
+    if (!grow_to_valid(s, seed)) continue;  // unrealizable; reported by covering
+    seeds.push_back(std::move(seed));
   }
-  return {pool.begin(), pool.end()};
+  return candidates_from_seeds(s, seeds, cancel);
 }
-
-namespace {
-
-// Exact minimum unate covering by branch and bound (small instances).
-void exact_cover(const std::vector<std::vector<std::size_t>>& covers_of, std::size_t n_req,
-                 std::vector<std::size_t>& chosen, std::set<std::size_t>& covered,
-                 std::vector<std::size_t>& best, int depth_limit,
-                 const CancelToken* cancel) {
-  if (cancel) cancel->throw_if_cancelled();
-  if (!best.empty() && chosen.size() >= best.size()) return;
-  if (covered.size() == n_req) {
-    best = chosen;
-    return;
-  }
-  if (static_cast<int>(chosen.size()) >= depth_limit) return;
-  // Branch on the first uncovered requirement.
-  std::size_t r = 0;
-  while (covered.count(r)) ++r;
-  for (std::size_t c = 0; c < covers_of.size(); ++c) {
-    if (std::find(covers_of[c].begin(), covers_of[c].end(), r) == covers_of[c].end())
-      continue;
-    std::vector<std::size_t> added;
-    for (std::size_t rr : covers_of[c])
-      if (covered.insert(rr).second) added.push_back(rr);
-    chosen.push_back(c);
-    exact_cover(covers_of, n_req, chosen, covered, best, depth_limit, cancel);
-    chosen.pop_back();
-    for (std::size_t rr : added) covered.erase(rr);
-  }
-}
-
-}  // namespace
 
 CoverResult minimize_hazard_free(const FunctionSpec& f, const CoverOptions& opts) {
+  Fingerprint memo_key;
+  if (opts.memo) {
+    memo_key = spec_fingerprint(f, opts.exact, opts.exact_limit);
+    if (auto hit = opts.memo->lookup(memo_key)) {
+      CoverResult res;
+      res.feasible = hit->feasible;
+      res.products = hit->products;
+      res.issues.reserve(hit->issue_suffixes.size());
+      for (const auto& s : hit->issue_suffixes) res.issues.push_back(f.name + ": " + s);
+      return res;
+    }
+  }
+
   CoverResult res;
+  std::vector<std::string> issue_suffixes;
+  auto finish = [&]() -> CoverResult& {
+    for (const auto& s : issue_suffixes) res.issues.push_back(f.name + ": " + s);
+    if (opts.memo) {
+      auto entry = std::make_shared<LogicMemo::Entry>();
+      entry->feasible = res.feasible;
+      entry->products = res.products;
+      entry->issue_suffixes = std::move(issue_suffixes);
+      opts.memo->fill(memo_key, std::move(entry));
+    }
+    return res;
+  };
+
+  SpecCtx s(f);
 
   // Spec sanity: a required cube whose anchor closure runs into an OFF
   // region cannot be inside any dhf implicant — a genuine contradiction.
-  std::vector<Cube> required;
+  // The successful closures double as the expansion seeds below.
+  std::vector<Cube> required, seeds;
   for (const auto& r : f.required) {
-    if (!grow_to_valid(f, r)) {
+    Cube seed = r;
+    if (!grow_to_valid(s, seed)) {
       res.feasible = false;
-      res.issues.push_back(f.name + ": required cube " + r.to_string() +
-                           " cannot be contained in any dhf implicant");
+      issue_suffixes.push_back("required cube " + r.to_string() +
+                               " cannot be contained in any dhf implicant");
       continue;
     }
     required.push_back(r);
+    seeds.push_back(std::move(seed));
   }
   // Drop required cubes contained in other required cubes.
   std::vector<Cube> reduced;
@@ -135,53 +323,49 @@ CoverResult minimize_hazard_free(const FunctionSpec& f, const CoverOptions& opts
   }
   std::sort(reduced.begin(), reduced.end());
   reduced.erase(std::unique(reduced.begin(), reduced.end()), reduced.end());
-  if (reduced.empty()) return res;  // constant-0 (or fully unrealizable)
+  if (reduced.empty()) return finish();  // constant-0 (or fully unrealizable)
 
-  auto candidates = candidate_implicants(f, opts.cancel);
-  std::vector<std::vector<std::size_t>> covers_of(candidates.size());
-  for (std::size_t c = 0; c < candidates.size(); ++c)
-    for (std::size_t r = 0; r < reduced.size(); ++r)
-      if (candidates[c].contains(reduced[r])) covers_of[c].push_back(r);
+  auto candidates = candidates_from_seeds(s, seeds, opts.cancel);
+  CoverMatrix m(candidates, reduced);
 
   if (opts.exact && reduced.size() <= static_cast<std::size_t>(opts.exact_limit)) {
-    std::vector<std::size_t> chosen, best;
-    std::set<std::size_t> covered;
-    exact_cover(covers_of, reduced.size(), chosen, covered, best,
-                static_cast<int>(reduced.size()) + 1, opts.cancel);
+    ExactSolver solver(m, static_cast<int>(reduced.size()) + 1, opts.cancel);
+    auto best = solver.solve();
     if (!best.empty()) {
       for (std::size_t c : best) res.products.push_back(candidates[c]);
-      return res;
+      return finish();
     }
   }
 
   // Greedy covering: most new requirements per pick, fewest literals on tie.
-  std::set<std::size_t> covered;
-  while (covered.size() < reduced.size()) {
+  std::vector<std::uint64_t> covered(m.req_words, 0);
+  std::size_t covered_count = 0;
+  while (covered_count < m.n_req) {
     if (opts.cancel) opts.cancel->throw_if_cancelled();
-    std::size_t best_c = candidates.size();
+    std::size_t best_c = m.n_cand;
     std::size_t best_gain = 0;
     std::size_t best_lits = std::numeric_limits<std::size_t>::max();
-    for (std::size_t c = 0; c < candidates.size(); ++c) {
-      std::size_t gain = 0;
-      for (std::size_t r : covers_of[c])
-        if (!covered.count(r)) ++gain;
+    for (std::size_t c = 0; c < m.n_cand; ++c) {
+      std::size_t gain = m.gain(c, covered);
       if (gain == 0) continue;
-      std::size_t lits = candidates[c].literal_count();
+      std::size_t lits = m.lits[c];
       if (gain > best_gain || (gain == best_gain && lits < best_lits)) {
         best_c = c;
         best_gain = gain;
         best_lits = lits;
       }
     }
-    if (best_c == candidates.size()) {
+    if (best_c == m.n_cand) {
       res.feasible = false;
-      res.issues.push_back(f.name + ": covering failed (no candidate for a requirement)");
+      issue_suffixes.push_back("covering failed (no candidate for a requirement)");
       break;
     }
     res.products.push_back(candidates[best_c]);
-    for (std::size_t r : covers_of[best_c]) covered.insert(r);
+    const std::uint64_t* row = m.row(best_c);
+    for (std::size_t w = 0; w < m.req_words; ++w) covered[w] |= row[w];
+    covered_count += best_gain;
   }
-  return res;
+  return finish();
 }
 
 }  // namespace adc

@@ -54,6 +54,8 @@ struct CoverResult {
   std::vector<std::string> issues;  // unrealizable required cubes etc.
 };
 
+class LogicMemo;
+
 struct CoverOptions {
   bool exact = false;        // branch-and-bound when the instance is small
   int exact_limit = 18;      // max required cubes for the exact search
@@ -61,6 +63,9 @@ struct CoverOptions {
   // exact branch-and-bound and the greedy covering loop; a tripped token
   // unwinds with CancelledError.  Not owned; null = never cancelled.
   const CancelToken* cancel = nullptr;
+  // Optional cover memo (logic/memo.hpp): identical spec content replays
+  // the stored cover instead of recomputing.  Not owned; null = off.
+  LogicMemo* memo = nullptr;
 };
 
 CoverResult minimize_hazard_free(const FunctionSpec& f, const CoverOptions& opts = {});

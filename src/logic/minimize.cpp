@@ -1,6 +1,9 @@
 #include "logic/minimize.hpp"
 
 #include <set>
+#include <unordered_map>
+
+#include "runtime/thread_pool.hpp"
 
 namespace adc {
 
@@ -126,53 +129,95 @@ FunctionSpec build_function_spec(const ConcreteMachine& cm, const Encoding& enc,
 
 namespace {
 
+struct CubeHash {
+  std::size_t operator()(const Cube& c) const {
+    return static_cast<std::size_t>(c.hash());
+  }
+};
+
 // Minimalist-style product sharing: after the per-function covers exist,
 // try to replace products that only one function uses with dhf implicants
 // another function already pays for — the shared AND plane shrinks while
 // every cover stays hazard-free (each replacement is re-checked against
 // the function's own specification).
+//
+// A swap candidate `q` for product `p` of function fi is acceptable
+// exactly when every hazard-checkable required cube of fi that only `p`
+// covers is also inside `q` — so instead of re-scanning the whole cover
+// per candidate, the pass keeps an incremental per-required cover count,
+// memoizes `implicant_valid` per (function, cube), and continues scanning
+// in place after an accepted swap rather than restarting from function 0
+// (the outer fixpoint loop revisits earlier products on the next sweep).
 void share_products(std::vector<FunctionLogic>& functions,
                     const std::vector<FunctionSpec>& specs) {
-  auto covers_all = [](const FunctionSpec& spec, const std::vector<Cube>& products) {
-    for (const auto& r : spec.required) {
-      if (!implicant_valid(spec, r)) continue;  // reported elsewhere
-      bool ok = false;
-      for (const auto& p : products)
-        if (p.contains(r)) ok = true;
-      if (!ok) return false;
-    }
-    return true;
-  };
+  const std::size_t n_fn = functions.size();
 
-  std::map<Cube, int> use_count;
+  // Requirements that participate in the coverage check — covers_all in
+  // the original pass skipped cubes that are not themselves valid
+  // implicants (they are reported elsewhere).
+  std::vector<std::vector<Cube>> checked_req(n_fn);
+  std::vector<std::vector<int>> cover_cnt(n_fn);
+  for (std::size_t fi = 0; fi < n_fn; ++fi) {
+    for (const auto& r : specs[fi].required)
+      if (implicant_valid(specs[fi], r)) checked_req[fi].push_back(r);
+    cover_cnt[fi].assign(checked_req[fi].size(), 0);
+    for (const auto& p : functions[fi].products)
+      for (std::size_t ri = 0; ri < checked_req[fi].size(); ++ri)
+        if (p.contains(checked_req[fi][ri])) ++cover_cnt[fi][ri];
+  }
+
+  std::unordered_map<Cube, int, CubeHash> use_count;
   for (const auto& f : functions)
     for (const auto& p : f.products) ++use_count[p];
 
+  // implicant_valid(specs[fi], q) is independent of the evolving covers;
+  // compute it once per (function, candidate).
+  std::vector<std::unordered_map<Cube, bool, CubeHash>> valid_memo(n_fn);
+  auto valid_for = [&](std::size_t fi, const Cube& q) {
+    auto [it, fresh] = valid_memo[fi].try_emplace(q, false);
+    if (fresh) it->second = implicant_valid(specs[fi], q);
+    return it->second;
+  };
+
   bool changed = true;
+  std::vector<std::size_t> sole;  // requireds only the current product covers
   while (changed) {
     changed = false;
-    for (std::size_t fi = 0; fi < functions.size(); ++fi) {
+    for (std::size_t fi = 0; fi < n_fn; ++fi) {
       auto& f = functions[fi];
+      const auto& reqs = checked_req[fi];
       for (std::size_t pi = 0; pi < f.products.size(); ++pi) {
-        if (use_count[f.products[pi]] > 1) continue;  // already shared
-        for (std::size_t gi = 0; gi < functions.size() && !changed; ++gi) {
+        const Cube p = f.products[pi];
+        if (use_count[p] > 1) continue;  // already shared
+        sole.clear();
+        for (std::size_t ri = 0; ri < reqs.size(); ++ri)
+          if (cover_cnt[fi][ri] - (p.contains(reqs[ri]) ? 1 : 0) == 0)
+            sole.push_back(ri);
+        bool swapped = false;
+        for (std::size_t gi = 0; gi < n_fn && !swapped; ++gi) {
           if (gi == fi) continue;
           for (const auto& q : functions[gi].products) {
-            if (q == f.products[pi]) continue;
-            if (!implicant_valid(specs[fi], q)) continue;
-            std::vector<Cube> candidate = f.products;
-            candidate[pi] = q;
-            if (!covers_all(specs[fi], candidate)) continue;
-            --use_count[f.products[pi]];
+            if (q == p) continue;
+            if (!valid_for(fi, q)) continue;
+            bool ok = true;
+            for (std::size_t ri : sole)
+              if (!q.contains(reqs[ri])) {
+                ok = false;
+                break;
+              }
+            if (!ok) continue;
+            --use_count[p];
             ++use_count[q];
+            for (std::size_t ri = 0; ri < reqs.size(); ++ri)
+              cover_cnt[fi][ri] += (q.contains(reqs[ri]) ? 1 : 0) -
+                                   (p.contains(reqs[ri]) ? 1 : 0);
             f.products[pi] = q;
+            swapped = true;
             changed = true;
             break;
           }
         }
-        if (changed) break;
       }
-      if (changed) break;
     }
   }
   // Drop duplicates a swap may have created inside one function.
@@ -194,20 +239,43 @@ LogicSynthesisResult synthesize_impl(const Xbm& m, const SignalBindings* binding
   res.machine = concretize(m, bindings);
   res.encoding = assign_codes(res.machine);
 
-  std::vector<FunctionSpec> specs;
-  auto run = [&](bool state_bit, std::size_t index, std::string name) {
+  // The per-function spec builds and minimizations are independent; each
+  // writes its fixed slot, so the pool fan-out below is free to finish
+  // them in any order without perturbing the result.
+  const std::size_t n_out = res.machine.output_names.size();
+  const std::size_t n_fn = n_out + res.encoding.bits;
+  std::vector<FunctionSpec> specs(n_fn);
+  std::vector<std::vector<std::string>> fn_issues(n_fn);
+  res.functions.resize(n_fn);
+
+  auto run = [&](std::size_t fi) {
+    const bool state_bit = fi >= n_out;
+    const std::size_t index = state_bit ? fi - n_out : fi;
+    std::string name =
+        state_bit ? "Y" + std::to_string(index) : res.machine.output_names[index];
+    obs::TraceSpan span(opts.trace, "fn:" + name, "logic");
     FunctionSpec spec =
-        build_function_spec(res.machine, res.encoding, state_bit, index, name);
+        build_function_spec(res.machine, res.encoding, state_bit, index, std::move(name));
     CoverResult cover = minimize_hazard_free(spec, opts.cover);
-    for (const auto& issue : cover.issues) res.issues.push_back(issue);
-    res.functions.push_back(FunctionLogic{spec.name, state_bit, std::move(cover.products)});
-    specs.push_back(std::move(spec));
+    if (span.active()) {
+      span.arg("products", std::uint64_t{cover.products.size()});
+      span.arg("feasible", cover.feasible);
+    }
+    fn_issues[fi] = std::move(cover.issues);
+    res.functions[fi] = FunctionLogic{spec.name, state_bit, std::move(cover.products)};
+    specs[fi] = std::move(spec);
   };
 
-  for (std::size_t o = 0; o < res.machine.output_names.size(); ++o)
-    run(false, o, res.machine.output_names[o]);
-  for (std::size_t b = 0; b < res.encoding.bits; ++b)
-    run(true, b, "Y" + std::to_string(b));
+  if (opts.pool && n_fn > 1) {
+    TaskGroup group(*opts.pool);
+    for (std::size_t fi = 0; fi < n_fn; ++fi)
+      group.submit([&run, fi] { run(fi); });
+    group.wait();
+  } else {
+    for (std::size_t fi = 0; fi < n_fn; ++fi) run(fi);
+  }
+  for (auto& issues : fn_issues)
+    for (auto& issue : issues) res.issues.push_back(std::move(issue));
 
   if (opts.share_products) share_products(res.functions, specs);
   return res;

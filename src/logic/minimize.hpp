@@ -15,15 +15,24 @@
 #include "logic/encoding.hpp"
 #include "logic/flow_table.hpp"
 #include "logic/hazard_free.hpp"
+#include "obs/trace_context.hpp"
 #include "xbm/xbm.hpp"
 
 namespace adc {
+
+class ThreadPool;
 
 struct SynthesisOptions {
   CoverOptions cover;
   // Minimalist-style post-pass: substitute single-user products with dhf
   // implicants another function already pays for.
   bool share_products = true;
+  // Fan the independent per-function minimizations out on this pool (not
+  // owned; null = serial).  Functions land at fixed indices and issues are
+  // merged in function order, so results are identical either way.
+  ThreadPool* pool = nullptr;
+  // Per-function spans ("fn:<name>") land in this trace when active.
+  obs::TraceContext trace;
 };
 
 struct FunctionLogic {

@@ -6,6 +6,7 @@
 #include "extract/extract.hpp"
 #include "frontend/benchmarks.hpp"
 #include "frontend/parser.hpp"
+#include "logic/memo.hpp"
 #include "logic/minimize.hpp"
 #include "ltrans/local.hpp"
 #include "perf/measure.hpp"
@@ -116,6 +117,31 @@ void register_lt() {
   });
 }
 
+// The hazard-free specifications of every DIFFEQ controller function —
+// the shared input of the stage-local logic.* micro-benches below.
+std::shared_ptr<const std::vector<FunctionSpec>> diffeq_specs() {
+  static std::shared_ptr<const std::vector<FunctionSpec>> cached = [] {
+    auto a = diffeq_artifacts();
+    auto v = std::make_shared<std::vector<FunctionSpec>>();
+    for (const auto& inst : a->instances) {
+      ConcreteMachine cm =
+          concretize(inst.controller.machine, &inst.controller.bindings);
+      Encoding enc = assign_codes(cm);
+      const std::size_t n_out = cm.output_names.size();
+      for (std::size_t fi = 0; fi < n_out + enc.bits; ++fi) {
+        const bool state_bit = fi >= n_out;
+        const std::size_t index = state_bit ? fi - n_out : fi;
+        std::string name = state_bit ? "Y" + std::to_string(index)
+                                     : cm.output_names[index];
+        v->push_back(build_function_spec(cm, enc, state_bit, index,
+                                         std::move(name)));
+      }
+    }
+    return v;
+  }();
+  return cached;
+}
+
 void register_logic() {
   add("logic", "logic.minimize_diffeq", [](BenchContext& ctx) {
     auto a = diffeq_artifacts();
@@ -123,6 +149,64 @@ void register_logic() {
     for (const auto& inst : a->instances)
       lits += synthesize_logic(inst.controller).literal_count(true);
     ctx.counters["literals"] = static_cast<double>(lits);
+  });
+  add("logic", "logic.spec_build_diffeq", [](BenchContext& ctx) {
+    auto a = diffeq_artifacts();
+    std::size_t required = 0;
+    for (const auto& inst : a->instances) {
+      ConcreteMachine cm =
+          concretize(inst.controller.machine, &inst.controller.bindings);
+      Encoding enc = assign_codes(cm);
+      const std::size_t n_out = cm.output_names.size();
+      for (std::size_t fi = 0; fi < n_out + enc.bits; ++fi) {
+        const bool state_bit = fi >= n_out;
+        const std::size_t index = state_bit ? fi - n_out : fi;
+        required +=
+            build_function_spec(cm, enc, state_bit, index, "f").required.size();
+      }
+    }
+    ctx.counters["required"] = static_cast<double>(required);
+  });
+  add("logic", "logic.candidates_diffeq", [](BenchContext& ctx) {
+    auto specs = diffeq_specs();
+    std::size_t candidates = 0;
+    for (const auto& f : *specs) candidates += candidate_implicants(f).size();
+    ctx.counters["candidates"] = static_cast<double>(candidates);
+  });
+  add("logic", "logic.cover_greedy_diffeq", [](BenchContext& ctx) {
+    auto specs = diffeq_specs();
+    std::size_t products = 0;
+    for (const auto& f : *specs) products += minimize_hazard_free(f).products.size();
+    ctx.counters["products"] = static_cast<double>(products);
+  });
+  add("logic", "logic.cover_exact_diffeq", [](BenchContext& ctx) {
+    auto specs = diffeq_specs();
+    CoverOptions o;
+    o.exact = true;
+    std::size_t products = 0;
+    for (const auto& f : *specs) products += minimize_hazard_free(f, o).products.size();
+    ctx.counters["products"] = static_cast<double>(products);
+  });
+  add("logic", "logic.memo_warm_diffeq", [](BenchContext& ctx) {
+    // Replay path: every spec is already in the memo, so the iteration
+    // times fingerprint + lookup + cover materialization only.
+    static const std::shared_ptr<LogicMemo> memo = [] {
+      auto m = std::make_shared<LogicMemo>();
+      auto a = diffeq_artifacts();
+      SynthesisOptions sopts;
+      sopts.cover.memo = m.get();
+      for (const auto& inst : a->instances)
+        synthesize_logic(inst.controller, sopts);
+      return m;
+    }();
+    auto a = diffeq_artifacts();
+    SynthesisOptions sopts;
+    sopts.cover.memo = memo.get();
+    std::size_t lits = 0;
+    for (const auto& inst : a->instances)
+      lits += synthesize_logic(inst.controller, sopts).literal_count(true);
+    ctx.counters["literals"] = static_cast<double>(lits);
+    ctx.counters["memo_hits"] = static_cast<double>(memo->stats().hits);
   });
 }
 

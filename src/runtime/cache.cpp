@@ -1,51 +1,6 @@
 #include "runtime/cache.hpp"
 
-#include <cstdio>
-
 namespace adc {
-
-namespace {
-constexpr std::uint64_t kPrimeHi = 0x100000001b3ull;
-constexpr std::uint64_t kPrimeLo = 0x00000100000001b3ull ^ 0x9e3779b97f4a7c15ull;
-}  // namespace
-
-std::string Fingerprint::hex() const {
-  char buf[33];
-  std::snprintf(buf, sizeof buf, "%016llx%016llx", static_cast<unsigned long long>(hi),
-                static_cast<unsigned long long>(lo));
-  return buf;
-}
-
-void FingerprintBuilder::mix(const void* data, std::size_t n) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < n; ++i) {
-    fp_.hi = (fp_.hi ^ p[i]) * kPrimeHi;
-    fp_.lo = (fp_.lo ^ p[i]) * kPrimeLo;
-  }
-}
-
-FingerprintBuilder& FingerprintBuilder::add(const std::string& s) {
-  std::uint64_t len = s.size();
-  mix(&len, sizeof len);  // length-prefix: "ab"+"c" != "a"+"bc"
-  mix(s.data(), s.size());
-  return *this;
-}
-
-FingerprintBuilder& FingerprintBuilder::add(std::int64_t v) {
-  mix(&v, sizeof v);
-  return *this;
-}
-
-FingerprintBuilder& FingerprintBuilder::add(std::uint64_t v) {
-  mix(&v, sizeof v);
-  return *this;
-}
-
-FingerprintBuilder& FingerprintBuilder::add(const Fingerprint& f) {
-  mix(&f.hi, sizeof f.hi);
-  mix(&f.lo, sizeof f.lo);
-  return *this;
-}
 
 std::pair<bool, std::shared_future<StageCache::Any>> StageCache::lookup_or_claim(
     const Fingerprint& key) {

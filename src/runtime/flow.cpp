@@ -87,6 +87,13 @@ FlowExecutor::FlowExecutor(ThreadPool* pool, Options opts)
   if (!opts_.disk_cache_dir.empty())
     disk_ = std::make_unique<DiskCache>(opts_.disk_cache_dir,
                                         opts_.disk_cache_bytes);
+  // The cover memo shares the point cache's persistent directory: its
+  // `logic-*` entries ride the same ADCK envelope, LRU budget and
+  // adc_obs_check --cache-dir audit.  cache_capacity == 0 turns it off
+  // along with the stage cache.
+  logic_memo_ = std::make_unique<LogicMemo>(
+      opts_.cache_capacity > 0 ? std::size_t{4096} : std::size_t{0});
+  logic_memo_->attach_disk(disk_.get());
 }
 
 std::shared_ptr<const Cdfg> FlowExecutor::frontend_stage(const FlowRequest& req,
@@ -227,6 +234,12 @@ std::shared_ptr<const ControllerSet> FlowExecutor::controller_stage(
         // they poll the job token so a deadline can unwind them.
         SynthesisOptions sopts;
         sopts.cover.cancel = &cancel;
+        sopts.cover.memo = logic_memo_.get();
+        // Per-function fan-out nests inside the per-controller TaskGroup;
+        // both groups only join their own subtasks, so the nesting cannot
+        // deadlock or bill foreign work to this stage's deadline.
+        if (opts_.fan_out_controllers) sopts.pool = pool_;
+        sopts.trace = ocspan2.context();
         auto logic = synthesize_logic(c, sopts);
         m.products = logic.product_count(true);
         m.literals = logic.literal_count(true);
@@ -273,10 +286,24 @@ void FlowExecutor::sample_gauges() {
   // serve `stats`/`metrics` ops) sees one instant — never disk.hits from
   // this sample next to disk.misses from the previous one.
   std::vector<std::pair<std::string, std::int64_t>> batch;
-  batch.reserve(9);
+  batch.reserve(16);
   batch.emplace_back("cache.entries", static_cast<std::int64_t>(cs.entries));
   batch.emplace_back("cache.bytes", static_cast<std::int64_t>(cs.bytes));
   batch.emplace_back("pool.pending", pending);
+  {
+    LogicMemo::Stats ms = logic_memo_->stats();
+    batch.emplace_back("logic.memo.hits", static_cast<std::int64_t>(ms.hits));
+    batch.emplace_back("logic.memo.disk_hits",
+                       static_cast<std::int64_t>(ms.disk_hits));
+    batch.emplace_back("logic.memo.misses", static_cast<std::int64_t>(ms.misses));
+    batch.emplace_back("logic.memo.fills", static_cast<std::int64_t>(ms.fills));
+    batch.emplace_back("logic.memo.fill_errors",
+                       static_cast<std::int64_t>(ms.fill_errors));
+    batch.emplace_back("logic.memo.disk_corrupt",
+                       static_cast<std::int64_t>(ms.disk_corrupt));
+    batch.emplace_back("logic.memo.entries",
+                       static_cast<std::int64_t>(ms.entries));
+  }
   if (disk_) {
     // The persistent tier's counters, mirrored into every --json metrics
     // section (and the serve stats op) so cache sharing is observable.
@@ -290,9 +317,9 @@ void FlowExecutor::sample_gauges() {
   }
   metrics_.update_gauges(batch);
   if (opts_.tracer) {
-    opts_.tracer->counter("cache.entries", static_cast<std::int64_t>(cs.entries));
-    opts_.tracer->counter("cache.bytes", static_cast<std::int64_t>(cs.bytes));
-    opts_.tracer->counter("pool.pending", pending);
+    // The gauge batch doubles as the counter-track sample; disk.* tracks
+    // only appear once a persistent tier is attached, matching the gauges.
+    for (const auto& [name, value] : batch) opts_.tracer->counter(name, value);
   }
 }
 

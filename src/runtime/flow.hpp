@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "cdfg/cdfg.hpp"
+#include "logic/memo.hpp"
 #include "obs/trace_context.hpp"
 #include "runtime/cache.hpp"
 #include "runtime/cancel.hpp"
@@ -208,6 +209,9 @@ class FlowExecutor {
   const StageCache& cache() const { return cache_; }
   // Null unless Options::disk_cache_dir was set.
   DiskCache* disk_cache() { return disk_.get(); }
+  // Content-addressed cover memo shared by every run of this executor
+  // (capacity 0 when stage caching is disabled).
+  LogicMemo& logic_memo() { return *logic_memo_; }
   ThreadPool* pool() const { return pool_; }
 
  private:
@@ -237,6 +241,7 @@ class FlowExecutor {
   Options opts_;
   StageCache cache_;
   std::unique_ptr<DiskCache> disk_;
+  std::unique_ptr<LogicMemo> logic_memo_;
   MetricsRegistry metrics_;
 };
 

@@ -242,6 +242,18 @@ void ServeServer::register_instruments() {
   registry_.gauge("serve.flow.timeouts", {}, "jobs unwound by a deadline watchdog");
   registry_.gauge("serve.flow.faults", {}, "jobs stopped by an injected fault");
   registry_.gauge("serve.flow.deadlocks", {}, "jobs whose event simulation stalled");
+  // The executor's content-addressed cover memo (logic/memo.hpp): repeated
+  // function specifications replay their minimized cover instead of
+  // re-running candidate generation + covering.
+  registry_.gauge("logic.memo.hits", {}, "cover-memo replays from memory");
+  registry_.gauge("logic.memo.disk_hits", {}, "cover-memo replays from the disk tier");
+  registry_.gauge("logic.memo.misses", {}, "cover-memo lookups that ran the minimizer");
+  registry_.gauge("logic.memo.fills", {}, "covers computed and stored in the memo");
+  registry_.gauge("logic.memo.fill_errors", {},
+                  "memo fills abandoned (injected fault or bad payload)");
+  registry_.gauge("logic.memo.disk_corrupt", {},
+                  "torn disk memo entries detected and evicted");
+  registry_.gauge("logic.memo.entries", {}, "memo entries resident in memory");
 }
 
 void ServeServer::sample_observability() {
@@ -287,6 +299,17 @@ void ServeServer::sample_observability() {
   registry_.gauge("serve.flow.timeouts").set(exec_count("flow.timeouts"));
   registry_.gauge("serve.flow.faults").set(exec_count("flow.faults"));
   registry_.gauge("serve.flow.deadlocks").set(exec_count("flow.deadlocks"));
+  LogicMemo::Stats ms = exec_->logic_memo().stats();
+  registry_.gauge("logic.memo.hits").set(static_cast<std::int64_t>(ms.hits));
+  registry_.gauge("logic.memo.disk_hits")
+      .set(static_cast<std::int64_t>(ms.disk_hits));
+  registry_.gauge("logic.memo.misses").set(static_cast<std::int64_t>(ms.misses));
+  registry_.gauge("logic.memo.fills").set(static_cast<std::int64_t>(ms.fills));
+  registry_.gauge("logic.memo.fill_errors")
+      .set(static_cast<std::int64_t>(ms.fill_errors));
+  registry_.gauge("logic.memo.disk_corrupt")
+      .set(static_cast<std::int64_t>(ms.disk_corrupt));
+  registry_.gauge("logic.memo.entries").set(static_cast<std::int64_t>(ms.entries));
 }
 
 void ServeServer::sampler_loop() {

@@ -19,14 +19,20 @@ struct Entry {
   bool done = false;
 };
 
+// Both singletons are intentionally leaked: the atexit hook below runs
+// interleaved with static destructors, and the first touch of registry()
+// happens *after* install_flush_handlers() registers that hook — so a
+// function-local static vector would be destroyed before the hook reads
+// it (LIFO). A never-destroyed heap object is immune to the ordering and
+// stays reachable through the static pointer, so LeakSanitizer is quiet.
 std::mutex& registry_mu() {
-  static std::mutex mu;
-  return mu;
+  static std::mutex* mu = new std::mutex;
+  return *mu;
 }
 
 std::vector<Entry>& registry() {
-  static std::vector<Entry> entries;
-  return entries;
+  static std::vector<Entry>* entries = new std::vector<Entry>;
+  return *entries;
 }
 
 void run_all_locked_once() {

@@ -86,23 +86,26 @@ TransformResult gt4_merge_assignments(Cdfg& g) {
 
           res.note("merged '" + v.label() + "' into '" + s.label() + "' on " +
                    g.fu(fu).name);
-          // merge_nodes drops the arcs between the pair (they would become
-          // self-arcs); count them so the arc ledger stays balanced.
-          int collapsed = 0;
-          for (ArcId aid : g.in_arcs(order[i]))
-            if (g.arc(aid).src == order[j]) ++collapsed;
-          for (ArcId aid : g.out_arcs(order[i]))
-            if (g.arc(aid).dst == order[j]) ++collapsed;
+          // merge_nodes drops the arcs between the pair outright (they
+          // would become self-arcs) and a rerouted arc can fold into an
+          // already-existing one (add_arc dedupes), so the net removal is
+          // not derivable from the pair's arcs alone — measure it, so the
+          // arc ledger stays balanced.  Labels are captured first: the
+          // merge moves the assignment's statements into the host.
+          std::string assign_label = v.label();
+          std::string host_label = s.label();
+          std::size_t live_before = g.live_arc_count();
+          g.merge_nodes(order[j], order[i]);
+          int removed = static_cast<int>(live_before - g.live_arc_count());
           res.decide("gt4", "assignments_merged")
               .merged_nodes()
-              .removed(collapsed)
-              .field("assign", v.label())
-              .field("host", s.label())
+              .removed(removed)
+              .field("assign", assign_label)
+              .field("host", host_label)
               .field("fu", g.fu(fu).name)
-              .field("arcs_collapsed", static_cast<std::int64_t>(collapsed));
-          g.merge_nodes(order[j], order[i]);
+              .field("arcs_removed", static_cast<std::int64_t>(removed));
           ++res.nodes_merged;
-          res.arcs_removed += collapsed;
+          res.arcs_removed += removed;
           changed = true;
           break;
         }

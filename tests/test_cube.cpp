@@ -3,6 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+#include <set>
+#include <utility>
+#include <vector>
+
 #include "logic/cube.hpp"
 
 namespace adc {
@@ -107,6 +112,183 @@ TEST_P(CubeWidth, WordBoundarySafety) {
 
 INSTANTIATE_TEST_SUITE_P(Widths, CubeWidth,
                          ::testing::Values(1, 7, 63, 64, 65, 100, 127, 128, 130));
+
+// --- differential property tests ------------------------------------------
+// A naive per-variable reference model pitted against the word-parallel
+// kernels on randomized cubes.  Widths straddle both the word boundary
+// (63/64/65) and the inline-storage boundary (128/129).
+
+struct RefCube {
+  std::vector<Cube::V> v;
+
+  static RefCube from(const Cube& c) {
+    RefCube r;
+    r.v.resize(c.var_count());
+    for (std::size_t i = 0; i < c.var_count(); ++i) r.v[i] = c.get(i);
+    return r;
+  }
+  static bool allows0(Cube::V x) { return x == Cube::V::kZero || x == Cube::V::kFree; }
+  static bool allows1(Cube::V x) { return x == Cube::V::kOne || x == Cube::V::kFree; }
+
+  bool valid() const {
+    for (auto x : v)
+      if (x == Cube::V::kEmpty) return false;
+    return true;
+  }
+  std::size_t literal_count() const {
+    std::size_t n = 0;
+    for (auto x : v) n += (x == Cube::V::kZero || x == Cube::V::kOne);
+    return n;
+  }
+  bool contains(const RefCube& o) const {
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (allows0(o.v[i]) && !allows0(v[i])) return false;
+      if (allows1(o.v[i]) && !allows1(v[i])) return false;
+    }
+    return true;
+  }
+  bool intersects(const RefCube& o) const {
+    for (std::size_t i = 0; i < v.size(); ++i)
+      if (!(allows0(v[i]) && allows0(o.v[i])) && !(allows1(v[i]) && allows1(o.v[i])))
+        return false;
+    return true;
+  }
+  RefCube intersect(const RefCube& o) const {
+    RefCube r;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      bool c0 = allows0(v[i]) && allows0(o.v[i]);
+      bool c1 = allows1(v[i]) && allows1(o.v[i]);
+      r.v.push_back(c0 && c1 ? Cube::V::kFree
+                             : c0 ? Cube::V::kZero
+                                  : c1 ? Cube::V::kOne : Cube::V::kEmpty);
+    }
+    return r;
+  }
+  RefCube supercube(const RefCube& o) const {
+    RefCube r;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      bool c0 = allows0(v[i]) || allows0(o.v[i]);
+      bool c1 = allows1(v[i]) || allows1(o.v[i]);
+      r.v.push_back(c0 && c1 ? Cube::V::kFree
+                             : c0 ? Cube::V::kZero
+                                  : c1 ? Cube::V::kOne : Cube::V::kEmpty);
+    }
+    return r;
+  }
+  // The canonical order: can0 mask words ascending, then can1 — rebuilt
+  // here bit by bit, independent of the kernel's memcmp-style loop.
+  std::pair<std::vector<std::uint64_t>, std::vector<std::uint64_t>> masks() const {
+    std::size_t words = (v.size() + 63) / 64;
+    std::vector<std::uint64_t> can0(words, 0), can1(words, 0);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (allows0(v[i])) can0[i / 64] |= std::uint64_t{1} << (i % 64);
+      if (allows1(v[i])) can1[i / 64] |= std::uint64_t{1} << (i % 64);
+    }
+    return {can0, can1};
+  }
+  bool less(const RefCube& o) const {
+    auto a = masks(), b = o.masks();
+    if (a.first != b.first) return a.first < b.first;
+    return a.second < b.second;
+  }
+  bool equal(const RefCube& o) const { return v == o.v; }
+};
+
+class CubeDifferential : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  // Random cube biased toward overlap so intersects()/contains() exercise
+  // both outcomes (an unbiased pair of wide cubes almost always meets).
+  static Cube random_cube(std::size_t n, std::mt19937& rng) {
+    Cube c(n);
+    std::uniform_int_distribution<int> pick(0, 5);
+    for (std::size_t i = 0; i < n; ++i) {
+      switch (pick(rng)) {
+        case 0: c.set(i, Cube::V::kZero); break;
+        case 1: c.set(i, Cube::V::kOne); break;
+        default: break;  // leave free
+      }
+    }
+    return c;
+  }
+};
+
+TEST_P(CubeDifferential, KernelsMatchNaiveReference) {
+  const std::size_t n = GetParam();
+  std::mt19937 rng(0xadc0de + static_cast<unsigned>(n));
+  for (int iter = 0; iter < 200; ++iter) {
+    Cube a = random_cube(n, rng);
+    Cube b = random_cube(n, rng);
+    RefCube ra = RefCube::from(a), rb = RefCube::from(b);
+
+    EXPECT_EQ(a.valid(), ra.valid());
+    EXPECT_EQ(a.literal_count(), ra.literal_count());
+    EXPECT_EQ(a.contains(b), ra.contains(rb));
+    EXPECT_EQ(b.contains(a), rb.contains(ra));
+    EXPECT_EQ(a.intersects(b), ra.intersects(rb));
+    EXPECT_EQ(a == b, ra.equal(rb));
+    EXPECT_EQ(a < b, ra.less(rb));
+    EXPECT_EQ(b < a, rb.less(ra));
+
+    EXPECT_TRUE(RefCube::from(a.intersect(b)).equal(ra.intersect(rb)));
+    EXPECT_TRUE(RefCube::from(a.supercube(b)).equal(ra.supercube(rb)));
+
+    // In-place variants match the value-returning ones.
+    Cube ai = a;
+    ai.intersect_with(b);
+    EXPECT_TRUE(ai == a.intersect(b));
+    Cube as = a;
+    as.supercube_with(b);
+    EXPECT_TRUE(as == a.supercube(b));
+
+    // Algebraic identities.
+    EXPECT_TRUE(a.supercube(b).contains(a));
+    EXPECT_TRUE(a.supercube(b).contains(b));
+    if (a.intersect(b).valid()) {
+      EXPECT_TRUE(a.intersects(b));
+      EXPECT_TRUE(a.contains(a.intersect(b)));
+    }
+  }
+}
+
+TEST_P(CubeDifferential, HashEqualityAndCopySemantics) {
+  const std::size_t n = GetParam();
+  std::mt19937 rng(0xbeef + static_cast<unsigned>(n));
+  for (int iter = 0; iter < 100; ++iter) {
+    Cube a = random_cube(n, rng);
+    Cube copy = a;
+    EXPECT_TRUE(copy == a);
+    EXPECT_EQ(copy.hash(), a.hash());
+    Cube moved = std::move(copy);
+    EXPECT_TRUE(moved == a);
+    // Mutating the copy never aliases the original (heap path included).
+    if (n > 0) {
+      Cube mutant = a;
+      mutant.set(n - 1, a.get(n - 1) == Cube::V::kZero ? Cube::V::kOne
+                                                       : Cube::V::kZero);
+      EXPECT_FALSE(mutant == a);
+      EXPECT_TRUE(moved == a);
+    }
+  }
+}
+
+TEST_P(CubeDifferential, CubeSetMatchesStdSet) {
+  const std::size_t n = GetParam();
+  std::mt19937 rng(0xf00d + static_cast<unsigned>(n));
+  CubeSet pool;
+  std::set<Cube> ref;
+  for (int iter = 0; iter < 300; ++iter) {
+    Cube c = random_cube(n, rng);
+    EXPECT_EQ(pool.insert(c), ref.insert(c).second);
+  }
+  EXPECT_EQ(pool.size(), ref.size());
+  std::vector<Cube> sorted = pool.sorted();
+  ASSERT_EQ(sorted.size(), ref.size());
+  std::size_t i = 0;
+  for (const auto& c : ref) EXPECT_TRUE(sorted[i++] == c);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, CubeDifferential,
+                         ::testing::Values(1, 5, 63, 64, 65, 127, 128, 129, 200));
 
 }  // namespace
 }  // namespace adc

@@ -581,12 +581,15 @@ JsonValue fetch_trace(ServeClient& cl, std::uint64_t id) {
 // the tree invariants every consumer relies on: a single root named
 // "job", every parent id resolving, one trace id throughout.
 struct SpanTree {
+  // Owns the reply: by_id/root point into it, and call sites pass
+  // fetch_trace(...) temporaries directly.
+  JsonValue doc;
   std::map<std::uint64_t, const JsonValue*> by_id;
   const JsonValue* root = nullptr;
   std::string trace_id;
 
-  explicit SpanTree(const JsonValue& trace_reply) {
-    const JsonValue* trace = trace_reply.find("trace");
+  explicit SpanTree(JsonValue trace_reply) : doc(std::move(trace_reply)) {
+    const JsonValue* trace = doc.find("trace");
     if (!trace) return;
     const JsonValue* events = trace->find("traceEvents");
     if (!events || !events->is_array()) return;
