@@ -1,0 +1,34 @@
+#pragma once
+// Builds PointProfiles/DseProfiles from evaluated FlowPoints — the bridge
+// from the runtime onto the dependency-light profile schema
+// (analysis/profile.hpp).  Joins the critical-path attribution already on
+// the point with the area model's transistor estimates, the recipe steps
+// and the provenance decision tally.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/profile.hpp"
+
+namespace adc {
+
+struct FlowPoint;
+
+namespace analysis {
+
+// The control-area transistor estimate for one evaluated point:
+// per-controller area-model numbers plus the 6-transistor-per-channel
+// ready-wire transition detectors.  Works on any completed point (the
+// gate metrics ride ControllerMetrics, so disk-replayed points count too).
+std::size_t point_area_transistors(const FlowPoint& p);
+
+// One point's profile.  `index` is the point's position in the grid.
+PointProfile build_point_profile(const FlowPoint& p, std::size_t index);
+
+// The full store: every point profiled + the grid analyses.
+DseProfile build_dse_profile(const std::vector<FlowPoint>& points,
+                             const std::string& tool, std::size_t top_k = 5);
+
+}  // namespace analysis
+}  // namespace adc

@@ -1,0 +1,230 @@
+#include "analysis/explain.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+#include "report/json.hpp"
+
+namespace adc {
+namespace analysis {
+
+namespace {
+
+void diff_maps(const std::map<std::string, std::int64_t>& a,
+               const std::map<std::string, std::int64_t>& b,
+               const std::string& kind, std::size_t top_k,
+               std::vector<SegmentDelta>& out) {
+  std::map<std::string, SegmentDelta> merged;
+  for (const auto& [name, ticks] : a) {
+    auto& d = merged[name];
+    d.kind = kind;
+    d.name = name;
+    d.a_ticks = ticks;
+  }
+  for (const auto& [name, ticks] : b) {
+    auto& d = merged[name];
+    d.kind = kind;
+    d.name = name;
+    d.b_ticks = ticks;
+  }
+  std::vector<SegmentDelta> rows;
+  for (auto& [name, d] : merged) {
+    (void)name;
+    d.delta = d.b_ticks - d.a_ticks;
+    if (d.delta != 0) rows.push_back(std::move(d));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const SegmentDelta& x, const SegmentDelta& y) {
+              auto ax = std::llabs(x.delta), ay = std::llabs(y.delta);
+              if (ax != ay) return ax > ay;
+              return x.name < y.name;
+            });
+  if (rows.size() > top_k) rows.resize(top_k);
+  for (auto& r : rows) out.push_back(std::move(r));
+}
+
+// Order-insensitive multiset difference of recipe steps.
+std::vector<std::string> steps_only_in(const std::vector<std::string>& a,
+                                       const std::vector<std::string>& b) {
+  std::map<std::string, int> counts;
+  for (const auto& s : b) ++counts[s];
+  std::vector<std::string> out;
+  for (const auto& s : a)
+    if (--counts[s] < 0) out.push_back(s);
+  return out;
+}
+
+std::string join(const std::vector<std::string>& v) {
+  std::string out;
+  for (const auto& s : v) {
+    if (!out.empty()) out += ", ";
+    out += s;
+  }
+  return out;
+}
+
+std::vector<std::string> with_prefix(const std::vector<std::string>& steps,
+                                     const char* prefix) {
+  std::vector<std::string> out;
+  for (const auto& s : steps)
+    if (s.rfind(prefix, 0) == 0) out.push_back(s);
+  return out;
+}
+
+}  // namespace
+
+ExplainReport explain_points(const PointProfile& a, const PointProfile& b,
+                             std::size_t top_k) {
+  ExplainReport r;
+  r.a_index = a.index;
+  r.b_index = b.index;
+  r.a_script = a.script;
+  r.b_script = b.script;
+  r.a_cycle = a.cycle_time;
+  r.b_cycle = b.cycle_time;
+  r.cycle_delta = b.cycle_time - a.cycle_time;
+
+  diff_maps(a.by_phase, b.by_phase, "phase", top_k, r.deltas);
+  diff_maps(a.by_channel, b.by_channel, "channel", top_k, r.deltas);
+  diff_maps(a.by_controller, b.by_controller, "controller", top_k, r.deltas);
+
+  r.only_a = steps_only_in(a.recipe, b.recipe);
+  r.only_b = steps_only_in(b.recipe, a.recipe);
+
+  {
+    std::map<std::string, std::int64_t> da, db;
+    for (const auto& [k, v] : a.decisions) da[k] = static_cast<std::int64_t>(v);
+    for (const auto& [k, v] : b.decisions) db[k] = static_cast<std::int64_t>(v);
+    diff_maps(da, db, "decision", top_k, r.decisions);
+  }
+
+  // Attribution: tie each major segment delta to the recipe steps and
+  // provenance decisions that differ.  Channel/request-wait movement is
+  // the GT family's doing (graph transforms reshape who waits on whom);
+  // micro-op/controller-internal movement is LT's; op-phase movement is
+  // the datapath and no control decision explains it.
+  const auto gt_a = with_prefix(r.only_a, "gt");
+  const auto gt_b = with_prefix(r.only_b, "gt");
+  const auto lt_a = with_prefix(r.only_a, "lt");
+  const auto lt_b = with_prefix(r.only_b, "lt");
+  auto decisions_for = [&](const char* prefix) {
+    std::vector<std::string> out;
+    for (const auto& d : r.decisions)
+      if (d.name.rfind(prefix, 0) == 0)
+        out.push_back(d.name + (d.delta > 0 ? "+" : "") +
+                      std::to_string(d.delta));
+    return out;
+  };
+  auto blame = [&](const SegmentDelta& d) {
+    std::ostringstream os;
+    const char* who = d.delta > 0 ? "B" : "A";
+    os << who << " spends " << std::llabs(d.delta) << " more ticks in "
+       << d.kind << " '" << d.name << "'";
+    if (d.kind == "channel" ||
+        (d.kind == "phase" && d.name == "request-wait")) {
+      os << " — request waits reshaped by graph transforms";
+      std::vector<std::string> steps;
+      if (!gt_a.empty()) steps.push_back("only A: " + join(gt_a));
+      if (!gt_b.empty()) steps.push_back("only B: " + join(gt_b));
+      if (!steps.empty()) os << " (" << join(steps) << ")";
+      auto dec = decisions_for("gt");
+      if (!dec.empty()) os << "; decision deltas: " << join(dec);
+    } else if (d.kind == "phase" && d.name == "op") {
+      os << " — datapath compute; not a control decision";
+    } else {
+      os << " — controller-internal control overhead";
+      std::vector<std::string> steps;
+      if (!lt_a.empty()) steps.push_back("only A: " + join(lt_a));
+      if (!lt_b.empty()) steps.push_back("only B: " + join(lt_b));
+      if (!steps.empty()) os << " (" << join(steps) << ")";
+      auto dec = decisions_for("lt");
+      if (!dec.empty()) os << "; decision deltas: " << join(dec);
+    }
+    r.attribution.push_back(os.str());
+  };
+  std::size_t named = 0;
+  for (const auto& d : r.deltas) {
+    if (d.kind == "controller") continue;  // channels/phases tell the story
+    blame(d);
+    if (++named >= top_k) break;
+  }
+  if (r.attribution.empty() && r.cycle_delta != 0)
+    r.attribution.push_back(
+        "cycle times differ but no attributed segment moved — rerun both "
+        "points with --critical-path to capture segments");
+  return r;
+}
+
+std::string ExplainReport::to_table() const {
+  std::ostringstream os;
+  os << "explain: point A #" << a_index << " [" << a_script << "]\n"
+     << "         point B #" << b_index << " [" << b_script << "]\n"
+     << "cycle time: A=" << a_cycle << " B=" << b_cycle << " delta="
+     << (cycle_delta > 0 ? "+" : "") << cycle_delta << "\n";
+  if (!only_a.empty()) os << "steps only in A: " << join(only_a) << "\n";
+  if (!only_b.empty()) os << "steps only in B: " << join(only_b) << "\n";
+  if (!deltas.empty()) {
+    os << "segment deltas (B - A):\n";
+    for (const auto& d : deltas)
+      os << "  " << (d.delta > 0 ? "+" : "") << d.delta << "  " << d.kind
+         << " '" << d.name << "' (" << d.a_ticks << " -> " << d.b_ticks
+         << ")\n";
+  }
+  if (!decisions.empty()) {
+    os << "decision deltas (B - A):\n";
+    for (const auto& d : decisions)
+      os << "  " << (d.delta > 0 ? "+" : "") << d.delta << "  " << d.name
+         << "\n";
+  }
+  if (!attribution.empty()) {
+    os << "attribution:\n";
+    for (const auto& line : attribution) os << "  " << line << "\n";
+  }
+  return os.str();
+}
+
+void write_json(JsonWriter& w, const ExplainReport& r) {
+  auto write_delta = [&](const SegmentDelta& d) {
+    w.begin_object();
+    w.kv("kind", d.kind);
+    w.kv("name", d.name);
+    w.kv("a_ticks", d.a_ticks);
+    w.kv("b_ticks", d.b_ticks);
+    w.kv("delta", d.delta);
+    w.end_object();
+  };
+  w.begin_object();
+  w.kv("a_index", static_cast<std::uint64_t>(r.a_index));
+  w.kv("b_index", static_cast<std::uint64_t>(r.b_index));
+  w.kv("a_script", r.a_script);
+  w.kv("b_script", r.b_script);
+  w.kv("a_cycle", r.a_cycle);
+  w.kv("b_cycle", r.b_cycle);
+  w.kv("cycle_delta", r.cycle_delta);
+  w.key("deltas");
+  w.begin_array();
+  for (const auto& d : r.deltas) write_delta(d);
+  w.end_array();
+  w.key("only_a");
+  w.begin_array();
+  for (const auto& s : r.only_a) w.value(s);
+  w.end_array();
+  w.key("only_b");
+  w.begin_array();
+  for (const auto& s : r.only_b) w.value(s);
+  w.end_array();
+  w.key("decisions");
+  w.begin_array();
+  for (const auto& d : r.decisions) write_delta(d);
+  w.end_array();
+  w.key("attribution");
+  w.begin_array();
+  for (const auto& s : r.attribution) w.value(s);
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace analysis
+}  // namespace adc

@@ -1,0 +1,54 @@
+#pragma once
+// Differential explain: diff two PointProfiles' segment trees and
+// attribute each latency delta to the transform decisions that differ
+// between their recipes.  Backs `adc_dse --explain A:B` and
+// `adc_synth --explain-vs`.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/profile.hpp"
+
+namespace adc {
+
+class JsonWriter;
+
+namespace analysis {
+
+// One segment whose attributed latency differs between the two points.
+// delta = ticks(b) - ticks(a): positive means b spends more time here.
+struct SegmentDelta {
+  std::string kind;  // "phase" | "controller" | "channel"
+  std::string name;
+  std::int64_t a_ticks = 0;
+  std::int64_t b_ticks = 0;
+  std::int64_t delta = 0;
+};
+
+struct ExplainReport {
+  std::size_t a_index = 0;
+  std::size_t b_index = 0;
+  std::string a_script;
+  std::string b_script;
+  std::int64_t a_cycle = 0;
+  std::int64_t b_cycle = 0;
+  std::int64_t cycle_delta = 0;  // b - a
+
+  std::vector<SegmentDelta> deltas;      // |delta| descending
+  std::vector<std::string> only_a;       // recipe steps unique to a
+  std::vector<std::string> only_b;       // recipe steps unique to b
+  std::vector<SegmentDelta> decisions;   // provenance decision-count deltas
+  std::vector<std::string> attribution;  // human sentences: delta -> decision
+
+  std::string to_table() const;
+};
+
+// Builds the diff.  top_k bounds the segment-delta list per kind.
+ExplainReport explain_points(const PointProfile& a, const PointProfile& b,
+                             std::size_t top_k = 8);
+
+void write_json(JsonWriter& w, const ExplainReport& r);
+
+}  // namespace analysis
+}  // namespace adc

@@ -1,0 +1,195 @@
+#include "analysis/grid.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace adc {
+namespace analysis {
+
+namespace {
+
+struct Tally {
+  std::int64_t ticks = 0;
+  std::size_t points = 0;
+};
+
+std::vector<BottleneckRow> rank(const std::map<std::string, Tally>& tallies) {
+  std::vector<BottleneckRow> rows;
+  rows.reserve(tallies.size());
+  for (const auto& [name, t] : tallies) rows.push_back({name, t.ticks, t.points});
+  std::sort(rows.begin(), rows.end(), [](const BottleneckRow& a,
+                                         const BottleneckRow& b) {
+    if (a.ticks != b.ticks) return a.ticks > b.ticks;
+    return a.name < b.name;
+  });
+  return rows;
+}
+
+// a dominates b: no worse on both axes, strictly better on one.
+bool dominates(const FrontierEntry& a, const FrontierEntry& b) {
+  return a.area_transistors <= b.area_transistors &&
+         a.cycle_time <= b.cycle_time &&
+         (a.area_transistors < b.area_transistors ||
+          a.cycle_time < b.cycle_time);
+}
+
+}  // namespace
+
+GridAnalysis analyze_grid(const std::vector<PointProfile>& points,
+                          std::size_t top_k) {
+  GridAnalysis g;
+
+  // Bottleneck tallies across every point that carries attribution.
+  std::map<std::string, Tally> channels;
+  std::map<std::string, Tally> controllers;
+  // Which phase dominates each controller's attributed time, grid-wide —
+  // drives whether a suggestion blames the control logic or the datapath.
+  std::map<std::string, std::map<std::string, std::int64_t>> controller_phase;
+  for (const auto& p : points) {
+    if (!p.has_attribution) continue;
+    for (const auto& [name, ticks] : p.by_channel) {
+      channels[name].ticks += ticks;
+      channels[name].points += 1;
+    }
+    for (const auto& [name, ticks] : p.by_controller) {
+      controllers[name].ticks += ticks;
+      controllers[name].points += 1;
+    }
+    for (const auto& [key, ticks] : p.by_controller_phase) {
+      auto slash = key.find('/');
+      if (slash == std::string::npos) continue;
+      controller_phase[key.substr(0, slash)][key.substr(slash + 1)] += ticks;
+    }
+  }
+  g.channels = rank(channels);
+  g.controllers = rank(controllers);
+
+  // Pareto frontier over (area, cycle time), simulated ok points only.
+  std::vector<FrontierEntry> candidates;
+  for (const auto& p : points)
+    if (p.ok && p.cycle_time > 0)
+      candidates.push_back({p.index, p.area_transistors, p.cycle_time});
+  for (const auto& c : candidates) {
+    bool dominated = false;
+    for (const auto& other : candidates)
+      if (dominates(other, c)) {
+        dominated = true;
+        break;
+      }
+    if (!dominated) g.frontier.push_back(c);
+  }
+  std::sort(g.frontier.begin(), g.frontier.end(),
+            [](const FrontierEntry& a, const FrontierEntry& b) {
+              if (a.cycle_time != b.cycle_time)
+                return a.cycle_time < b.cycle_time;
+              if (a.area_transistors != b.area_transistors)
+                return a.area_transistors < b.area_transistors;
+              return a.index < b.index;
+            });
+  for (const auto& c : candidates) {
+    const FrontierEntry* by = nullptr;
+    for (const auto& f : g.frontier)
+      if (f.index != c.index && dominates(f, c)) {
+        by = &f;  // frontier is sorted fastest-first, first hit wins
+        break;
+      }
+    if (by) g.dominated.push_back({c.index, by->index});
+  }
+  std::sort(g.dominated.begin(), g.dominated.end(),
+            [](const DominatedEntry& a, const DominatedEntry& b) {
+              return a.index < b.index;
+            });
+
+  // Suggestions: the top-k segments by grid-wide attributed latency.
+  // Channels are request-wait by construction — the GT family reshapes
+  // who talks to whom, so those are the levers.  Controllers whose time
+  // is mostly the op phase are datapath-bound (no control transform
+  // helps); otherwise the local transforms are worth a try.
+  struct Cand {
+    std::string kind;
+    BottleneckRow row;
+  };
+  std::vector<Cand> cands;
+  for (const auto& r : g.channels) cands.push_back({"channel", r});
+  for (const auto& r : g.controllers) {
+    if (r.name == "(channels)") continue;  // already counted per channel
+    cands.push_back({"controller", r});
+  }
+  std::sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& b) {
+    if (a.row.ticks != b.row.ticks) return a.row.ticks > b.row.ticks;
+    if (a.kind != b.kind) return a.kind < b.kind;
+    return a.row.name < b.row.name;
+  });
+  if (cands.size() > top_k) cands.resize(top_k);
+  std::size_t rank_no = 1;
+  for (const auto& c : cands) {
+    Suggestion s;
+    s.rank = rank_no++;
+    s.kind = c.kind;
+    s.name = c.row.name;
+    s.ticks = c.row.ticks;
+    if (c.kind == "channel") {
+      s.hints = {"gt2", "gt3", "gt5"};
+      s.rationale = "request round-trips on this channel dominate " +
+                    std::to_string(c.row.points) +
+                    " point(s); reshaping its fan-in/fan-out (merge, "
+                    "dissociate, converge) shortens the wait";
+    } else {
+      const auto& phases = controller_phase[c.row.name];
+      std::int64_t total = 0;
+      std::int64_t op = 0;
+      for (const auto& [phase, ticks] : phases) {
+        total += ticks;
+        if (phase == "op") op += ticks;
+      }
+      if (total > 0 && op * 2 >= total) {
+        s.rationale = "time in this controller is mostly the op phase — "
+                      "datapath-bound; control transforms will not help";
+      } else {
+        s.hints = {"lt"};
+        s.rationale = "control overhead inside this controller across " +
+                      std::to_string(c.row.points) +
+                      " point(s); local optimization can collapse states";
+      }
+    }
+    g.suggestions.push_back(std::move(s));
+  }
+  return g;
+}
+
+void FrontierTracker::add(std::size_t area_transistors,
+                          std::int64_t cycle_time) {
+  if (cycle_time <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++points_;
+  if (best_cycle_ == 0 || cycle_time < best_cycle_) best_cycle_ = cycle_time;
+  if (best_area_ == 0 || area_transistors < best_area_)
+    best_area_ = area_transistors;
+  for (const auto& [area, cycle] : frontier_)
+    if (area <= area_transistors && cycle <= cycle_time)
+      return;  // dominated by (or identical to) an existing member
+  frontier_.erase(
+      std::remove_if(frontier_.begin(), frontier_.end(),
+                     [&](const std::pair<std::size_t, std::int64_t>& m) {
+                       return area_transistors <= m.first &&
+                              cycle_time <= m.second &&
+                              (area_transistors < m.first ||
+                               cycle_time < m.second);
+                     }),
+      frontier_.end());
+  frontier_.emplace_back(area_transistors, cycle_time);
+}
+
+FrontierTracker::Snapshot FrontierTracker::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot s;
+  s.points = points_;
+  s.frontier_size = frontier_.size();
+  s.dominated = points_ - frontier_.size();
+  s.best_cycle_time = best_cycle_;
+  s.best_area_transistors = best_area_;
+  return s;
+}
+
+}  // namespace analysis
+}  // namespace adc

@@ -1,0 +1,56 @@
+#pragma once
+// Grid-level analyses over a set of PointProfiles: bottleneck ranking
+// (which channels/controllers soak up the most attributed latency across
+// the whole design space), the Pareto frontier over (control area x cycle
+// time) with every dominated point annotated by a frontier dominator, and
+// the machine-readable `suggestions` block a feedback-directed search
+// would consume (ROADMAP open item 3).
+//
+// FrontierTracker is the incremental variant for the serving daemon: it
+// folds completed points into a live Pareto frontier so adc_serve can
+// export analysis.* gauges without keeping every profile around.
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "analysis/profile.hpp"
+
+namespace adc {
+namespace analysis {
+
+// Computes the grid block for a profile store.  top_k bounds the
+// suggestions list; bottleneck rankings are complete (callers truncate
+// for display).  Frontier dominators are chosen deterministically: among
+// the frontier points dominating a point, the fastest (then smallest,
+// then lowest-index) one.
+GridAnalysis analyze_grid(const std::vector<PointProfile>& points,
+                          std::size_t top_k = 5);
+
+// Incremental Pareto frontier over (area_transistors, cycle_time) for the
+// serving daemon.  Thread-safe; add() folds one completed point in,
+// snapshot() reads the current state for gauge export.
+class FrontierTracker {
+ public:
+  struct Snapshot {
+    std::size_t points = 0;         // simulated ok points observed
+    std::size_t frontier_size = 0;  // non-dominated among them
+    std::size_t dominated = 0;
+    std::int64_t best_cycle_time = 0;      // 0 until the first point
+    std::size_t best_area_transistors = 0;  // 0 until the first point
+  };
+
+  void add(std::size_t area_transistors, std::int64_t cycle_time);
+  Snapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::size_t, std::int64_t>> frontier_;
+  std::size_t points_ = 0;
+  std::int64_t best_cycle_ = 0;
+  std::size_t best_area_ = 0;
+};
+
+}  // namespace analysis
+}  // namespace adc

@@ -1,0 +1,445 @@
+#include "analysis/profile.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "report/json.hpp"
+#include "report/json_parse.hpp"
+
+namespace adc {
+namespace analysis {
+
+namespace {
+
+void write_map(JsonWriter& w, const char* key,
+               const std::map<std::string, std::int64_t>& m) {
+  w.key(key);
+  w.begin_object();
+  for (const auto& [k, v] : m) w.kv(k, v);
+  w.end_object();
+}
+
+void write_chain(JsonWriter& w, const ChainRef& c) {
+  w.begin_object();
+  w.kv("phase", c.phase);
+  w.kv("controller", c.controller);
+  w.kv("label", c.label);
+  w.kv("ticks", c.ticks);
+  w.kv("events", static_cast<std::uint64_t>(c.events));
+  w.end_object();
+}
+
+}  // namespace
+
+const PointProfile* DseProfile::find(std::size_t index) const {
+  for (const auto& p : points)
+    if (p.index == index) return &p;
+  return nullptr;
+}
+
+void write_json(JsonWriter& w, const PointProfile& p) {
+  w.begin_object();
+  w.kv("index", static_cast<std::uint64_t>(p.index));
+  w.kv("benchmark", p.benchmark);
+  w.kv("script", p.script);
+  w.kv("status", p.status);
+  w.kv("ok", p.ok);
+  w.kv("cycle_time", p.cycle_time);
+  w.kv("attributed", p.attributed);
+  w.kv("attributed_fraction", p.attributed_fraction);
+  w.key("area");
+  w.begin_object();
+  w.key("controllers");
+  w.begin_array();
+  for (const auto& a : p.area) {
+    w.begin_object();
+    w.kv("name", a.name);
+    w.kv("products", a.products);
+    w.kv("literals", a.literals);
+    w.kv("state_bits", a.state_bits);
+    w.kv("outputs", a.outputs);
+    w.kv("transistors", a.transistors);
+    w.end_object();
+  }
+  w.end_array();
+  w.kv("channels", p.channels);
+  w.kv("total_transistors", p.area_transistors);
+  w.end_object();
+  if (p.has_attribution) {
+    w.key("segments");
+    w.begin_object();
+    write_map(w, "by_phase", p.by_phase);
+    write_map(w, "by_controller", p.by_controller);
+    write_map(w, "by_channel", p.by_channel);
+    write_map(w, "by_controller_phase", p.by_controller_phase);
+    w.end_object();
+    w.key("top_chains");
+    w.begin_array();
+    for (const auto& c : p.top_chains) write_chain(w, c);
+    w.end_array();
+    w.key("dominant");
+    write_chain(w, p.dominant);
+  }
+  w.key("recipe");
+  w.begin_array();
+  for (const auto& s : p.recipe) w.value(s);
+  w.end_array();
+  w.key("decisions");
+  w.begin_object();
+  for (const auto& [k, v] : p.decisions) w.kv(k, static_cast<std::uint64_t>(v));
+  w.end_object();
+  w.end_object();
+}
+
+void write_json(JsonWriter& w, const DseProfile& prof) {
+  w.begin_object();
+  w.kv("kind", kProfileKind);
+  w.kv("version", prof.version);
+  w.kv("tool", prof.tool);
+  w.key("points");
+  w.begin_array();
+  for (const auto& p : prof.points) write_json(w, p);
+  w.end_array();
+  w.key("grid");
+  w.begin_object();
+  w.key("bottlenecks");
+  w.begin_object();
+  for (const char* kind : {"channels", "controllers"}) {
+    const auto& rows = std::string(kind) == "channels" ? prof.grid.channels
+                                                       : prof.grid.controllers;
+    w.key(kind);
+    w.begin_array();
+    for (const auto& b : rows) {
+      w.begin_object();
+      w.kv("name", b.name);
+      w.kv("ticks", b.ticks);
+      w.kv("points", static_cast<std::uint64_t>(b.points));
+      w.end_object();
+    }
+    w.end_array();
+  }
+  w.end_object();
+  w.key("frontier");
+  w.begin_array();
+  for (const auto& f : prof.grid.frontier) {
+    w.begin_object();
+    w.kv("index", static_cast<std::uint64_t>(f.index));
+    w.kv("area_transistors", f.area_transistors);
+    w.kv("cycle_time", f.cycle_time);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("dominated");
+  w.begin_array();
+  for (const auto& d : prof.grid.dominated) {
+    w.begin_object();
+    w.kv("index", static_cast<std::uint64_t>(d.index));
+    w.kv("dominated_by", static_cast<std::uint64_t>(d.dominated_by));
+    w.end_object();
+  }
+  w.end_array();
+  w.key("suggestions");
+  w.begin_array();
+  for (const auto& s : prof.grid.suggestions) {
+    w.begin_object();
+    w.kv("rank", static_cast<std::uint64_t>(s.rank));
+    w.kv("kind", s.kind);
+    w.kv("name", s.name);
+    w.kv("ticks", s.ticks);
+    w.key("hints");
+    w.begin_array();
+    for (const auto& h : s.hints) w.value(h);
+    w.end_array();
+    w.kv("rationale", s.rationale);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  w.end_object();
+}
+
+std::string to_json(const DseProfile& prof, bool pretty) {
+  JsonWriter w(pretty);
+  write_json(w, prof);
+  return w.str();
+}
+
+// --- parse -----------------------------------------------------------------
+
+namespace {
+
+double num(const JsonValue& o, const char* k) {
+  const JsonValue* v = o.find(k);
+  return v && v->is_number() ? v->number : 0.0;
+}
+
+std::string str(const JsonValue& o, const char* k) {
+  const JsonValue* v = o.find(k);
+  return v && v->is_string() ? v->string : std::string();
+}
+
+std::map<std::string, std::int64_t> parse_map(const JsonValue* o) {
+  std::map<std::string, std::int64_t> m;
+  if (o && o->is_object())
+    for (const auto& [k, v] : o->object)
+      m[k] = static_cast<std::int64_t>(v.number);
+  return m;
+}
+
+ChainRef parse_chain(const JsonValue& c) {
+  ChainRef r;
+  r.phase = str(c, "phase");
+  r.controller = str(c, "controller");
+  r.label = str(c, "label");
+  r.ticks = static_cast<std::int64_t>(num(c, "ticks"));
+  r.events = static_cast<std::size_t>(num(c, "events"));
+  return r;
+}
+
+PointProfile parse_point(const JsonValue& o) {
+  PointProfile p;
+  p.index = static_cast<std::size_t>(num(o, "index"));
+  p.benchmark = o.at("benchmark").string;
+  p.script = str(o, "script");
+  p.status = o.at("status").string;
+  if (const JsonValue* v = o.find("ok")) p.ok = v->boolean;
+  p.cycle_time = static_cast<std::int64_t>(num(o, "cycle_time"));
+  p.attributed = static_cast<std::int64_t>(num(o, "attributed"));
+  p.attributed_fraction = num(o, "attributed_fraction");
+  if (const JsonValue* area = o.find("area"); area && area->is_object()) {
+    if (const JsonValue* cs = area->find("controllers"); cs && cs->is_array())
+      for (const JsonValue& c : cs->array) {
+        AreaRow a;
+        a.name = str(c, "name");
+        a.products = static_cast<std::size_t>(num(c, "products"));
+        a.literals = static_cast<std::size_t>(num(c, "literals"));
+        a.state_bits = static_cast<std::size_t>(num(c, "state_bits"));
+        a.outputs = static_cast<std::size_t>(num(c, "outputs"));
+        a.transistors = static_cast<std::size_t>(num(c, "transistors"));
+        p.area.push_back(std::move(a));
+      }
+    p.channels = static_cast<std::size_t>(num(*area, "channels"));
+    p.area_transistors = static_cast<std::size_t>(num(*area, "total_transistors"));
+  }
+  if (const JsonValue* seg = o.find("segments"); seg && seg->is_object()) {
+    p.has_attribution = true;
+    p.by_phase = parse_map(seg->find("by_phase"));
+    p.by_controller = parse_map(seg->find("by_controller"));
+    p.by_channel = parse_map(seg->find("by_channel"));
+    p.by_controller_phase = parse_map(seg->find("by_controller_phase"));
+  }
+  if (const JsonValue* tc = o.find("top_chains"); tc && tc->is_array())
+    for (const JsonValue& c : tc->array) p.top_chains.push_back(parse_chain(c));
+  if (const JsonValue* d = o.find("dominant"); d && d->is_object())
+    p.dominant = parse_chain(*d);
+  if (const JsonValue* r = o.find("recipe"); r && r->is_array())
+    for (const JsonValue& s : r->array) p.recipe.push_back(s.string);
+  if (const JsonValue* d = o.find("decisions"); d && d->is_object())
+    for (const auto& [k, v] : d->object)
+      p.decisions[k] = static_cast<std::size_t>(v.number);
+  return p;
+}
+
+}  // namespace
+
+DseProfile parse_dse_profile(const JsonValue& doc) {
+  if (!doc.is_object()) throw std::runtime_error("dse profile: not an object");
+  if (str(doc, "kind") != kProfileKind)
+    throw std::runtime_error("dse profile: kind != " + std::string(kProfileKind));
+  if (static_cast<int>(num(doc, "version")) != kProfileVersion)
+    throw std::runtime_error("dse profile: unsupported version");
+  DseProfile prof;
+  prof.version = kProfileVersion;
+  prof.tool = str(doc, "tool");
+  const JsonValue* pts = doc.find("points");
+  if (!pts || !pts->is_array())
+    throw std::runtime_error("dse profile: missing points array");
+  for (const JsonValue& p : pts->array) prof.points.push_back(parse_point(p));
+  if (const JsonValue* grid = doc.find("grid"); grid && grid->is_object()) {
+    auto parse_rows = [&](const JsonValue* arr, std::vector<BottleneckRow>& out) {
+      if (!arr || !arr->is_array()) return;
+      for (const JsonValue& b : arr->array)
+        out.push_back({str(b, "name"), static_cast<std::int64_t>(num(b, "ticks")),
+                       static_cast<std::size_t>(num(b, "points"))});
+    };
+    if (const JsonValue* bn = grid->find("bottlenecks"); bn && bn->is_object()) {
+      parse_rows(bn->find("channels"), prof.grid.channels);
+      parse_rows(bn->find("controllers"), prof.grid.controllers);
+    }
+    if (const JsonValue* f = grid->find("frontier"); f && f->is_array())
+      for (const JsonValue& e : f->array)
+        prof.grid.frontier.push_back(
+            {static_cast<std::size_t>(num(e, "index")),
+             static_cast<std::size_t>(num(e, "area_transistors")),
+             static_cast<std::int64_t>(num(e, "cycle_time"))});
+    if (const JsonValue* d = grid->find("dominated"); d && d->is_array())
+      for (const JsonValue& e : d->array)
+        prof.grid.dominated.push_back(
+            {static_cast<std::size_t>(num(e, "index")),
+             static_cast<std::size_t>(num(e, "dominated_by"))});
+    if (const JsonValue* s = grid->find("suggestions"); s && s->is_array())
+      for (const JsonValue& e : s->array) {
+        Suggestion sg;
+        sg.rank = static_cast<std::size_t>(num(e, "rank"));
+        sg.kind = str(e, "kind");
+        sg.name = str(e, "name");
+        sg.ticks = static_cast<std::int64_t>(num(e, "ticks"));
+        if (const JsonValue* h = e.find("hints"); h && h->is_array())
+          for (const JsonValue& v : h->array) sg.hints.push_back(v.string);
+        sg.rationale = str(e, "rationale");
+        prof.grid.suggestions.push_back(std::move(sg));
+      }
+  }
+  return prof;
+}
+
+DseProfile parse_dse_profile(const std::string& text) {
+  return parse_dse_profile(parse_json(text));
+}
+
+// --- validate --------------------------------------------------------------
+
+std::vector<std::string> validate_dse_profile(const JsonValue& doc) {
+  std::vector<std::string> problems;
+  auto bad = [&](const std::string& what) { problems.push_back(what); };
+  if (!doc.is_object()) return {"not a JSON object"};
+  if (str(doc, "kind") != kProfileKind)
+    bad("kind is not '" + std::string(kProfileKind) + "'");
+  if (static_cast<int>(num(doc, "version")) != kProfileVersion)
+    bad("version is not " + std::to_string(kProfileVersion));
+  if (str(doc, "tool").empty()) bad("missing tool");
+  const JsonValue* pts = doc.find("points");
+  if (!pts || !pts->is_array()) {
+    bad("missing points array");
+    return problems;
+  }
+
+  std::set<std::size_t> sim_ok;  // ok points with a cycle time
+  std::size_t pos = 0;
+  for (const JsonValue& o : pts->array) {
+    std::string where = "point " + std::to_string(pos);
+    if (!o.is_object()) {
+      bad(where + ": not an object");
+      ++pos;
+      continue;
+    }
+    for (const char* key : {"benchmark", "script", "status"})
+      if (!o.find(key)) bad(where + ": missing '" + key + "'");
+    if (static_cast<std::size_t>(num(o, "index")) != pos)
+      bad(where + ": index does not match its position");
+    const bool ok = o.find("ok") && o.at("ok").boolean;
+    const auto cycle = static_cast<std::int64_t>(num(o, "cycle_time"));
+    const auto attributed = static_cast<std::int64_t>(num(o, "attributed"));
+    // The area books: per-controller transistor counts must match the
+    // model (2/AND-literal + 2/OR-input + 8/state latch + 4/output keeper)
+    // and the total must add the 6-transistor channel transition
+    // detectors.  Re-derived here on purpose — an emitter bug cannot
+    // validate its own arithmetic.
+    const JsonValue* area = o.find("area");
+    if (!area || !area->is_object()) {
+      bad(where + ": missing area block");
+    } else {
+      std::size_t sum = 0;
+      if (const JsonValue* cs = area->find("controllers"); cs && cs->is_array())
+        for (const JsonValue& c : cs->array) {
+          std::size_t expect = 2 * static_cast<std::size_t>(num(c, "literals")) +
+                               2 * static_cast<std::size_t>(num(c, "products")) +
+                               8 * static_cast<std::size_t>(num(c, "state_bits")) +
+                               4 * static_cast<std::size_t>(num(c, "outputs"));
+          if (static_cast<std::size_t>(num(c, "transistors")) != expect)
+            bad(where + ": controller '" + str(c, "name") +
+                "' transistors disagree with the area model");
+          sum += expect;
+        }
+      sum += 6 * static_cast<std::size_t>(num(*area, "channels"));
+      if (static_cast<std::size_t>(num(*area, "total_transistors")) != sum)
+        bad(where + ": total_transistors does not sum controllers + wiring");
+    }
+    if (const JsonValue* seg = o.find("segments")) {
+      if (!seg->is_object()) {
+        bad(where + ": segments is not an object");
+      } else {
+        std::int64_t phase_sum = 0;
+        for (const auto& [k, v] : parse_map(seg->find("by_phase"))) {
+          (void)k;
+          phase_sum += v;
+        }
+        if (phase_sum != attributed)
+          bad(where + ": by_phase segments sum to " + std::to_string(phase_sum) +
+              ", not the attributed " + std::to_string(attributed));
+        if (attributed > cycle)
+          bad(where + ": attributed more than the cycle time");
+        if (ok && cycle > 0 &&
+            static_cast<double>(attributed) < 0.95 * static_cast<double>(cycle))
+          bad(where + ": ok point attributes < 95% of its cycle time");
+      }
+    }
+    if (ok && cycle > 0) sim_ok.insert(pos);
+    ++pos;
+  }
+
+  const JsonValue* grid = doc.find("grid");
+  if (!grid || !grid->is_object()) {
+    bad("missing grid block");
+    return problems;
+  }
+  for (const char* kind : {"channels", "controllers"}) {
+    const JsonValue* bn = grid->find("bottlenecks");
+    const JsonValue* arr = bn ? bn->find(kind) : nullptr;
+    if (!arr || !arr->is_array()) {
+      bad(std::string("missing bottleneck ranking '") + kind + "'");
+      continue;
+    }
+    std::int64_t last = -1;
+    bool first = true;
+    for (const JsonValue& b : arr->array) {
+      auto t = static_cast<std::int64_t>(num(b, "ticks"));
+      if (!first && t > last)
+        bad(std::string("bottleneck ranking '") + kind + "' is not descending");
+      last = t;
+      first = false;
+    }
+  }
+  std::set<std::size_t> frontier;
+  if (const JsonValue* f = grid->find("frontier"); f && f->is_array()) {
+    for (const JsonValue& e : f->array) {
+      auto idx = static_cast<std::size_t>(num(e, "index"));
+      if (!sim_ok.count(idx))
+        bad("frontier names point " + std::to_string(idx) +
+            ", which is not a simulated ok point");
+      frontier.insert(idx);
+    }
+  } else {
+    bad("missing frontier array");
+  }
+  std::size_t dominated_count = 0;
+  if (const JsonValue* d = grid->find("dominated"); d && d->is_array()) {
+    for (const JsonValue& e : d->array) {
+      ++dominated_count;
+      auto idx = static_cast<std::size_t>(num(e, "index"));
+      auto by = static_cast<std::size_t>(num(e, "dominated_by"));
+      if (frontier.count(idx))
+        bad("point " + std::to_string(idx) + " is both frontier and dominated");
+      if (!frontier.count(by))
+        bad("point " + std::to_string(idx) + " dominated by " +
+            std::to_string(by) + ", which is not on the frontier");
+    }
+  }
+  if (frontier.size() + dominated_count != sim_ok.size())
+    bad("frontier + dominated do not partition the simulated ok points");
+  if (const JsonValue* s = grid->find("suggestions"); s && s->is_array()) {
+    std::size_t rank = 1;
+    for (const JsonValue& e : s->array) {
+      if (static_cast<std::size_t>(num(e, "rank")) != rank)
+        bad("suggestion ranks are not 1..k ascending");
+      ++rank;
+    }
+  } else {
+    bad("missing suggestions array");
+  }
+  return problems;
+}
+
+}  // namespace analysis
+}  // namespace adc

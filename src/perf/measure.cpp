@@ -218,9 +218,123 @@ BenchRecord measure(const Benchmark& b, const MeasureOptions& opts) {
   return rec;
 }
 
+namespace {
+
+// Everything the paired measurement thread touches; same ownership story
+// as MeasureShared.
+struct PairShared {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  BenchContext ctx_a, ctx_b;
+  std::vector<double> wall_a, cpu_a, wall_b, cpu_b;
+  bool failed = false;
+  std::string error;
+};
+
+}  // namespace
+
+std::pair<BenchRecord, BenchRecord> measure_interleaved(
+    const Benchmark& a, const Benchmark& b, const MeasureOptions& opts) {
+  BenchRecord ra, rb;
+  ra.suite = a.suite;
+  ra.name = a.name;
+  rb.suite = b.suite;
+  rb.name = b.name;
+  unsigned repeats = std::max(1u, opts.repeats);
+
+  auto sh = std::make_shared<PairShared>();
+  sh->ctx_a.quick = opts.quick;
+  sh->ctx_b.quick = opts.quick;
+  Benchmark job_a = a, job_b = b;
+  std::thread worker([sh, job_a, job_b, opts, repeats] {
+    try {
+      for (unsigned i = 0; i < opts.warmup; ++i) {
+        job_a.run(sh->ctx_a);
+        job_b.run(sh->ctx_b);
+      }
+      sh->wall_a.reserve(repeats);
+      sh->cpu_a.reserve(repeats);
+      sh->wall_b.reserve(repeats);
+      sh->cpu_b.reserve(repeats);
+      for (unsigned i = 0; i < repeats; ++i) {
+        sh->ctx_a.counters.clear();
+        sh->ctx_a.stages.clear();
+        std::uint64_t c0 = process_cpu_micros();
+        std::uint64_t w0 = wall_now_micros();
+        job_a.run(sh->ctx_a);
+        sh->wall_a.push_back(static_cast<double>(wall_now_micros() - w0));
+        sh->cpu_a.push_back(static_cast<double>(process_cpu_micros() - c0));
+        sh->ctx_b.counters.clear();
+        sh->ctx_b.stages.clear();
+        c0 = process_cpu_micros();
+        w0 = wall_now_micros();
+        job_b.run(sh->ctx_b);
+        sh->wall_b.push_back(static_cast<double>(wall_now_micros() - w0));
+        sh->cpu_b.push_back(static_cast<double>(process_cpu_micros() - c0));
+      }
+    } catch (const std::exception& e) {
+      sh->failed = true;
+      sh->error = e.what();
+    } catch (...) {
+      sh->failed = true;
+      sh->error = "unknown exception";
+    }
+    std::lock_guard<std::mutex> lk(sh->mu);
+    sh->done = true;
+    sh->cv.notify_all();
+  });
+
+  bool finished = true;
+  {
+    std::unique_lock<std::mutex> lk(sh->mu);
+    if (opts.deadline_ms == 0) {
+      sh->cv.wait(lk, [&] { return sh->done; });
+    } else {
+      finished = sh->cv.wait_for(lk, std::chrono::milliseconds(opts.deadline_ms),
+                                 [&] { return sh->done; });
+    }
+  }
+  if (!finished) {
+    worker.detach();
+    for (BenchRecord* r : {&ra, &rb}) {
+      r->repeats = 1;
+      r->status = "timeout";
+      r->error =
+          "deadline exceeded after " + std::to_string(opts.deadline_ms) + " ms";
+      r->peak_rss_kb = peak_rss_kb();
+    }
+    return {std::move(ra), std::move(rb)};
+  }
+  worker.join();
+  if (sh->failed) {
+    for (BenchRecord* r : {&ra, &rb}) {
+      r->repeats = 1;
+      r->status = "error";
+      r->error = sh->error;
+      r->peak_rss_kb = peak_rss_kb();
+    }
+    return {std::move(ra), std::move(rb)};
+  }
+  ra.repeats = repeats;
+  ra.wall_us = stat_from_samples(std::move(sh->wall_a), opts.trim_outliers);
+  ra.cpu_us = stat_from_samples(std::move(sh->cpu_a), opts.trim_outliers);
+  ra.peak_rss_kb = peak_rss_kb();
+  ra.counters = std::move(sh->ctx_a.counters);
+  ra.stages = std::move(sh->ctx_a.stages);
+  rb.repeats = repeats;
+  rb.wall_us = stat_from_samples(std::move(sh->wall_b), opts.trim_outliers);
+  rb.cpu_us = stat_from_samples(std::move(sh->cpu_b), opts.trim_outliers);
+  rb.peak_rss_kb = peak_rss_kb();
+  rb.counters = std::move(sh->ctx_b.counters);
+  rb.stages = std::move(sh->ctx_b.stages);
+  return {std::move(ra), std::move(rb)};
+}
+
 BenchReport run_registered(const std::vector<std::string>& suites,
                            const std::string& filter, const MeasureOptions& opts,
-                           const std::string& tool) {
+                           const std::string& tool,
+                           const std::vector<std::string>& exclude) {
   BenchReport rep;
   rep.tool = tool;
   rep.env = capture_env();
@@ -233,6 +347,8 @@ BenchReport run_registered(const std::vector<std::string>& suites,
         std::find(suites.begin(), suites.end(), b.suite) == suites.end())
       continue;
     if (!filter.empty() && b.name.find(filter) == std::string::npos) continue;
+    if (std::find(exclude.begin(), exclude.end(), b.name) != exclude.end())
+      continue;
     rep.benchmarks.push_back(measure(b, opts));
     if (opts.on_record) opts.on_record(rep);
   }

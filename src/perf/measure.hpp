@@ -17,6 +17,7 @@
 
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "perf/record.hpp"
@@ -96,12 +97,26 @@ struct MeasureOptions {
 // Warmup + timed repeats of one benchmark.
 BenchRecord measure(const Benchmark& b, const MeasureOptions& opts);
 
+// Paired measurement for cross-benchmark ratio gates: alternates one timed
+// iteration of `a` and one of `b` per round (after alternating warmups)
+// instead of running each benchmark's repeats back to back.  Slow in-process
+// drift — allocator growth, CPU frequency, cache state — then lands on both
+// sides of the ratio equally rather than on whichever benchmark happens to
+// run later, which is worth several percent of systematic skew on a busy
+// 1-core container.  opts.deadline_ms bounds the whole pair; a timeout or
+// exception marks both records.
+std::pair<BenchRecord, BenchRecord> measure_interleaved(
+    const Benchmark& a, const Benchmark& b, const MeasureOptions& opts);
+
 // Measures every registered benchmark whose suite is in `suites` (empty =
 // all) and whose name contains `filter` (empty = all), in registration
-// order, into a complete report (env + policy filled in).
+// order, into a complete report (env + policy filled in).  Benchmarks named
+// in `exclude` are skipped — adc_bench measures its --ratio pairs through
+// measure_interleaved instead and must not time them twice.
 BenchReport run_registered(const std::vector<std::string>& suites,
                            const std::string& filter, const MeasureOptions& opts,
-                           const std::string& tool = "adc_bench");
+                           const std::string& tool = "adc_bench",
+                           const std::vector<std::string>& exclude = {});
 
 // Human rendering of a report (one row per benchmark).
 std::string render_report(const BenchReport& rep);

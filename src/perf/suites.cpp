@@ -3,6 +3,7 @@
 #include <memory>
 #include <mutex>
 
+#include "analysis/build.hpp"
 #include "extract/extract.hpp"
 #include "frontend/benchmarks.hpp"
 #include "frontend/parser.hpp"
@@ -264,20 +265,42 @@ void register_flow() {
 }
 
 void register_dse() {
+  // The representative cold DSE sweep: structure metrics AND the event
+  // simulation, exactly what `adc_dse --bench diffeq --grid gt` runs.
+  // dse.grid_profiled repeats it with full attribution + profile/grid
+  // analyses on top; the two are gated against each other (profiling
+  // overhead <= 5% p50) by cli_bench_profiled_ratio.
   add("dse", "dse.grid_cold_serial", [](BenchContext& ctx) {
     auto grid = gt_ablation_grid(true);
     if (ctx.quick) grid.resize(8);
     std::vector<FlowRequest> reqs;
-    for (const auto& script : grid) {
-      FlowRequest req = make_builtin_request(*find_builtin("diffeq"), script);
-      req.simulate = false;
-      reqs.push_back(std::move(req));
-    }
+    for (const auto& script : grid)
+      reqs.push_back(make_builtin_request(*find_builtin("diffeq"), script));
     FlowExecutor exec(nullptr);  // fresh cache every iteration
     auto points = exec.run_all(reqs);
     CacheStats cs = exec.cache().stats();
     ctx.counters["points"] = static_cast<double>(points.size());
     ctx.counters["cache_hit_rate"] = cs.hit_rate();
+  });
+  add("dse", "dse.grid_profiled", [](BenchContext& ctx) {
+    auto grid = gt_ablation_grid(true);
+    if (ctx.quick) grid.resize(8);
+    std::vector<FlowRequest> reqs;
+    for (const auto& script : grid) {
+      FlowRequest req = make_builtin_request(*find_builtin("diffeq"), script);
+      req.critical_path = true;
+      reqs.push_back(std::move(req));
+    }
+    FlowExecutor exec(nullptr);  // fresh cache every iteration
+    auto points = exec.run_all(reqs);
+    auto profile = analysis::build_dse_profile(points, "adc_bench");
+    ctx.counters["points"] = static_cast<double>(points.size());
+    ctx.counters["frontier_size"] =
+        static_cast<double>(profile.grid.frontier.size());
+    ctx.counters["top_bottleneck_ticks"] =
+        profile.grid.channels.empty()
+            ? 0.0
+            : static_cast<double>(profile.grid.channels.front().ticks);
   });
 }
 

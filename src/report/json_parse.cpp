@@ -240,9 +240,13 @@ void write_json_value(JsonWriter& w, const JsonValue& v) {
       w.value(v.boolean);
       break;
     case JsonValue::Kind::kNumber:
+      // NaN/Inf have no JSON rendering: normalize to null rather than
+      // emit an unparseable token (attribution ratios can divide by ~0).
+      if (!std::isfinite(v.number))
+        w.null();
       // Integral doubles (the common case: every counter/metric the
       // toolchain emits) round-trip as integers, not "12.000000".
-      if (std::floor(v.number) == v.number && std::abs(v.number) < 9.0e15)
+      else if (std::floor(v.number) == v.number && std::abs(v.number) < 9.0e15)
         w.value(static_cast<std::int64_t>(v.number));
       else
         w.value(v.number);

@@ -243,6 +243,9 @@ std::shared_ptr<const ControllerSet> FlowExecutor::controller_stage(
         auto logic = synthesize_logic(c, sopts);
         m.products = logic.product_count(true);
         m.literals = logic.literal_count(true);
+        m.state_bits = logic.encoding.bits;
+        for (const auto& f : logic.functions)
+          if (!f.is_state_bit) ++m.outputs;
         m.feasible = logic.feasible();
         ADC_LOG_DEBUG("flow", "controller synthesized",
                       {{"name", m.name},
@@ -479,7 +482,7 @@ FlowPoint FlowExecutor::run(const FlowRequest& req) {
         StageTimer t(&metrics_.histogram("stage.sim"), &us, &cpu);
         EventSimOptions sim_opts = req.sim;
         sim_opts.cancel = &req.cancel;
-        std::vector<SimEventRecord> event_log;
+        SimEventLog event_log;
         if (req.critical_path && !sim_opts.event_log)
           sim_opts.event_log = &event_log;
         auto r = run_event_sim(snap->g, set->plan, set->instances, req.init, sim_opts);
@@ -627,6 +630,8 @@ void write_json(JsonWriter& w, const FlowPoint& p,
     w.kv("transitions", c.transitions);
     w.kv("products", c.products);
     w.kv("literals", c.literals);
+    w.kv("state_bits", c.state_bits);
+    w.kv("outputs", c.outputs);
     w.kv("feasible", c.feasible);
     w.end_object();
   }
@@ -697,6 +702,8 @@ FlowPoint parse_flow_point(const std::string& json) {
       m.transitions = static_cast<std::size_t>(num(c, "transitions"));
       m.products = static_cast<std::size_t>(num(c, "products"));
       m.literals = static_cast<std::size_t>(num(c, "literals"));
+      m.state_bits = static_cast<std::size_t>(num(c, "state_bits"));
+      m.outputs = static_cast<std::size_t>(num(c, "outputs"));
       if (const JsonValue* v = c.find("feasible")) m.feasible = v->boolean;
       p.controllers.push_back(std::move(m));
     }

@@ -104,6 +104,8 @@ struct ControllerMetrics {
   std::size_t transitions_extracted = 0;  // as extracted, before LT
   std::size_t products = 0;  // shared-product counting (Figure 13)
   std::size_t literals = 0;
+  std::size_t state_bits = 0;  // encoding width (area model's latches)
+  std::size_t outputs = 0;     // non-state output functions
   bool feasible = true;
 };
 

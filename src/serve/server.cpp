@@ -13,6 +13,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "analysis/build.hpp"
 #include "obs/prometheus.hpp"
 #include "report/json.hpp"
 #include "report/json_parse.hpp"
@@ -254,6 +255,15 @@ void ServeServer::register_instruments() {
   registry_.gauge("logic.memo.disk_corrupt", {},
                   "torn disk memo entries detected and evicted");
   registry_.gauge("logic.memo.entries", {}, "memo entries resident in memory");
+  // Design-space explainability (analysis/grid.hpp): the live Pareto
+  // frontier over (control area x cycle time) across every simulated ok
+  // job this daemon has completed.
+  registry_.gauge("analysis.points", {}, "simulated ok jobs folded into the frontier");
+  registry_.gauge("analysis.frontier_size", {}, "non-dominated (area, cycle) points");
+  registry_.gauge("analysis.dominated", {}, "jobs dominated by a frontier member");
+  registry_.gauge("analysis.best_cycle_time", {}, "fastest simulated cycle time seen");
+  registry_.gauge("analysis.best_area_transistors", {},
+                  "smallest control-area estimate seen");
 }
 
 void ServeServer::sample_observability() {
@@ -310,6 +320,15 @@ void ServeServer::sample_observability() {
   registry_.gauge("logic.memo.disk_corrupt")
       .set(static_cast<std::int64_t>(ms.disk_corrupt));
   registry_.gauge("logic.memo.entries").set(static_cast<std::int64_t>(ms.entries));
+  analysis::FrontierTracker::Snapshot fs = frontier_.snapshot();
+  registry_.gauge("analysis.points").set(static_cast<std::int64_t>(fs.points));
+  registry_.gauge("analysis.frontier_size")
+      .set(static_cast<std::int64_t>(fs.frontier_size));
+  registry_.gauge("analysis.dominated")
+      .set(static_cast<std::int64_t>(fs.dominated));
+  registry_.gauge("analysis.best_cycle_time").set(fs.best_cycle_time);
+  registry_.gauge("analysis.best_area_transistors")
+      .set(static_cast<std::int64_t>(fs.best_area_transistors));
 }
 
 void ServeServer::sampler_loop() {
@@ -963,6 +982,8 @@ void ServeServer::worker_loop() {
     // every stage it runs lands in the same tree, whatever thread it is on.
     job->req.trace = obs::TraceContext(job->trace, job->root_span);
     FlowPoint p = exec_->run(job->req);
+    if (p.ok && p.latency > 0)
+      frontier_.add(analysis::point_area_transistors(p), p.latency);
     const std::uint64_t service_us = steady_micros() - job->dequeue_micros;
     service_time_[cls]->record_micros(service_us);
     completions_[cls]->add();

@@ -40,6 +40,7 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/grid.hpp"
 #include "obs/access_log.hpp"
 #include "obs/http.hpp"
 #include "obs/registry.hpp"
@@ -235,6 +236,9 @@ class ServeServer {
 
   // --- observability -------------------------------------------------------
   obs::Registry registry_;
+  // Live Pareto frontier over (control area x cycle time): every
+  // simulated ok job folds in, exported as the analysis.* gauges.
+  analysis::FrontierTracker frontier_;
   std::unique_ptr<obs::AccessLog> access_log_;
   obs::MetricsHttpServer metrics_http_;
   std::thread sampler_thread_;

@@ -133,7 +133,36 @@ void CriticalPathResult::write_json(JsonWriter& w, std::size_t top_k) const {
   w.end_object();
 }
 
-CriticalPathResult analyze_critical_path(const std::vector<SimEventRecord>& log,
+std::int32_t SimEventLog::intern_controller(const std::string& name) {
+  for (std::size_t i = 0; i < controllers.size(); ++i)
+    if (controllers[i] == name) return static_cast<std::int32_t>(i);
+  controllers.push_back(name);
+  return static_cast<std::int32_t>(controllers.size() - 1);
+}
+
+std::int32_t SimEventLog::intern_label(const std::string& name) {
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    if (labels[i] == name) return static_cast<std::int32_t>(i);
+  labels.push_back(name);
+  return static_cast<std::int32_t>(labels.size() - 1);
+}
+
+const std::string& SimEventLog::controller_of(const SimEventRecord& r) const {
+  static const std::string kEmpty;
+  return r.controller >= 0 &&
+                 static_cast<std::size_t>(r.controller) < controllers.size()
+             ? controllers[static_cast<std::size_t>(r.controller)]
+             : kEmpty;
+}
+
+const std::string& SimEventLog::label_of(const SimEventRecord& r) const {
+  static const std::string kEmpty;
+  return r.label >= 0 && static_cast<std::size_t>(r.label) < labels.size()
+             ? labels[static_cast<std::size_t>(r.label)]
+             : kEmpty;
+}
+
+CriticalPathResult analyze_critical_path(const SimEventLog& log,
                                          std::int64_t final_event,
                                          std::int64_t total_latency) {
   CriticalPathResult res;
@@ -144,12 +173,13 @@ CriticalPathResult analyze_critical_path(const std::vector<SimEventRecord>& log,
   std::vector<const SimEventRecord*> chain;
   std::int64_t id = final_event;
   while (id >= 0 && static_cast<std::size_t>(id) < log.size()) {
-    const SimEventRecord& r = log[static_cast<std::size_t>(id)];
+    const SimEventRecord& r = log.records[static_cast<std::size_t>(id)];
     chain.push_back(&r);
     if (r.parent >= id) break;  // defensive: ids increase along schedule order
     id = r.parent;
   }
   std::reverse(chain.begin(), chain.end());
+  res.segments.reserve(chain.size());
   for (std::size_t i = 0; i < chain.size(); ++i) {
     const SimEventRecord& r = *chain[i];
     CriticalSegment seg;
@@ -158,8 +188,8 @@ CriticalPathResult analyze_critical_path(const std::vector<SimEventRecord>& log,
     seg.end = r.time;
     if (seg.end < seg.start) seg.end = seg.start;  // defensive clamp
     seg.phase = r.phase;
-    seg.controller = r.controller;
-    seg.label = r.label;
+    seg.controller = log.controller_of(r);
+    seg.label = log.label_of(r);
     res.attributed += seg.duration();
     res.by_phase[to_string(seg.phase)] += seg.duration();
     res.by_controller[controller_key(seg.controller)] += seg.duration();

@@ -33,16 +33,45 @@ class JsonWriter;
 enum class SimPhase { kRequestWait, kMicroOp, kOp, kRegWrite, kDone };
 const char* to_string(SimPhase p);
 
-// One scheduled event, as recorded by the simulator (ids are dense and
-// increasing in schedule order).
+// One scheduled event, as recorded by the simulator.  An event's id is its
+// index in SimEventLog::records (ids are dense and increasing in schedule
+// order).  Names are interned: `controller` and `label` index into the
+// owning log's string tables, so recording an event in the simulator's hot
+// loop appends one trivially-copyable struct instead of allocating strings
+// — the difference between a free observability layer and a measurable tax
+// on every profiled DSE point.
 struct SimEventRecord {
-  std::int64_t id = 0;
   std::int64_t parent = -1;  // scheduling event; -1 = environment root
   std::int64_t time = 0;
   SimPhase phase = SimPhase::kMicroOp;
-  std::string controller;  // owning controller; "" = channel fabric / env
-  std::string label;       // channel wire, signal, FU or register name
-  bool applied = false;    // popped and applied (vs. drained unapplied)
+  std::int32_t controller = -1;  // SimEventLog::controllers; -1 = fabric/env
+  std::int32_t label = -1;       // SimEventLog::labels; -1 = unnamed
+  bool applied = false;  // popped and applied (vs. drained unapplied)
+};
+
+// The causal event log: dense records plus the interned name tables they
+// index.  The simulator interns each controller/wire/FU/register name once
+// at attach time (or on first use) and the analyzer resolves ids back to
+// strings only for the handful of segments on the critical path.
+struct SimEventLog {
+  std::vector<SimEventRecord> records;
+  std::vector<std::string> controllers;
+  std::vector<std::string> labels;
+
+  // Linear-scan interning: called during table setup, never per event.
+  std::int32_t intern_controller(const std::string& name);
+  std::int32_t intern_label(const std::string& name);
+
+  const std::string& controller_of(const SimEventRecord& r) const;
+  const std::string& label_of(const SimEventRecord& r) const;
+
+  std::size_t size() const { return records.size(); }
+  bool empty() const { return records.empty(); }
+  void clear() {
+    records.clear();
+    controllers.clear();
+    labels.clear();
+  }
 };
 
 // One edge of the critical chain: the wait from the parent's time to this
@@ -96,7 +125,7 @@ struct CriticalPathResult {
 // Walks the causal log back from `final_event` (the applied event that
 // completed the run).  `total_latency` is the simulator's finish time; the
 // analyzer never attributes more than it observed.
-CriticalPathResult analyze_critical_path(const std::vector<SimEventRecord>& log,
+CriticalPathResult analyze_critical_path(const SimEventLog& log,
                                          std::int64_t final_event,
                                          std::int64_t total_latency);
 

@@ -101,6 +101,10 @@ class EventSim {
               opts_.vcd->add_wire(scope, c.ec->machine.signal(s).name, false);
       }
     }
+    if (opts_.event_log) {
+      build_log_tables();
+      opts_.event_log->records.reserve(2048);
+    }
   }
 
   EventSimResult run() {
@@ -127,7 +131,7 @@ class EventSim {
         break;
       }
       if (opts_.event_log && static_cast<std::size_t>(ev.seq) < opts_.event_log->size()) {
-        (*opts_.event_log)[static_cast<std::size_t>(ev.seq)].applied = true;
+        opts_.event_log->records[static_cast<std::size_t>(ev.seq)].applied = true;
         applying_ = ev.seq;
         if (ev.time >= final_applied_time_) {
           final_applied_time_ = ev.time;
@@ -166,49 +170,81 @@ class EventSim {
     events_.push(std::move(ev));
   }
 
+  // One-time name interning for the causal log: every label record() can
+  // emit — channel wires, controller signals, FU names — becomes a table
+  // lookup, so the hot path appends a trivially-copyable record without
+  // touching the allocator.  Register names (few, infrequent writes) are
+  // interned lazily in record().
+  void build_log_tables() {
+    SimEventLog& log = *opts_.event_log;
+    chan_label_.reserve(plan_.channels().size());
+    for (std::size_t ch = 0; ch < plan_.channels().size(); ++ch) {
+      const Channel& c = plan_.channels()[ch];
+      chan_label_.push_back(log.intern_label(
+          c.wire.empty() ? "ch" + std::to_string(ch) : c.wire));
+    }
+    ctrl_name_.reserve(ctrls_.size());
+    sig_label_.resize(ctrls_.size());
+    sig_phase_.resize(ctrls_.size());
+    fu_label_.reserve(ctrls_.size());
+    for (std::size_t i = 0; i < ctrls_.size(); ++i) {
+      const Ctrl& c = ctrls_[i];
+      ctrl_name_.push_back(log.intern_controller(c.ec->machine.name()));
+      for (SignalId s : c.ec->machine.signal_ids()) {
+        auto idx = static_cast<std::size_t>(s.value());
+        if (idx >= sig_label_[i].size()) {
+          sig_label_[i].resize(idx + 1, -1);
+          sig_phase_[i].resize(idx + 1, SimPhase::kMicroOp);
+        }
+        sig_label_[i][idx] = log.intern_label(c.ec->machine.signal(s).name);
+        const SignalBinding* b = binding(c, s);
+        sig_phase_[i][idx] = b && b->role == SignalRole::kFuDone
+                                 ? SimPhase::kDone
+                                 : SimPhase::kMicroOp;
+      }
+      fu_label_.push_back(log.intern_label(g_.fu(c.ec->fu).name));
+    }
+  }
+
   // Appends the scheduled event to the causal log, classified for
   // critical-path attribution.  The parent is the event being applied
   // right now — the last-arriving precondition of this one.
   void record(const Ev& ev) {
     SimEventRecord r;
-    r.id = ev.seq;
     r.parent = applying_;
     r.time = ev.time;
     switch (ev.kind) {
-      case EvKind::kChannelToggle: {
+      case EvKind::kChannelToggle:
         r.phase = SimPhase::kRequestWait;
-        const Channel& c = plan_.channels()[ev.channel];
-        r.label = c.wire.empty() ? "ch" + std::to_string(ev.channel) : c.wire;
+        r.label = chan_label_[ev.channel];
         break;
-      }
       case EvKind::kLocalSet: {
-        const Ctrl& c = ctrls_[static_cast<std::size_t>(ev.ctrl)];
-        r.controller = c.ec->machine.name();
-        r.label = c.ec->machine.signal(ev.sig).name;
-        const SignalBinding* b = binding(c, ev.sig);
-        r.phase = b && b->role == SignalRole::kFuDone ? SimPhase::kDone
-                                                      : SimPhase::kMicroOp;
+        auto ci = static_cast<std::size_t>(ev.ctrl);
+        auto si = static_cast<std::size_t>(ev.sig.value());
+        r.controller = ctrl_name_[ci];
+        r.label = sig_label_[ci][si];
+        r.phase = sig_phase_[ci][si];
         break;
       }
       case EvKind::kFuCompute: {
-        const Ctrl& c = ctrls_[static_cast<std::size_t>(ev.ctrl)];
-        r.controller = c.ec->machine.name();
-        r.label = g_.fu(c.ec->fu).name;
+        auto ci = static_cast<std::size_t>(ev.ctrl);
+        r.controller = ctrl_name_[ci];
+        r.label = fu_label_[ci];
         r.phase = SimPhase::kOp;
         break;
       }
       case EvKind::kRegWrite: {
-        const Ctrl& c = ctrls_[static_cast<std::size_t>(ev.ctrl)];
-        r.controller = c.ec->machine.name();
-        r.label = ev.reg;
+        auto ci = static_cast<std::size_t>(ev.ctrl);
+        r.controller = ctrl_name_[ci];
+        r.label = opts_.event_log->intern_label(ev.reg);
         r.phase = SimPhase::kRegWrite;
         break;
       }
     }
-    auto& log = *opts_.event_log;
-    if (static_cast<std::size_t>(ev.seq) > log.size())
-      log.resize(static_cast<std::size_t>(ev.seq));  // defensive: keep ids dense
-    log.push_back(std::move(r));
+    auto& recs = opts_.event_log->records;
+    if (static_cast<std::size_t>(ev.seq) > recs.size())
+      recs.resize(static_cast<std::size_t>(ev.seq));  // defensive: keep ids dense
+    recs.push_back(r);
   }
 
   Wire& local_wire(Ctrl& c, SignalId s) { return c.local[s.value()]; }
@@ -483,6 +519,14 @@ class EventSim {
   // initialization) and the time of the latest applied event.
   std::int64_t applying_ = -1;
   std::int64_t final_applied_time_ = -1;
+  // Interned-name tables for record() (built only when a log is attached):
+  // channel index -> label id, controller index -> name id / FU label id,
+  // and per controller signal value -> label id / phase.
+  std::vector<std::int32_t> chan_label_;
+  std::vector<std::int32_t> ctrl_name_;
+  std::vector<std::int32_t> fu_label_;
+  std::vector<std::vector<std::int32_t>> sig_label_;
+  std::vector<std::vector<SimPhase>> sig_phase_;
 };
 
 }  // namespace

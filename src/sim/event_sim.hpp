@@ -51,9 +51,10 @@ struct EventSimOptions {
   // controller's local wires and state under its own scope.  Not owned.
   VcdWriter* vcd = nullptr;
   // Optional causal event log for critical-path attribution (not owned):
-  // every scheduled event is appended with its scheduling parent; feed the
-  // log and EventSimResult::final_event to analyze_critical_path().
-  std::vector<SimEventRecord>* event_log = nullptr;
+  // every scheduled event is appended with its scheduling parent, names
+  // interned into the log's string tables; feed the log and
+  // EventSimResult::final_event to analyze_critical_path().
+  SimEventLog* event_log = nullptr;
   // Cooperative cancellation: the main loop polls this token (every 256
   // events) so a deadline watchdog can stop a runaway simulation.  Not
   // owned; null = never cancelled.

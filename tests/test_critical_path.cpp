@@ -10,21 +10,33 @@
 #include "report/json.hpp"
 #include "report/json_parse.hpp"
 #include "runtime/flow.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace adc {
 namespace {
 
 // --- analyzer unit ---------------------------------------------------------
 
-std::vector<SimEventRecord> hand_built_log() {
+SimEventLog hand_built_log() {
   // go(env) -> ALU1 req wire -> ALU1 compute -> register write, plus one
   // off-path distractor event that must not be attributed.
-  std::vector<SimEventRecord> log(5);
-  log[0] = {0, -1, 0, SimPhase::kRequestWait, "", "go", true};
-  log[1] = {1, 0, 5, SimPhase::kMicroOp, "ALU1", "r1", true};
-  log[2] = {2, 1, 35, SimPhase::kOp, "ALU1", "ALU1", true};
-  log[3] = {3, 2, 40, SimPhase::kRegWrite, "", "X", true};
-  log[4] = {4, 0, 3, SimPhase::kMicroOp, "ALU2", "r2", true};  // off-path
+  SimEventLog log;
+  auto add = [&log](std::int64_t parent, std::int64_t time, SimPhase phase,
+                    const std::string& controller, const std::string& label) {
+    SimEventRecord r;
+    r.parent = parent;
+    r.time = time;
+    r.phase = phase;
+    r.controller = controller.empty() ? -1 : log.intern_controller(controller);
+    r.label = log.intern_label(label);
+    r.applied = true;
+    log.records.push_back(r);
+  };
+  add(-1, 0, SimPhase::kRequestWait, "", "go");
+  add(0, 5, SimPhase::kMicroOp, "ALU1", "r1");
+  add(1, 35, SimPhase::kOp, "ALU1", "ALU1");
+  add(2, 40, SimPhase::kRegWrite, "", "X");
+  add(0, 3, SimPhase::kMicroOp, "ALU2", "r2");  // off-path
   return log;
 }
 
@@ -63,13 +75,13 @@ TEST(CriticalPath, TopChainsMergeConsecutiveSegmentsAndSortByDuration) {
 }
 
 TEST(CriticalPath, DegenerateInputsAreSafe) {
-  std::vector<SimEventRecord> log = hand_built_log();
+  SimEventLog log = hand_built_log();
   // Out-of-range or negative final event: empty result, no crash.
   EXPECT_EQ(analyze_critical_path(log, -1, 40).segments.size(), 0u);
   EXPECT_EQ(analyze_critical_path(log, 99, 40).segments.size(), 0u);
   EXPECT_EQ(analyze_critical_path({}, 0, 0).attributed, 0);
   // A corrupt parent pointing forward must terminate the walk.
-  log[2].parent = 4;
+  log.records[2].parent = 4;
   CriticalPathResult res = analyze_critical_path(log, 3, 40);
   EXPECT_LE(res.attributed, 40);
 }
@@ -131,6 +143,57 @@ TEST(CriticalPath, AttributionIsDeterministicAcrossRuns) {
     EXPECT_EQ(ca[i].label, cb[i].label);
     EXPECT_EQ(ca[i].duration, cb[i].duration);
   }
+}
+
+// The attribution a profile store is built from must not depend on how the
+// grid was scheduled: the full 32-point GT ablation sweep, serial vs
+// pooled, segment for segment.
+TEST(CriticalPath, GridAttributionIdenticalSerialAndPooled) {
+  std::vector<FlowRequest> reqs;
+  for (const auto& script : gt_ablation_grid(true)) {
+    FlowRequest req = make_builtin_request(*find_builtin("diffeq"), script);
+    req.critical_path = true;
+    reqs.push_back(std::move(req));
+  }
+  ASSERT_EQ(reqs.size(), 32u);
+
+  FlowExecutor serial(nullptr);
+  std::vector<FlowPoint> as = serial.run_all(reqs);
+  ThreadPool pool(4);
+  FlowExecutor pooled(&pool);
+  std::vector<FlowPoint> bs = pooled.run_all(reqs);
+
+  ASSERT_EQ(as.size(), bs.size());
+  std::size_t attributed_points = 0, ok_points = 0;
+  for (std::size_t i = 0; i < as.size(); ++i) {
+    const FlowPoint& a = as[i];
+    const FlowPoint& b = bs[i];
+    EXPECT_EQ(a.ok, b.ok) << reqs[i].script;
+    ASSERT_EQ(a.critical_path != nullptr, b.critical_path != nullptr)
+        << reqs[i].script;
+    if (a.ok) ++ok_points;
+    if (!a.critical_path) continue;
+    ++attributed_points;
+    const CriticalPathResult& ca = *a.critical_path;
+    const CriticalPathResult& cb = *b.critical_path;
+    EXPECT_EQ(ca.total_latency, cb.total_latency) << reqs[i].script;
+    EXPECT_EQ(ca.attributed, cb.attributed) << reqs[i].script;
+    ASSERT_EQ(ca.segments.size(), cb.segments.size()) << reqs[i].script;
+    for (std::size_t s = 0; s < ca.segments.size(); ++s) {
+      EXPECT_EQ(ca.segments[s].start, cb.segments[s].start);
+      EXPECT_EQ(ca.segments[s].end, cb.segments[s].end);
+      EXPECT_EQ(ca.segments[s].phase, cb.segments[s].phase);
+      EXPECT_EQ(ca.segments[s].controller, cb.segments[s].controller);
+      EXPECT_EQ(ca.segments[s].label, cb.segments[s].label);
+    }
+    EXPECT_EQ(ca.by_phase, cb.by_phase) << reqs[i].script;
+    EXPECT_EQ(ca.by_controller, cb.by_controller) << reqs[i].script;
+    EXPECT_EQ(ca.by_channel, cb.by_channel) << reqs[i].script;
+  }
+  // The grid's four gt5-without-gt2/gt3 corners deadlock (their partial
+  // progress is still attributed); everything else completes.
+  EXPECT_EQ(ok_points, 28u);
+  EXPECT_EQ(attributed_points, 32u);
 }
 
 TEST(CriticalPath, NotRequestedMeansNoLog) {

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <stdexcept>
 #include <string>
 
@@ -112,6 +113,27 @@ TEST(JsonParse, ScalarsRoundTrip) {
   EXPECT_EQ(parse_json("null").kind, JsonValue::Kind::kNull);
   EXPECT_EQ(parse_json("  [ ]  ").array.size(), 0u);
   EXPECT_EQ(parse_json("{ }").object.size(), 0u);
+}
+
+TEST(JsonParse, NonFiniteNumbersSerializeAsNull) {
+  // NaN/Inf have no JSON rendering (an attribution ratio can divide by
+  // zero); write_json_value must normalize them to null so the emitted
+  // document stays parseable instead of containing "nan"/"inf" tokens.
+  JsonValue v;
+  v.kind = JsonValue::Kind::kNumber;
+  for (double x : {std::nan(""), HUGE_VAL, -HUGE_VAL}) {
+    v.number = x;
+    EXPECT_EQ(to_json(v), "null");
+  }
+  JsonValue obj;
+  obj.kind = JsonValue::Kind::kObject;
+  v.number = std::nan("");
+  obj.object.emplace_back("ratio", v);
+  v.number = 2.0;
+  obj.object.emplace_back("fine", v);
+  JsonValue back = parse_json(to_json(obj));
+  EXPECT_EQ(back.at("ratio").kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(back.at("fine").number, 2.0);
 }
 
 }  // namespace

@@ -24,7 +24,19 @@
 //   --diff OLD NEW          compare two saved reports; nothing is re-run
 //   --threshold PCT         p50 wall growth counted as a regression (10)
 //   --min-time-us US        ignore benchmarks faster than this floor (50)
+//   --ratio A:B:PCT         cross-benchmark gate within one run (or the NEW
+//                           report of --diff): p50 wall of A must stay
+//                           within PCT%% of B's, i.e. p50(A) <= p50(B) *
+//                           (1 + PCT/100).  Repeatable.  In run mode the
+//                           pair is measured with interleaved iterations
+//                           (A,B,A,B,...) so in-process drift cancels out
+//                           of the ratio instead of skewing whichever side
+//                           runs later.  This is how the profiled DSE sweep
+//                           (dse.grid_profiled) is held to <= 5%% over
+//                           dse.grid_cold_serial without depending on a
+//                           saved baseline's absolute times.
 //   --check                 exit 1 when the comparison found a regression
+//                           or a --ratio gate failed
 //   --suite-deadline-ms N   wall budget per benchmark (default 600000,
 //                           0 = unlimited); an overrunning benchmark is
 //                           abandoned and recorded with status="timeout"
@@ -55,7 +67,8 @@ int usage(int code) {
                "usage: adc_bench [--suite all|S1,S2,...] [--filter STR] [--list] "
                "[--quick] [--repeats N] [--warmup N] [--out FILE] "
                "[--baseline FILE] [--diff OLD NEW] [--threshold PCT] "
-               "[--min-time-us US] [--check] [--suite-deadline-ms N]\n");
+               "[--min-time-us US] [--ratio A:B:PCT] [--check] "
+               "[--suite-deadline-ms N]\n");
   return code;
 }
 
@@ -76,6 +89,56 @@ std::vector<std::string> split_csv(const std::string& s) {
   return out;
 }
 
+// One --ratio A:B:PCT gate: p50 wall of A must not exceed B's by more than
+// PCT percent.  Both benchmarks come from the SAME run, so machine speed
+// cancels out — unlike a --baseline diff, the gate holds on any hardware.
+struct RatioSpec {
+  std::string a, b;
+  double pct = 0.0;
+};
+
+RatioSpec parse_ratio(const std::string& spec) {
+  auto c1 = spec.find(':');
+  auto c2 = c1 == std::string::npos ? std::string::npos : spec.find(':', c1 + 1);
+  if (c2 == std::string::npos)
+    throw std::runtime_error("--ratio expects A:B:PCT, got '" + spec + "'");
+  RatioSpec r;
+  r.a = spec.substr(0, c1);
+  r.b = spec.substr(c1 + 1, c2 - c1 - 1);
+  r.pct = std::stod(spec.substr(c2 + 1));
+  return r;
+}
+
+// Evaluates a parsed gate against the two records (either side may be null
+// when the benchmark is missing).  Returns false (and prints why) on
+// failure.
+bool eval_ratio(const perf::BenchRecord* a, const perf::BenchRecord* b,
+                const RatioSpec& spec, FILE* log) {
+  if (!a || !b) {
+    std::fprintf(log, "ratio %s vs %s: FAIL (%s not measured)\n",
+                 spec.a.c_str(), spec.b.c_str(),
+                 (!a ? spec.a : spec.b).c_str());
+    return false;
+  }
+  if (a->status != "ok" || b->status != "ok") {
+    std::fprintf(log, "ratio %s vs %s: FAIL (%s status=%s)\n", spec.a.c_str(),
+                 spec.b.c_str(),
+                 a->status != "ok" ? spec.a.c_str() : spec.b.c_str(),
+                 a->status != "ok" ? a->status.c_str() : b->status.c_str());
+    return false;
+  }
+  const double limit = b->wall_us.p50 * (1.0 + spec.pct / 100.0);
+  const bool ok = b->wall_us.p50 > 0.0 && a->wall_us.p50 <= limit;
+  const double actual_pct =
+      b->wall_us.p50 > 0.0
+          ? (a->wall_us.p50 - b->wall_us.p50) / b->wall_us.p50 * 100.0
+          : 0.0;
+  std::fprintf(log, "ratio %s vs %s: p50 %.0f us vs %.0f us (%+.1f%%, gate +%.1f%%) %s\n",
+               spec.a.c_str(), spec.b.c_str(), a->wall_us.p50, b->wall_us.p50,
+               actual_pct, spec.pct, ok ? "ok" : "FAIL");
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -86,6 +149,7 @@ int main(int argc, char** argv) {
   std::string diff_old, diff_new;
   perf::MeasureOptions mopts;
   perf::CompareOptions copts;
+  std::vector<std::string> ratios;
   bool list = false, check = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -120,6 +184,7 @@ int main(int argc, char** argv) {
     else if (arg == "--suite-deadline-ms") mopts.deadline_ms = std::stoull(next());
     else if (arg == "--threshold") copts.threshold_pct = std::stod(next());
     else if (arg == "--min-time-us") copts.min_us = std::stod(next());
+    else if (arg == "--ratio") ratios.push_back(next());
     else if (arg == "--check") check = true;
     else return usage(2);
   }
@@ -134,7 +199,14 @@ int main(int argc, char** argv) {
       if (oldr.env.git_sha != newr.env.git_sha)
         std::printf("note: baselines span commits %s -> %s\n",
                     oldr.env.git_sha.c_str(), newr.env.git_sha.c_str());
-      return perf::has_regression(deltas) ? 1 : 0;
+      bool ratios_ok = true;
+      for (const auto& raw : ratios) {
+        RatioSpec spec = parse_ratio(raw);
+        ratios_ok =
+            eval_ratio(newr.find(spec.a), newr.find(spec.b), spec, stdout) &&
+            ratios_ok;
+      }
+      return perf::has_regression(deltas) || !ratios_ok ? 1 : 0;
     }
 
     perf::register_default_suites();
@@ -163,7 +235,48 @@ int main(int argc, char** argv) {
       });
     }
 
-    perf::BenchReport rep = perf::run_registered(suites, filter, mopts);
+    // Ratio-gated benchmarks are measured as interleaved pairs (drift lands
+    // on both sides equally) and skipped in the sequential pass so nothing
+    // is timed twice and the report carries no duplicate names.
+    std::vector<RatioSpec> ratio_specs;
+    std::vector<std::string> paired_names;
+    for (const auto& raw : ratios) {
+      ratio_specs.push_back(parse_ratio(raw));
+      paired_names.push_back(ratio_specs.back().a);
+      paired_names.push_back(ratio_specs.back().b);
+    }
+
+    perf::BenchReport rep =
+        perf::run_registered(suites, filter, mopts, "adc_bench", paired_names);
+
+    bool ratios_ok = true;
+    for (const auto& spec : ratio_specs) {
+      auto find_registered = [](const std::string& name) -> const perf::Benchmark* {
+        for (const auto& b : perf::BenchRegistry::instance().all())
+          if (b.name == name) return &b;
+        return nullptr;
+      };
+      const perf::Benchmark* a = find_registered(spec.a);
+      const perf::Benchmark* b = find_registered(spec.b);
+      if (!a || !b) {
+        std::fprintf(log, "ratio %s vs %s: FAIL (%s not registered)\n",
+                     spec.a.c_str(), spec.b.c_str(),
+                     (!a ? spec.a : spec.b).c_str());
+        ratios_ok = false;
+        continue;
+      }
+      auto pair = perf::measure_interleaved(*a, *b, mopts);
+      ratios_ok =
+          eval_ratio(&pair.first, &pair.second, spec, log) && ratios_ok;
+      // The interleaved samples are measured under the same policy — they
+      // belong in the emitted report like any sequential record.
+      if (!rep.find(pair.first.name))
+        rep.benchmarks.push_back(std::move(pair.first));
+      if (!rep.find(pair.second.name))
+        rep.benchmarks.push_back(std::move(pair.second));
+      if (mopts.on_record) mopts.on_record(rep);
+    }
+
     if (rep.benchmarks.empty()) {
       std::fprintf(stderr, "adc_bench: no benchmarks matched\n");
       return 2;
@@ -194,7 +307,7 @@ int main(int argc, char** argv) {
                      base.env.git_sha.c_str(), rep.env.git_sha.c_str());
       if (check && perf::has_regression(deltas)) return 1;
     }
-    return 0;
+    return check && !ratios_ok ? 1 : 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "adc_bench: %s\n", e.what());
     return 2;

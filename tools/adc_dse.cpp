@@ -37,6 +37,21 @@
 //   --critical-path         attribute each point's simulated latency to
 //                           channels/controllers/phases; each --json point
 //                           gains a "critical_path" object
+//   --profile-out FILE      write the versioned dse_profile.json store
+//                           ('-' = stdout): per-point attribution joined
+//                           with area-model numbers, recipe + provenance
+//                           decisions, plus the grid analyses (bottleneck
+//                           ranking, Pareto frontier, suggestions).
+//                           Implies --critical-path and provenance capture.
+//   --frontier              print the human frontier report: Pareto
+//                           members, dominated points with their
+//                           dominators, grid-wide bottleneck ranking and
+//                           the top-k suggestions (same implications)
+//   --explain A:B           differential explain of two grid points; A/B
+//                           are point indices or "best"/"worst" (by
+//                           simulated cycle time among ok points).  Diffs
+//                           the segment trees and attributes latency
+//                           deltas to the differing transform decisions
 //   --log-level LEVEL       error|warn|info|debug|trace (default: ADC_LOG)
 //   --cache-dir DIR         persistent disk-tier point cache: completed
 //                           ok/deadlock points are stored as checksummed
@@ -68,6 +83,9 @@
 
 #include <memory>
 
+#include "analysis/build.hpp"
+#include "analysis/explain.hpp"
+#include "analysis/grid.hpp"
 #include "report/json.hpp"
 #include "report/table.hpp"
 #include "runtime/fault.hpp"
@@ -88,6 +106,7 @@ int usage(int code) {
                "[--init REG=VAL,...] [--seed N] [--randomize] [--no-sim] "
                "[--verify-serial] [--metrics] [--trace-out FILE] "
                "[--provenance DIR] [--vcd DIR] [--critical-path] "
+               "[--profile-out FILE] [--frontier] [--explain A:B] "
                "[--cache-dir DIR] [--cache-bytes N] "
                "[--stage-deadline-ms N] [--point-deadline-ms N] "
                "[--retries N] [--retry-backoff-ms N] [--fault SPEC] "
@@ -147,6 +166,82 @@ std::string point_stem(const FlowPoint& p, std::size_t index) {
   return stem + "-p" + std::to_string(index);
 }
 
+// Resolves one side of --explain A:B: a point index, or "best"/"worst" by
+// simulated cycle time among the ok points.
+std::size_t resolve_explain_ref(const std::string& ref,
+                                const std::vector<FlowPoint>& points) {
+  if (ref == "best" || ref == "worst") {
+    bool found = false;
+    std::size_t pick = 0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (!points[i].ok || points[i].latency <= 0) continue;
+      if (!found || (ref == "best" ? points[i].latency < points[pick].latency
+                                   : points[i].latency > points[pick].latency)) {
+        pick = i;
+        found = true;
+      }
+    }
+    if (!found)
+      throw std::runtime_error("--explain " + ref +
+                               ": no simulated ok point in the grid");
+    return pick;
+  }
+  std::size_t idx = std::stoul(ref);
+  if (idx >= points.size())
+    throw std::runtime_error("--explain: point index " + ref +
+                             " out of range (grid has " +
+                             std::to_string(points.size()) + " points)");
+  return idx;
+}
+
+std::string frontier_report(const analysis::DseProfile& prof) {
+  std::ostringstream os;
+  const analysis::GridAnalysis& g = prof.grid;
+  os << "pareto frontier (control area x cycle time): " << g.frontier.size()
+     << " member(s), " << g.dominated.size() << " dominated\n";
+  for (const auto& f : g.frontier) {
+    const analysis::PointProfile* p = prof.find(f.index);
+    os << "  #" << f.index << "  cycle=" << f.cycle_time
+       << "  area=" << f.area_transistors << "  ["
+       << (p && !p->script.empty() ? p->script : "(none)") << "]\n";
+  }
+  if (!g.dominated.empty()) {
+    os << "dominated:\n";
+    for (const auto& d : g.dominated) {
+      const analysis::PointProfile* p = prof.find(d.index);
+      os << "  #" << d.index << " (cycle=" << (p ? p->cycle_time : 0)
+         << " area=" << (p ? p->area_transistors : 0) << ") dominated by #"
+         << d.dominated_by << "\n";
+    }
+  }
+  auto rank = [&](const char* what,
+                  const std::vector<analysis::BottleneckRow>& rows) {
+    if (rows.empty()) return;
+    os << "grid bottlenecks by " << what << " (attributed ticks, all points):\n";
+    std::size_t shown = 0;
+    for (const auto& r : rows) {
+      os << "  " << r.name << "  " << r.ticks << " ticks across " << r.points
+         << " point(s)\n";
+      if (++shown == 5) break;
+    }
+  };
+  rank("channel", g.channels);
+  rank("controller", g.controllers);
+  if (!g.suggestions.empty()) {
+    os << "suggestions (highest-value transform targets):\n";
+    for (const auto& s : g.suggestions) {
+      os << "  " << s.rank << ". " << s.kind << " '" << s.name << "' ("
+         << s.ticks << " ticks)";
+      if (!s.hints.empty()) {
+        os << " try:";
+        for (const auto& h : s.hints) os << " " << h;
+      }
+      os << "\n     " << s.rationale << "\n";
+    }
+  }
+  return os.str();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -169,6 +264,9 @@ int main(int argc, char** argv) {
   std::uint64_t retry_backoff_ms = 50;
   bool randomize = false, simulate = true, verify_serial = false, dump_metrics = false;
   bool critical_path = false;
+  std::string profile_out;
+  std::string explain_spec;
+  bool frontier = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -195,6 +293,9 @@ int main(int argc, char** argv) {
     else if (arg == "--provenance") prov_dir = next();
     else if (arg == "--vcd") vcd_dir = next();
     else if (arg == "--critical-path") critical_path = true;
+    else if (arg == "--profile-out") profile_out = next();
+    else if (arg == "--frontier") frontier = true;
+    else if (arg == "--explain") explain_spec = next();
     else if (arg == "--cache-dir") cache_dir = next();
     else if (arg == "--cache-bytes") cache_bytes = std::stoull(next());
     else if (arg == "--stage-deadline-ms") stage_deadline_ms = std::stoull(next());
@@ -228,6 +329,15 @@ int main(int argc, char** argv) {
     }
     if (bench_names.empty() && files.empty()) bench_names.push_back("diffeq");
 
+    // The explainability paths all need the attribution segments and the
+    // provenance decision log on every point.
+    const bool profiling =
+        !profile_out.empty() || frontier || !explain_spec.empty();
+    if (profiling) critical_path = true;
+    if (!explain_spec.empty() &&
+        explain_spec.find(':') == std::string::npos)
+      throw std::invalid_argument("--explain expects A:B (indices or best/worst)");
+
     // Assemble the request grid.
     std::vector<FlowRequest> reqs;
     for (const auto& name : bench_names) {
@@ -238,7 +348,7 @@ int main(int argc, char** argv) {
         req.sim.seed = seed;
         req.sim.randomize_delays = randomize;
         req.simulate = simulate;
-        req.provenance = !prov_dir.empty();
+        req.provenance = !prov_dir.empty() || profiling;
         req.critical_path = critical_path;
         req.stage_deadline_ms = stage_deadline_ms;
         req.deadline_ms = point_deadline_ms;
@@ -261,7 +371,7 @@ int main(int argc, char** argv) {
         req.sim.seed = seed;
         req.sim.randomize_delays = randomize;
         req.simulate = simulate;
-        req.provenance = !prov_dir.empty();
+        req.provenance = !prov_dir.empty() || profiling;
         req.critical_path = critical_path;
         req.stage_deadline_ms = stage_deadline_ms;
         req.deadline_ms = point_deadline_ms;
@@ -360,6 +470,26 @@ int main(int argc, char** argv) {
         if (!out) throw std::runtime_error("cannot write " + path);
         extras[i].emplace_back("vcd", path);
       }
+    }
+
+    // Design-space explainability: build the profile store once, feed
+    // every consumer (--profile-out/--frontier/--explain) and publish the
+    // analysis.* gauges so the --json metrics object carries them.
+    std::unique_ptr<analysis::DseProfile> profile;
+    if (profiling) {
+      ScopedSpan span(opts.tracer, "analysis.profile");
+      profile = std::make_unique<analysis::DseProfile>(
+          analysis::build_dse_profile(points, "adc_dse"));
+      MetricsRegistry& m = exec.metrics();
+      m.gauge("analysis.points")
+          .set(static_cast<std::int64_t>(profile->points.size()));
+      m.gauge("analysis.frontier_size")
+          .set(static_cast<std::int64_t>(profile->grid.frontier.size()));
+      m.gauge("analysis.dominated")
+          .set(static_cast<std::int64_t>(profile->grid.dominated.size()));
+      m.gauge("analysis.top_bottleneck_ticks")
+          .set(profile->grid.channels.empty() ? 0
+                                              : profile->grid.channels.front().ticks);
     }
 
     int rc = 0;
@@ -483,6 +613,34 @@ int main(int argc, char** argv) {
         if (!out) throw std::runtime_error("cannot write " + json_path);
         std::fprintf(stderr, "adc_dse: wrote %s (%zu points)\n", json_path.c_str(),
                      points.size());
+      }
+    }
+    if (profile) {
+      if (!profile_out.empty()) {
+        std::string text = analysis::to_json(*profile);
+        if (profile_out == "-") {
+          std::printf("%s\n", text.c_str());
+        } else {
+          std::ofstream out(profile_out);
+          out << text << "\n";
+          if (!out) throw std::runtime_error("cannot write " + profile_out);
+          std::fprintf(stderr, "adc_dse: wrote %s (%zu points, %zu on frontier)\n",
+                       profile_out.c_str(), profile->points.size(),
+                       profile->grid.frontier.size());
+        }
+      }
+      if (frontier) {
+        ScopedSpan span(opts.tracer, "analysis.frontier");
+        std::printf("%s", frontier_report(*profile).c_str());
+      }
+      if (!explain_spec.empty()) {
+        ScopedSpan span(opts.tracer, "analysis.explain");
+        auto colon = explain_spec.find(':');
+        std::size_t ia = resolve_explain_ref(explain_spec.substr(0, colon), points);
+        std::size_t ib = resolve_explain_ref(explain_spec.substr(colon + 1), points);
+        auto rep = analysis::explain_points(profile->points[ia],
+                                            profile->points[ib]);
+        std::printf("%s", rep.to_table().c_str());
       }
     }
     if (dump_metrics)

@@ -1,7 +1,8 @@
 // adc_obs_check — validates the observability artifacts the flow emits.
 //
 //   adc_obs_check [--trace FILE] [--provenance FILE] [--vcd FILE]
-//                 [--bench FILE] [--cache-dir DIR] [--access-log FILE]
+//                 [--bench FILE] [--dse-profile FILE] [--cache-dir DIR]
+//                 [--access-log FILE]
 //                 [--prom FILE | --prom-fetch HOST:PORT [--prom-out FILE]]
 //                 [--catalogue FILE]
 //
@@ -26,6 +27,12 @@
 //    integrity audit of what a crashed or fault-injected run left behind;
 //  * access-log: the daemon's JSONL access log parses and matches the
 //    schema in docs/OBSERVABILITY.md (obs::AccessLog::validate);
+//  * dse-profile: a dse_profile.json store (kind "adc-dse-profile" v1,
+//    analysis/profile.hpp) — schema plus the internal books: per-point
+//    phase segments sum to the attributed total, ok points attribute
+//    >= 95% of their cycle time, transistor counts re-derive from the
+//    area model, and the frontier/dominated sets partition the simulated
+//    ok points with every dominated point naming a frontier dominator;
 //  * prom / prom-fetch: a Prometheus text exposition — from a file or
 //    scraped live off a daemon's /metrics — satisfies the format
 //    invariants (TYPE before samples, cumulative buckets, +Inf == _count);
@@ -44,6 +51,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/profile.hpp"
 #include "obs/access_log.hpp"
 #include "obs/http.hpp"
 #include "obs/prometheus.hpp"
@@ -194,6 +202,17 @@ void check_bench(const std::string& path) {
     fail(path + ": " + problem);
 }
 
+void check_dse_profile(const std::string& path) {
+  JsonValue doc = parse_json(slurp(path));
+  auto problems = analysis::validate_dse_profile(doc);
+  for (const std::string& problem : problems) fail(path + ": " + problem);
+  if (problems.empty()) {
+    const JsonValue* pts = doc.find("points");
+    std::printf("adc_obs_check: %s: %zu point profile(s) valid\n", path.c_str(),
+                pts ? pts->array.size() : 0);
+  }
+}
+
 void check_cache_dir(const std::string& dir) {
   auto entries = DiskCache::scan(dir);
   std::size_t valid = 0;
@@ -250,6 +269,7 @@ void check_prometheus(const std::string& origin, const std::string& body,
 
 int main(int argc, char** argv) {
   std::string trace_path, prov_path, vcd_path, bench_path, cache_dir;
+  std::string dse_profile_path;
   std::string access_log_path, prom_path, prom_fetch, prom_out, catalogue_path;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -264,6 +284,7 @@ int main(int argc, char** argv) {
     else if (arg == "--provenance") prov_path = next();
     else if (arg == "--vcd") vcd_path = next();
     else if (arg == "--bench") bench_path = next();
+    else if (arg == "--dse-profile") dse_profile_path = next();
     else if (arg == "--cache-dir") cache_dir = next();
     else if (arg == "--access-log") access_log_path = next();
     else if (arg == "--prom") prom_path = next();
@@ -273,7 +294,8 @@ int main(int argc, char** argv) {
     else {
       std::fprintf(stderr,
                    "usage: adc_obs_check [--trace FILE] [--provenance FILE] "
-                   "[--vcd FILE] [--bench FILE] [--cache-dir DIR] "
+                   "[--vcd FILE] [--bench FILE] [--dse-profile FILE] "
+                   "[--cache-dir DIR] "
                    "[--access-log FILE] [--prom FILE | --prom-fetch HOST:PORT "
                    "[--prom-out FILE]] [--catalogue FILE]\n");
       return arg == "--help" || arg == "-h" ? 0 : 2;
@@ -284,6 +306,7 @@ int main(int argc, char** argv) {
     if (!prov_path.empty()) check_provenance(prov_path);
     if (!vcd_path.empty()) check_vcd(vcd_path);
     if (!bench_path.empty()) check_bench(bench_path);
+    if (!dse_profile_path.empty()) check_dse_profile(dse_profile_path);
     if (!cache_dir.empty()) check_cache_dir(cache_dir);
     if (!access_log_path.empty()) check_access_log(access_log_path);
     if (!prom_path.empty())

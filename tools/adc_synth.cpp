@@ -32,6 +32,12 @@
 //                              channels / controllers / micro-operation
 //                              phases (implies simulation; human table on
 //                              the report stream, JSON under "critical_path")
+//   --explain-vs SCRIPT2       differential explain: evaluate the program a
+//                              second time under SCRIPT2 (same executor, so
+//                              shared recipe prefixes stay cached), diff the
+//                              two points' attribution segment trees and
+//                              report which transform decisions the latency
+//                              delta comes from (implies --critical-path)
 //   --log-level LEVEL          error|warn|info|debug|trace (default: the
 //                              ADC_LOG environment variable, else warn)
 //   --deadline-ms N            whole-flow wall budget; an overrun is
@@ -53,6 +59,8 @@
 #include <set>
 #include <sstream>
 
+#include "analysis/build.hpp"
+#include "analysis/explain.hpp"
 #include "cdfg/dot.hpp"
 #include "cdfg/validate.hpp"
 #include "frontend/parser.hpp"
@@ -78,7 +86,8 @@ int usage(int code) {
                "usage: adc_synth [--script S] [--bench NAME] [--out DIR] "
                "[--emit KIND]... [--simulate REG=VAL,...] [--report] "
                "[--json FILE] [--trace-out FILE] [--provenance FILE] "
-               "[--vcd FILE] [--critical-path] [--deadline-ms N] "
+               "[--vcd FILE] [--critical-path] [--explain-vs SCRIPT2] "
+               "[--deadline-ms N] "
                "[--stage-deadline-ms N] [--fault SPEC] [--log-level LEVEL] "
                "[program.adc]\n"
                "\n"
@@ -145,6 +154,7 @@ int main(int argc, char** argv) {
   std::uint64_t deadline_ms = 0, stage_deadline_ms = 0;
   bool report = false;
   bool critical_path = false;
+  std::string explain_vs;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -167,6 +177,7 @@ int main(int argc, char** argv) {
     else if (arg == "--provenance") prov_path = next();
     else if (arg == "--vcd") vcd_path = next();
     else if (arg == "--critical-path") critical_path = true;
+    else if (arg == "--explain-vs") explain_vs = next();
     else if (arg == "--deadline-ms") deadline_ms = std::stoull(next());
     else if (arg == "--stage-deadline-ms") stage_deadline_ms = std::stoull(next());
     else if (arg == "--fault") fault_spec = next();
@@ -221,9 +232,10 @@ int main(int argc, char** argv) {
       req.script = script_text;
     }
     if (!simulate.empty()) req.init = parse_init(simulate);
+    if (!explain_vs.empty()) critical_path = true;  // the diff needs segments
     req.simulate = !simulate.empty() || !bench_name.empty() || !vcd_path.empty() ||
                    critical_path;
-    req.provenance = !prov_path.empty();
+    req.provenance = !prov_path.empty() || !explain_vs.empty();
     req.critical_path = critical_path;
     req.deadline_ms = deadline_ms;
     req.stage_deadline_ms = stage_deadline_ms;
@@ -323,6 +335,25 @@ int main(int argc, char** argv) {
       }
       if (critical_path && p.critical_path)
         std::fprintf(log, "\n%s", p.critical_path->to_table().c_str());
+    }
+
+    // Differential explain: evaluate the same program under the second
+    // recipe on the same executor (shared prefixes replay from the stage
+    // cache) and attribute the cycle-time delta to the differing
+    // transform decisions.
+    if (!explain_vs.empty()) {
+      ScopedSpan span(opts.tracer, "analysis.explain");
+      FlowRequest req2 = req;
+      req2.script = explain_vs;
+      req2.cancel = CancelToken();
+      req2.sim.vcd = nullptr;  // waveforms belong to the primary run
+      FlowPoint q = exec.run(req2);
+      if (!q.ok && q.status != FlowStatus::kDeadlock)
+        std::fprintf(stderr, "adc_synth: --explain-vs point [%s] failed: %s\n",
+                     q.script.c_str(), q.error.c_str());
+      auto a = analysis::build_point_profile(p, 0);
+      auto b = analysis::build_point_profile(q, 1);
+      std::fprintf(log, "\n%s", analysis::explain_points(a, b).to_table().c_str());
     }
 
     // Observability artifacts (written here on the normal path; the flush

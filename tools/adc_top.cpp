@@ -3,7 +3,8 @@
 // Polls the `metrics` protocol op (the same registry `/metrics` exposes,
 // as JSON) and renders a refreshing one-screen summary: job throughput,
 // per-class queue depths and windowed latency quantiles, cache and disk
-// tier occupancy, and the current backpressure hint.
+// tier occupancy, the cover-memo hit ratio, the live Pareto frontier over
+// (control area x cycle time), and the current backpressure hint.
 //
 //   adc_top --socket /tmp/adc.sock
 //   adc_top --connect 127.0.0.1:7788 --interval 500
@@ -137,6 +138,29 @@ void render(const JsonValue& reply, const std::string& endpoint) {
       uint_of(find_series(gauges, "serve.flow.faults"), "value"),
       uint_of(find_series(gauges, "serve.flow.deadlocks"), "value"),
       uint_of(find_series(counters, "serve.bad_requests"), "value"));
+  const std::uint64_t memo_hits =
+      uint_of(find_series(gauges, "logic.memo.hits"), "value");
+  const std::uint64_t memo_disk_hits =
+      uint_of(find_series(gauges, "logic.memo.disk_hits"), "value");
+  const std::uint64_t memo_misses =
+      uint_of(find_series(gauges, "logic.memo.misses"), "value");
+  const std::uint64_t memo_lookups = memo_hits + memo_disk_hits + memo_misses;
+  std::printf(
+      "memo   hits %-9" PRIu64 " disk hits %-5" PRIu64 " entries %-7" PRIu64
+      " hit ratio %.3f\n",
+      memo_hits, memo_disk_hits,
+      uint_of(find_series(gauges, "logic.memo.entries"), "value"),
+      memo_lookups ? static_cast<double>(memo_hits + memo_disk_hits) /
+                         static_cast<double>(memo_lookups)
+                   : 0.0);
+  std::printf(
+      "pareto points %-8" PRIu64 " frontier %-6" PRIu64 " dominated %-6" PRIu64
+      " best cycle %-6" PRIu64 " best area %-6" PRIu64 "\n",
+      uint_of(find_series(gauges, "analysis.points"), "value"),
+      uint_of(find_series(gauges, "analysis.frontier_size"), "value"),
+      uint_of(find_series(gauges, "analysis.dominated"), "value"),
+      uint_of(find_series(gauges, "analysis.best_cycle_time"), "value"),
+      uint_of(find_series(gauges, "analysis.best_area_transistors"), "value"));
 }
 
 }  // namespace
